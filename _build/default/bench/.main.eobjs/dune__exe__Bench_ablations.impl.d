@@ -1,0 +1,1 @@
+bench/bench_ablations.ml: Array Core Harness List Printf Sys

@@ -1,0 +1,1 @@
+bench/bench_capacity.ml: Core Harness List Printf

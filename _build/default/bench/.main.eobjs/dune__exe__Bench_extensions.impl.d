@@ -1,0 +1,1 @@
+bench/bench_extensions.ml: Core Harness List Printf

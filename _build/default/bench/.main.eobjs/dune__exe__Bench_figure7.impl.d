@@ -1,0 +1,1 @@
+bench/bench_figure7.ml: Core Harness List Printf

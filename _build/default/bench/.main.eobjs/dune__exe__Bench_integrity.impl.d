@@ -1,0 +1,1 @@
+bench/bench_integrity.ml: Core Harness List Printf

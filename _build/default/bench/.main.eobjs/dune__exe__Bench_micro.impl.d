@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Benchmark Char Core Harness Hashtbl Instance List Measure Option Printf Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_specweb.ml: Array Core Harness List Printf

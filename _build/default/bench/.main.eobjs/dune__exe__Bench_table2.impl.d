@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Core Harness List Option Printf

@@ -1,0 +1,1 @@
+bench/harness.ml: Core List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablations Bench_capacity Bench_extensions Bench_figure7 Bench_integrity Bench_micro Bench_specweb Bench_table2 List Printf String Sys

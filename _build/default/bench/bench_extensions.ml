@@ -1,0 +1,103 @@
+(* §5.4: the four extensions — run each headlessly to confirm it works,
+   and report lines of code against the paper's development-effort
+   table. *)
+
+let fetch cluster ~client ~proxy req = Harness.fetch_sync cluster ~client ~proxy req
+
+let check name ok = Printf.printf "  %-24s %s\n" name (if ok then "works" else "BROKEN")
+
+let run_nkp () =
+  (* A .nkp page executed at the edge. *)
+  let cluster = Core.Node.Cluster.create () in
+  let origin = Core.Node.Cluster.add_origin cluster ~name:"www.spec99.org" () in
+  Core.Workload.Specweb.install_origin origin;
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"c" in
+  let resp =
+    fetch cluster ~client ~proxy
+      (Core.Http.Message.request
+         "http://www.spec99.org/nkp/register.nkp?user=eve&profile=p9")
+  in
+  Core.Util.Strutil.contains_sub
+    (Core.Http.Body.to_string resp.Core.Http.Message.resp_body)
+    ~sub:"eve: registered"
+
+let run_annotations () =
+  let cluster = Core.Node.Cluster.create () in
+  let simm = Core.Node.Cluster.add_origin cluster ~name:"simm.med.nyu.edu" () in
+  Core.Workload.Simm.install_origin simm;
+  let notes = Core.Node.Cluster.add_origin cluster ~name:"notes.medcommunity.org" () in
+  Core.Node.Origin.set_static notes ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300
+    (Core.Workload.Extensions.annotations ~site:"notes.medcommunity.org"
+       ~target_site:"simm.med.nyu.edu");
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"c" in
+  ignore
+    (fetch cluster ~client ~proxy
+       (Core.Http.Message.request
+          "http://notes.medcommunity.org/annotate?target=content/m1/lec1.xml&text=note-1"));
+  let resp =
+    fetch cluster ~client ~proxy
+      (Core.Http.Message.request "http://notes.medcommunity.org/simm/content/m1/lec1.xml")
+  in
+  Core.Util.Strutil.contains_sub
+    (Core.Http.Body.to_string resp.Core.Http.Message.resp_body)
+    ~sub:"note-1"
+
+let run_transcoding () =
+  let cluster = Core.Node.Cluster.create () in
+  let origin = Core.Node.Cluster.add_origin cluster ~name:"photos.example.org" () in
+  let img = Core.Vocab.Image.synthesize ~width:640 ~height:480 ~seed:4 in
+  Core.Node.Origin.set_static origin ~path:"/p.jpg" ~content_type:"image/jpeg" ~max_age:300
+    (Core.Vocab.Image.encode img Core.Vocab.Image.Rle);
+  Core.Node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300 Core.Workload.Extensions.image_transcoding;
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"c" in
+  let resp =
+    fetch cluster ~client ~proxy
+      (Core.Http.Message.request
+         ~headers:[ ("User-Agent", "Nokia6600") ]
+         "http://photos.example.org/p.jpg")
+  in
+  match
+    Core.Vocab.Image.dimensions (Core.Http.Body.to_string resp.Core.Http.Message.resp_body)
+  with
+  | Some (w, h) -> w <= 176 && h <= 208
+  | None -> false
+
+let run_blacklist () =
+  let cluster = Core.Node.Cluster.create () in
+  let policy = Core.Node.Cluster.add_origin cluster ~name:"policy.nakika.net" () in
+  Core.Node.Origin.set_static policy ~path:"/blacklist.txt" ~content_type:"text/plain"
+    ~max_age:300 "bad.example.com\n";
+  Core.Node.Origin.set_static policy ~path:"/blocker.js" ~content_type:"text/javascript"
+    ~max_age:300
+    (Core.Workload.Extensions.blacklist_generator
+       ~url:"http://policy.nakika.net/blacklist.txt");
+  Core.Node.Origin.set_static (Core.Node.Cluster.nakika_origin cluster) ~path:"/clientwall.js"
+    ~content_type:"text/javascript" ~max_age:300
+    {| var p = new Policy(); p.nextStages = ["http://policy.nakika.net/blocker.js"]; p.register(); |};
+  let bad = Core.Node.Cluster.add_origin cluster ~name:"bad.example.com" () in
+  Core.Node.Origin.set_static bad ~path:"/x" ~max_age:300 "nope";
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"c" in
+  let blocked = fetch cluster ~client ~proxy (Core.Http.Message.request "http://bad.example.com/x") in
+  blocked.Core.Http.Message.status = 403
+
+let extensions () =
+  Harness.header "Extensions (§5.4): functionality and lines of code";
+  check "Na Kika Pages" (run_nkp ());
+  check "annotations" (run_annotations ());
+  check "image transcoding" (run_transcoding ());
+  check "blacklist blocking" (run_blacklist ());
+  print_endline "";
+  Printf.printf "  %-24s %18s %14s\n" "" "paper LoC" "our LoC";
+  List.iter
+    (fun (name, source, paper_loc) ->
+      Printf.printf "  %-24s %18d %14d\n" name paper_loc
+        (Core.Workload.Extensions.loc source))
+    Core.Workload.Extensions.all;
+  print_endline
+    "  (paper: nkp 60; annotations 50 new + 180 reused; transcoding 80; blacklist 70)"

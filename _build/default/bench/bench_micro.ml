@@ -1,0 +1,128 @@
+(* Bechamel micro-benchmarks of the real OCaml implementation — one
+   Test.make per reproduced table/figure, measuring the operations that
+   artifact exercises. The simulated experiments report the paper's
+   latencies under the 2006 cost model; these report what our code
+   actually costs on the present machine. *)
+
+open Bechamel
+open Toolkit
+
+let payload_1k = String.init 1024 (fun i -> Char.chr (i mod 256))
+
+(* Table 2 / M1: predicate evaluation, decision trees, script handling. *)
+let policies_100 =
+  List.init 100 (fun i ->
+      Core.Policy.Policy.make ~urls:[ Printf.sprintf "site%d.org" i ] ~order:i ())
+
+let tree_100 = Core.Policy.Decision_tree.build policies_100
+
+let match_request = Core.Http.Message.request "http://site42.org/x"
+
+let match1_script = Core.Workload.Static_page.pred_script ~host:"h.org" ~n:0 ~matching:true
+
+let handler_stage =
+  match
+    Core.Pipeline.Stage.of_script ~url:"bench" ~host:(Core.Vocab.Hostcall.stub ())
+      ~source:
+        {|
+var p = new Policy();
+p.onResponse = function() {
+  var body = "", c;
+  while ((c = Response.read()) != null) { body += c; }
+  Response.write(body.toUpperCase());
+}
+p.register();
+|}
+      ()
+  with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let handler =
+  match Core.Pipeline.Stage.policies handler_stage with
+  | [ p ] -> Option.get p.Core.Policy.Policy.on_response
+  | _ -> assert false
+
+let run_handler () =
+  let req = Core.Http.Message.request "http://x.org/" in
+  let resp = Core.Http.Message.response ~body:Core.Workload.Static_page.page_body () in
+  ignore (Core.Pipeline.Pipeline.run_handler handler_stage ~this_request:req ~response:(Some resp) handler)
+
+(* F7 / E1: the XML rendering the SIMM site script performs. *)
+let lecture_xml = Core.Workload.Simm.lecture_xml ~module_:1 ~lecture:1 ~student:"bench"
+
+(* Fig. 2: image transcoding. *)
+let image_352x416 =
+  Core.Vocab.Image.encode (Core.Vocab.Image.synthesize ~width:352 ~height:416 ~seed:2)
+    Core.Vocab.Image.Rle
+
+let cache_for_bench = Core.Cache.Http_cache.create ()
+
+let () =
+  Core.Cache.Http_cache.insert cache_for_bench ~now:0.0 ~key:"bench" ~expiry:(Some 1e9)
+    (Core.Http.Message.response ~body:payload_1k ())
+
+let regex_ua = Core.Regex.Regex.compile "Nokia|SonyEricsson|Samsung"
+
+let tests =
+  Test.make_grouped ~name:"nakika"
+    [
+      Test.make ~name:"T2/X1: sha256 1KB" (Staged.stage (fun () -> Core.Crypto.Sha256.digest payload_1k));
+      Test.make ~name:"T2: header regex match"
+        (Staged.stage (fun () -> Core.Regex.Regex.matches regex_ua "Mozilla/4.0 (Nokia6600)"));
+      Test.make ~name:"T2: decision tree lookup (100 policies)"
+        (Staged.stage (fun () -> Core.Policy.Decision_tree.find_closest tree_100 match_request));
+      Test.make ~name:"T2: brute-force match (100 policies)"
+        (Staged.stage (fun () -> Core.Policy.Policy.closest_match policies_100 match_request));
+      Test.make ~name:"T2: parse Match-1 site script"
+        (Staged.stage (fun () -> Core.Script.Parser.parse match1_script));
+      Test.make ~name:"M1: run onResponse handler (2KB body)" (Staged.stage run_handler);
+      Test.make ~name:"T2: proxy cache hit"
+        (Staged.stage (fun () -> Core.Cache.Http_cache.lookup cache_for_bench ~now:1.0 ~key:"bench"));
+      Test.make ~name:"F7: parse+render lecture XML"
+        (Staged.stage (fun () ->
+             Core.Vocab.Xml.to_html Core.Workload.Simm.stylesheet
+               (Core.Vocab.Xml.parse_exn lecture_xml)));
+      Test.make ~name:"Fig2: transcode 352x416 -> 176x208"
+        (Staged.stage (fun () ->
+             match Core.Vocab.Image.decode image_352x416 with
+             | Ok (img, _) ->
+               Core.Vocab.Image.encode
+                 (Core.Vocab.Image.scale img ~width:176 ~height:208)
+                 Core.Vocab.Image.Rle
+             | Error e -> failwith e));
+      Test.make ~name:"E2: render register.nkp page"
+        (Staged.stage (fun () ->
+             let ctx = Core.Script.Interp.create () in
+             Core.Script.Builtins.install ctx;
+             Core.Vocab.Eval_v.install ctx;
+             Core.Script.Interp.define_global ctx "Request"
+               (Core.Script.Value.native "q" (fun _ _ -> Core.Script.Value.Vnull));
+             ignore (Core.Pipeline.Nkp.render ctx "x<?nkp 1 + 1 ?>y")));
+    ]
+
+let micro () =
+  Harness.header "Bechamel micro-benchmarks (real implementation, this machine)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-44s %s/op\n" name pretty)
+    rows

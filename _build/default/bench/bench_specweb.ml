@@ -1,0 +1,151 @@
+(* §5.3: the modified SPECweb99 benchmark over replicated hard state.
+
+   A single Apache+PHP-style server on the US East Coast versus the same
+   content as Na Kika Pages served by five nodes on the West Coast,
+   with user registrations and profiles in replicated hard state. The
+   clients are on the West Coast; 160 simultaneous connections, 80%
+   dynamic requests. PlanetLab-class machines: every server runs at a
+   fraction of the reference CPU speed. *)
+
+let connections = 160
+
+let duration = 60.0
+
+let warmup = 10.0
+
+let coast_latency = 0.04 (* West Coast clients <-> East Coast origin *)
+
+let planetlab_speed = 0.25
+
+(* No misbehaving sites; resource controls out of the way. *)
+let nk_config =
+  { Core.Node.Config.default with Core.Node.Config.enable_resource_controls = false }
+
+type result = { mean_response : float; throughput : float }
+
+let run_php () =
+  let cluster = Core.Node.Cluster.create ~seed:31 () in
+  let sim = Core.Node.Cluster.sim cluster in
+  let origin =
+    Core.Node.Cluster.add_origin cluster ~name:Core.Workload.Specweb.host
+      ~cpu_speed:planetlab_speed ()
+  in
+  Core.Workload.Specweb.install_origin origin;
+  let origin_host = Core.Node.Origin.host origin in
+  let clients =
+    List.init 8 (fun i -> Core.Node.Cluster.add_client cluster ~name:(Printf.sprintf "wc%d" i))
+  in
+  List.iter
+    (fun c ->
+      Core.Node.Cluster.connect cluster c origin_host ~latency:coast_latency
+        ~bandwidth:2_000_000.0)
+    clients;
+  let responses = ref 0 in
+  let latency = Core.Util.Stats.create () in
+  let t0 = Core.Sim.Sim.now sim in
+  let until = t0 +. warmup +. duration in
+  List.iteri
+    (fun ci client ->
+      for s = 0 to (connections / 8) - 1 do
+        let rng = Core.Util.Prng.create ((ci * 50) + s) in
+        Core.Workload.Driver.closed_loop cluster ~client ~until
+          ~make_request:(fun _ ->
+            Core.Workload.Specweb.make_request ~rng ~mode:Core.Workload.Specweb.Php)
+          ~on_response:(fun _ _ resp elapsed ->
+            if Core.Sim.Sim.now sim >= t0 +. warmup && resp.Core.Http.Message.status = 200
+            then begin
+              incr responses;
+              Core.Util.Stats.add latency elapsed
+            end)
+          ()
+      done)
+    clients;
+  Core.Node.Cluster.run cluster;
+  {
+    mean_response = Core.Util.Stats.mean latency;
+    throughput = float_of_int !responses /. duration;
+  }
+
+let run_nakika () =
+  let cluster = Core.Node.Cluster.create ~seed:31 () in
+  let sim = Core.Node.Cluster.sim cluster in
+  let origin =
+    Core.Node.Cluster.add_origin cluster ~name:Core.Workload.Specweb.host
+      ~cpu_speed:planetlab_speed ()
+  in
+  Core.Workload.Specweb.install_origin origin;
+  let origin_host = Core.Node.Origin.host origin in
+  (* Five Na Kika nodes on the West Coast, PlanetLab-class CPUs. *)
+  let proxies =
+    List.init 5 (fun i ->
+        let p =
+          Core.Node.Cluster.add_proxy cluster
+            ~name:(Printf.sprintf "nk%d.nakika.net" i)
+            ~cpu_speed:planetlab_speed ~config:nk_config ()
+        in
+        Core.Node.Cluster.connect cluster (Core.Node.Node.host p) origin_host
+          ~latency:coast_latency ~bandwidth:2_000_000.0;
+        p)
+  in
+  let clients =
+    List.init 8 (fun i -> Core.Node.Cluster.add_client cluster ~name:(Printf.sprintf "wc%d" i))
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          Core.Node.Cluster.connect cluster c (Core.Node.Node.host p) ~latency:0.005
+            ~bandwidth:5_000_000.0)
+        proxies;
+      Core.Node.Cluster.connect cluster c origin_host ~latency:coast_latency
+        ~bandwidth:2_000_000.0)
+    clients;
+  let responses = ref 0 in
+  let latency = Core.Util.Stats.create () in
+  let t0 = Core.Sim.Sim.now sim in
+  let until = t0 +. warmup +. duration in
+  let proxy_array = Array.of_list proxies in
+  List.iteri
+    (fun ci client ->
+      for s = 0 to (connections / 8) - 1 do
+        let rng = Core.Util.Prng.create ((ci * 50) + s) in
+        let proxy = proxy_array.(((ci * 50) + s) mod Array.length proxy_array) in
+        Core.Workload.Driver.closed_loop cluster ~client ~proxy ~until
+          ~make_request:(fun _ ->
+            Core.Workload.Specweb.make_request ~rng ~mode:Core.Workload.Specweb.Nakika)
+          ~on_response:(fun _ _ resp elapsed ->
+            if Core.Sim.Sim.now sim >= t0 +. warmup && resp.Core.Http.Message.status = 200
+            then begin
+              incr responses;
+              Core.Util.Stats.add latency elapsed
+            end)
+          ()
+      done)
+    clients;
+  Core.Node.Cluster.run cluster;
+  {
+    mean_response = Core.Util.Stats.mean latency;
+    throughput = float_of_int !responses /. duration;
+  }
+
+let specweb () =
+  Harness.header "SPECweb99 (§5.3): PHP single server vs Na Kika Pages + hard state";
+  Printf.printf
+    "  %d connections, 80%% dynamic, West Coast clients, East Coast origin,\n" connections;
+  print_endline "  5 West Coast Na Kika nodes, PlanetLab-class CPUs";
+  let php = run_php () in
+  let nk = run_nakika () in
+  Harness.paper_vs_measured ~label:"PHP: mean response time" ~paper:"13.7 s"
+    ~measured:(Printf.sprintf "%.2f s" php.mean_response) ~unit_:"";
+  Harness.paper_vs_measured ~label:"PHP: throughput" ~paper:"10.8 rps"
+    ~measured:(Printf.sprintf "%.1f rps" php.throughput) ~unit_:"";
+  Harness.paper_vs_measured ~label:"Na Kika: mean response time" ~paper:"4.3 s"
+    ~measured:(Printf.sprintf "%.2f s" nk.mean_response) ~unit_:"";
+  Harness.paper_vs_measured ~label:"Na Kika: throughput" ~paper:"34.3 rps"
+    ~measured:(Printf.sprintf "%.1f rps" nk.throughput) ~unit_:"";
+  Printf.printf "  speedup: %.1fx response time, %.1fx throughput (paper: 3.2x / 3.2x)\n"
+    (php.mean_response /. nk.mean_response)
+    (nk.throughput /. php.throughput);
+  print_endline
+    "  shape check: Na Kika wins ~3x on both metrics; the benefit is the extra CPU\n\
+    \  capacity of the five edge nodes executing the dynamic pages"

@@ -1,0 +1,99 @@
+(* Table 1 + Table 2: the micro-benchmark configurations and their
+   cold/warm latency for a single static 2,096-byte document on a
+   switched 100 Mbit LAN. *)
+
+type kind = Proxy | Dht | Admin | Pred of int | Match1
+
+let kind_name = function
+  | Proxy -> "Proxy"
+  | Dht -> "DHT"
+  | Admin -> "Admin"
+  | Pred n -> Printf.sprintf "Pred-%d" n
+  | Match1 -> "Match-1"
+
+let kind_description = function
+  | Proxy -> "a regular Apache-style proxy"
+  | Dht -> "the proxy with an integrated DHT"
+  | Admin -> "Na Kika: two admin stages, matching predicates, empty handlers"
+  | Pred n -> Printf.sprintf "Admin plus a site stage with %d non-matching policies" n
+  | Match1 -> "Admin plus a site stage with one matching policy, empty handlers"
+
+let configs = [ Proxy; Dht; Admin; Pred 0; Pred 1; Match1; Pred 10; Pred 50; Pred 100 ]
+
+let paper_cold = function
+  | Proxy -> 3.0
+  | Dht -> 5.0
+  | Admin -> 16.0
+  | Pred 0 -> 19.0
+  | Pred 1 -> 20.0
+  | Match1 -> 21.0
+  | Pred 10 -> 22.0
+  | Pred 50 -> 30.0
+  | Pred 100 -> 41.0
+  | Pred _ -> nan
+
+let paper_warm = function Proxy | Dht -> 1.0 | _ -> 2.0
+
+let host = "www.google.com"
+
+let node_config = function
+  | Proxy -> Core.Node.Config.plain_proxy
+  | Dht -> { Core.Node.Config.plain_proxy with Core.Node.Config.enable_dht = true }
+  | Admin | Pred _ | Match1 ->
+    (* Resource control is disabled for these experiments (§5.1). *)
+    { Core.Node.Config.default with Core.Node.Config.enable_resource_controls = false }
+
+let site_script = function
+  | Proxy | Dht | Admin -> None
+  | Pred n -> Some (Core.Workload.Static_page.pred_script ~host ~n ~matching:false)
+  | Match1 -> Some (Core.Workload.Static_page.pred_script ~host ~n:0 ~matching:true)
+
+let build kind =
+  let cluster = Core.Node.Cluster.create ~seed:3 () in
+  let origin = Core.Node.Cluster.add_origin cluster ~name:host () in
+  Core.Workload.Static_page.install origin;
+  Option.iter
+    (fun script ->
+      Core.Node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+        ~max_age:300 script)
+    (site_script kind);
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config:(node_config kind) () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"client" in
+  (cluster, proxy, client)
+
+let measure kind =
+  let cluster, proxy, client = build kind in
+  let sim = Core.Node.Cluster.sim cluster in
+  let request () =
+    Core.Http.Message.request (Printf.sprintf "http://%s%s" host Core.Workload.Static_page.page_path)
+  in
+  let timed () =
+    let t0 = Core.Sim.Sim.now sim in
+    let resp = Harness.fetch_sync cluster ~client ~proxy (request ()) in
+    assert (resp.Core.Http.Message.status = 200);
+    Core.Sim.Sim.now sim -. t0
+  in
+  let cold = timed () in
+  (* Warm: average several cache-hot accesses. *)
+  let warm_samples = List.init 10 (fun _ -> timed ()) in
+  let warm = List.fold_left ( +. ) 0.0 warm_samples /. 10.0 in
+  (cold, warm)
+
+let table1 () =
+  Harness.header "Table 1: micro-benchmark configurations";
+  List.iter
+    (fun kind -> Printf.printf "  %-9s %s\n" (kind_name kind) (kind_description kind))
+    configs
+
+let table2 () =
+  Harness.header
+    "Table 2: latency (ms) for a static 2,096-byte page, cold vs warm cache";
+  Printf.printf "  %-9s  %24s  %24s\n" "" "cold (paper / measured)" "warm (paper / measured)";
+  List.iter
+    (fun kind ->
+      let cold, warm = measure kind in
+      Printf.printf "  %-9s  %10.0f / %9.2f  %10.0f / %9.2f\n" (kind_name kind)
+        (paper_cold kind) (Harness.ms cold) (paper_warm kind) (Harness.ms warm))
+    configs;
+  print_endline
+    "  shape check: cold grows Proxy < DHT < Admin < Pred-0 .. Pred-100; warm stays flat"

@@ -1,0 +1,59 @@
+(* Shared experiment plumbing: synchronous fetches over the simulator,
+   table printing, and the paper-vs-measured report format. *)
+
+let fetch_sync cluster ~client ?proxy req =
+  let result = ref None in
+  Core.Node.Cluster.fetch cluster ~client ?proxy req (fun resp -> result := Some resp);
+  Core.Node.Cluster.run cluster;
+  match !result with
+  | Some r -> r
+  | None -> failwith "harness: request never completed"
+
+let ms x = x *. 1000.0
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let row fmt = Printf.printf fmt
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+(* Run a closed-loop load phase and report achieved throughput over the
+   measurement window. *)
+type load_result = {
+  responses : int; (* 200s inside the window *)
+  rejected : int; (* 503s inside the window *)
+  errors : int; (* other non-200s *)
+  duration : float;
+  latency : Core.Util.Stats.t;
+}
+
+let throughput r = float_of_int r.responses /. r.duration
+
+let run_load cluster ~clients ~proxy ~duration ~warmup ~make_request () =
+  let sim = Core.Node.Cluster.sim cluster in
+  let t0 = Core.Sim.Sim.now sim in
+  let measure_start = t0 +. warmup in
+  let until = measure_start +. duration in
+  let responses = ref 0 and rejected = ref 0 and errors = ref 0 in
+  let latency = Core.Util.Stats.create () in
+  List.iteri
+    (fun idx client ->
+      Core.Workload.Driver.closed_loop cluster ~client ~proxy ~until
+        ~make_request:(fun i -> make_request idx i)
+        ~on_response:(fun _ _ resp elapsed ->
+          if Core.Sim.Sim.now sim >= measure_start then begin
+            match resp.Core.Http.Message.status with
+            | 200 ->
+              incr responses;
+              Core.Util.Stats.add latency elapsed
+            | 503 -> incr rejected
+            | _ -> incr errors
+          end)
+        ())
+    clients;
+  Core.Node.Cluster.run cluster;
+  { responses = !responses; rejected = !rejected; errors = !errors; duration; latency }
+
+let paper_vs_measured ~label ~paper ~measured ~unit_ =
+  Printf.printf "  %-42s paper %10s   measured %10s %s\n" label paper measured unit_

@@ -1,0 +1,41 @@
+(* The benchmark harness: regenerates every table and figure in the
+   paper's evaluation (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table2  # one experiment
+
+   Experiments: table1 table2 micro-costs capacity resource-controls
+   figure7 simm-local specweb extensions integrity ablations micro *)
+
+let experiments =
+  [
+    ("table1", Bench_table2.table1);
+    ("table2", Bench_table2.table2);
+    ("micro-costs", Bench_capacity.micro_costs);
+    ("capacity", Bench_capacity.capacity);
+    ("resource-controls", Bench_capacity.resource_controls);
+    ("figure7", Bench_figure7.figure7);
+    ("simm-local", Bench_figure7.simm_local);
+    ("specweb", Bench_specweb.specweb);
+    ("extensions", Bench_extensions.extensions);
+    ("integrity", Bench_integrity.integrity);
+    ("ablations", Bench_ablations.ablations);
+    ("micro", Bench_micro.micro);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  match requested with
+  | [] ->
+    print_endline "Na Kika reproduction: full benchmark suite";
+    List.iter (fun (_, run) -> run ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some run -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      names

@@ -1,0 +1,180 @@
+(* The nakika command-line tool.
+
+   The paper notes that "the main impediment to a faster port was the
+   relative lack of debugging tools for our prototype implementation"
+   (§5.2) — so this CLI is primarily a development aid for NKScript
+   authors:
+
+     nakika exec SCRIPT.js          run a script in a sandboxed context
+     nakika policies SCRIPT.js      show the policies a script registers
+     nakika fmt SCRIPT.js           pretty-print a script in canonical form
+     nakika nkp PAGE.nkp            render a Na Kika Page
+     nakika demo                    run a small end-to-end deployment
+     nakika version                 print the library version *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let make_ctx ~fuel ~heap =
+  let ctx = Core.Script.Interp.create ~max_fuel:fuel ~max_heap_bytes:heap () in
+  Core.Vocab.Platform_v.install_all (Core.Vocab.Hostcall.stub ()) ctx;
+  Core.Vocab.Eval_v.install ctx;
+  ctx
+
+let report_script_error = function
+  | Core.Script.Value.Script_error msg ->
+    Printf.eprintf "runtime error: %s\n" msg;
+    1
+  | Core.Script.Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "parse error at %d:%d: %s\n" pos.Core.Script.Ast.line pos.col msg;
+    1
+  | Core.Script.Lexer.Lex_error (msg, pos) ->
+    Printf.eprintf "lex error at %d:%d: %s\n" pos.Core.Script.Ast.line pos.col msg;
+    1
+  | Core.Script.Interp.Resource_exhausted msg ->
+    Printf.eprintf "sandbox: %s\n" msg;
+    1
+  | exn -> raise exn
+
+let fuel_arg =
+  Arg.(value & opt int 5_000_000 & info [ "fuel" ] ~docv:"UNITS" ~doc:"Sandbox fuel limit.")
+
+let heap_arg =
+  Arg.(
+    value
+    & opt int (64 * 1024 * 1024)
+    & info [ "heap" ] ~docv:"BYTES" ~doc:"Sandbox script-heap limit.")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let exec_cmd =
+  let run fuel heap path =
+    let ctx = make_ctx ~fuel ~heap in
+    match Core.Script.Interp.run_string ctx (read_file path) with
+    | value ->
+      print_endline (Core.Script.Value.to_string value);
+      Printf.eprintf "(fuel used: %d, heap used: %d bytes)\n"
+        (Core.Script.Interp.fuel_used ctx)
+        (Core.Script.Interp.heap_used ctx);
+      0
+    | exception exn -> report_script_error exn
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run an NKScript file in a sandboxed scripting context.")
+    Term.(const run $ fuel_arg $ heap_arg $ file_arg)
+
+let policies_cmd =
+  let run fuel heap path =
+    let ctx = make_ctx ~fuel ~heap in
+    let registry = Core.Policy.Script_bridge.create_registry () in
+    Core.Policy.Script_bridge.install registry ctx;
+    match Core.Script.Interp.run_string ctx (read_file path) with
+    | exception exn -> report_script_error exn
+    | _ ->
+      let policies = Core.Policy.Script_bridge.policies registry in
+      Printf.printf "%d policy object(s) registered\n" (List.length policies);
+      List.iter
+        (fun (p : Core.Policy.Policy.t) ->
+          Printf.printf "- policy #%d\n" p.Core.Policy.Policy.order;
+          let show label = function
+            | [] -> ()
+            | values -> Printf.printf "    %-12s %s\n" label (String.concat ", " values)
+          in
+          show "url:" p.Core.Policy.Policy.urls;
+          show "client:" p.Core.Policy.Policy.clients;
+          show "method:" p.Core.Policy.Policy.methods;
+          show "headers:"
+            (List.map
+               (fun (name, re) -> Printf.sprintf "%s =~ %s" name (Core.Regex.Regex.source re))
+               p.Core.Policy.Policy.headers);
+          show "nextStages:" p.Core.Policy.Policy.next_stages;
+          Printf.printf "    handlers:    onRequest=%s onResponse=%s\n"
+            (if p.Core.Policy.Policy.on_request <> None then "yes" else "null")
+            (if p.Core.Policy.Policy.on_response <> None then "yes" else "null"))
+        policies;
+      0
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"Evaluate a site script and list the policy objects it registers.")
+    Term.(const run $ fuel_arg $ heap_arg $ file_arg)
+
+let nkp_cmd =
+  let run fuel heap path =
+    let ctx = make_ctx ~fuel ~heap in
+    match Core.Pipeline.Nkp.render ctx (read_file path) with
+    | html ->
+      print_string html;
+      if html = "" || html.[String.length html - 1] <> '\n' then print_newline ();
+      0
+    | exception exn -> report_script_error exn
+  in
+  Cmd.v
+    (Cmd.info "nkp" ~doc:"Render a Na Kika Page (<?nkp ... ?>) to standard output.")
+    Term.(const run $ fuel_arg $ heap_arg $ file_arg)
+
+let fmt_cmd =
+  let run path =
+    match Core.Script.Pretty.format (read_file path) with
+    | Ok formatted ->
+      print_string formatted;
+      0
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Pretty-print an NKScript file in canonical form.")
+    Term.(const run $ file_arg)
+
+let demo_cmd =
+  let run () =
+    let cluster = Core.Node.Cluster.create () in
+    let origin = Core.Node.Cluster.add_origin cluster ~name:"www.example.edu" () in
+    Core.Node.Origin.set_static origin ~path:"/index.html" ~max_age:300
+      "<html>hello from the origin</html>";
+    Core.Node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+      ~max_age:300
+      {|
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  var b = "", c;
+  while ((c = Response.read()) != null) { b += c; }
+  Response.write(b.replace("origin", "edge"));
+}
+p.register();
+|};
+    let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+    let client = Core.Node.Cluster.add_client cluster ~name:"client" in
+    Core.Node.Cluster.fetch cluster ~client ~proxy
+      (Core.Http.Message.request "http://www.example.edu.nakika.net/index.html")
+      (fun resp ->
+        Printf.printf "%d %s\n" resp.Core.Http.Message.status
+          (Core.Http.Body.to_string resp.Core.Http.Message.resp_body));
+    Core.Node.Cluster.run cluster;
+    ignore proxy;
+    0
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a minimal end-to-end deployment on the simulator.")
+    Term.(const run $ const ())
+
+let version_cmd =
+  let run () =
+    Printf.printf "nakika %s\n" Core.version;
+    0
+  in
+  Cmd.v (Cmd.info "version" ~doc:"Print the library version.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "nakika" ~version:Core.version
+      ~doc:"Development tools for the Na Kika edge-side computing network."
+  in
+  exit (Cmd.eval' (Cmd.group info [ exec_cmd; policies_cmd; fmt_cmd; nkp_cmd; demo_cmd; version_cmd ]))

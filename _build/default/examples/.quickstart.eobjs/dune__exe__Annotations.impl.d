@@ -1,0 +1,1 @@
+examples/annotations.ml: Core Printf String

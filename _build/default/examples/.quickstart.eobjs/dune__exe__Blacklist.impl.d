@@ -1,0 +1,1 @@
+examples/blacklist.ml: Core Printf

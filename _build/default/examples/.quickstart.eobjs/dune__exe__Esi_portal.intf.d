@@ -1,0 +1,1 @@
+examples/esi_portal.mli:

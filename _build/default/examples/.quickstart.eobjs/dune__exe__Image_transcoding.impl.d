@@ -1,0 +1,1 @@
+examples/image_transcoding.ml: Core Option Printf String

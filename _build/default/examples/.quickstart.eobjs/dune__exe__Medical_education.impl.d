@@ -1,0 +1,1 @@
+examples/medical_education.ml: Core List Printf

@@ -1,0 +1,103 @@
+(* The §5.4 electronic-annotations extension: "one site building on
+   another site's service". A community site (notes.medcommunity.org)
+   interposes itself onto the SIMMs by rewriting request URLs to the
+   original content and injecting post-it notes into the returned HTML;
+   the notes themselves live in the annotation site's hard state.
+
+     dune exec examples/annotations.exe
+
+   The pipeline has the shape the paper describes: URL rewriting,
+   annotations, then the SIMMs — all within a single pipeline on the
+   same node. *)
+
+let annotation_script =
+  {|
+var p = new Policy();
+p.url = ["notes.medcommunity.org"];
+// "The new service simply adjusts the request, including the URL, and
+// then schedules the original service after itself" (§3.1).
+p.nextStages = ["http://simm.med.nyu.edu/nakika.js"];
+p.onRequest = function() {
+  // Interpose: rewrite /simm/... to the original SIMM content.
+  var marker = "/simm/";
+  var at = Request.url.indexOf(marker);
+  if (at >= 0) {
+    var rest = Request.url.substring(at + marker.length);
+    Request.setUrl("http://simm.med.nyu.edu/" + rest);
+  }
+}
+p.onResponse = function() {
+  if (Response.contentType == null || Response.contentType.indexOf("text/html") < 0) { return; }
+  var body = "", c;
+  while ((c = Response.read()) != null) { body += c; }
+  // Inject stored post-it notes for this resource before </body>.
+  var notes = HardState.get("notes:" + Request.url);
+  var widget = "<aside class=\"postit\">" + ((notes == null) ? "no notes yet" : notes) + "</aside>";
+  body = body.replace("</body>", widget + "</body>");
+  // Keep readers on the annotated site: links point back to us.
+  body = body.replace("http://simm.med.nyu.edu/", "http://notes.medcommunity.org/simm/");
+  Response.write(body);
+}
+p.register();
+
+// Accept new annotations posted to /annotate?target=...&text=...
+var poster = new Policy();
+poster.url = ["notes.medcommunity.org/annotate"];
+poster.onRequest = function() {
+  var target = Request.query("target");
+  var text = Request.query("text");
+  var key = "notes:http://simm.med.nyu.edu/" + target;
+  var existing = HardState.get(key);
+  HardState.put(key, (existing == null) ? text : existing + " | " + text);
+  Request.respond(200, "text/plain", "noted");
+}
+poster.register();
+|}
+
+let () =
+  let cluster = Core.Node.Cluster.create () in
+
+  (* The SIMMs themselves (the service being built upon). *)
+  let simm_origin = Core.Node.Cluster.add_origin cluster ~name:"simm.med.nyu.edu" () in
+  Core.Workload.Simm.install_origin simm_origin;
+
+  (* The community annotation site: no content of its own, only the
+     script (plus hard state on the edge). *)
+  let notes_origin = Core.Node.Cluster.add_origin cluster ~name:"notes.medcommunity.org" () in
+  Core.Node.Origin.set_static notes_origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300 annotation_script;
+
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"student" in
+
+  let lecture = "content/m1/lec1.xml?student=alice" in
+  let annotated_url = "http://notes.medcommunity.org/simm/" ^ lecture in
+
+  (* 1. Post two annotations. *)
+  Core.Node.Cluster.fetch cluster ~client ~proxy
+    (Core.Http.Message.request
+       ("http://notes.medcommunity.org/annotate?target=" ^ lecture
+      ^ "&text=great overview"))
+    (fun r1 ->
+      Printf.printf "post note 1: %d\n" r1.Core.Http.Message.status;
+      Core.Node.Cluster.fetch cluster ~client ~proxy
+        (Core.Http.Message.request
+           ("http://notes.medcommunity.org/annotate?target=" ^ lecture
+          ^ "&text=see also module 2"))
+        (fun r2 ->
+          Printf.printf "post note 2: %d\n" r2.Core.Http.Message.status;
+          (* 2. Read the lecture through the annotation service. *)
+          Core.Node.Cluster.fetch cluster ~client ~proxy
+            (Core.Http.Message.request annotated_url)
+            (fun resp ->
+              let body = Core.Http.Body.to_string resp.Core.Http.Message.resp_body in
+              Printf.printf "lecture via notes site: %d, %d bytes\n"
+                resp.Core.Http.Message.status (String.length body);
+              let has_notes =
+                Core.Util.Strutil.contains_sub body ~sub:"great overview"
+                && Core.Util.Strutil.contains_sub body ~sub:"see also module 2"
+              in
+              Printf.printf "annotations injected: %b\n" has_notes;
+              Printf.printf "original content present: %b\n"
+                (Core.Util.Strutil.contains_sub body ~sub:"appendicitis"))));
+  Core.Node.Cluster.run cluster

@@ -1,0 +1,78 @@
+(* The §5.4 content-blocking extension: "the first new stage relies on a
+   static script to dynamically generate the JavaScript code for the
+   second new stage, which, in turn, blocks access to the URLs appearing
+   on the blacklist."
+
+     dune exec examples/blacklist.exe
+
+   The blacklist lives at a preconfigured URL; the generator stage reads
+   it with [fetchResource], emits one policy object per entry using
+   [evalScript], and the resulting policies deny requests with 403 —
+   exactly the Fig. 5 denial pattern. Updating the published blacklist
+   re-generates the blocking stage once the cached copy expires. *)
+
+let generator_script =
+  {|
+var blacklist = fetchResource("http://policy.nakika.net/blacklist.txt");
+if (blacklist.status == 200) {
+  var entries = blacklist.body.split("\n");
+  for (var i = 0; i < entries.length; i++) {
+    var entry = entries[i].trim();
+    if (entry.length == 0) { continue; }
+    var code = "var b = new Policy();" +
+               "b.url = [\"" + entry + "\"];" +
+               "b.onRequest = function() { Request.terminate(403); };" +
+               "b.register();";
+    evalScript(code);
+  }
+}
+// Everything else passes.
+var pass = new Policy();
+pass.onRequest = function() { };
+pass.register();
+|}
+
+let () =
+  let cluster = Core.Node.Cluster.create () in
+
+  (* The policy site hosts the blacklist and the generator stage. *)
+  let policy_origin = Core.Node.Cluster.add_origin cluster ~name:"policy.nakika.net" () in
+  Core.Node.Origin.set_static policy_origin ~path:"/blacklist.txt" ~content_type:"text/plain"
+    ~max_age:300 "warez.example.com\nphishing.example.net/login\n";
+  Core.Node.Origin.set_static policy_origin ~path:"/blocker.js" ~content_type:"text/javascript"
+    ~max_age:300 generator_script;
+
+  (* Deploy it as the network's client wall. *)
+  Core.Node.Origin.set_static (Core.Node.Cluster.nakika_origin cluster) ~path:"/clientwall.js"
+    ~content_type:"text/javascript" ~max_age:300
+    {|
+var p = new Policy();
+p.nextStages = ["http://policy.nakika.net/blocker.js"];
+p.register();
+|};
+
+  (* Content sites. *)
+  let bad = Core.Node.Cluster.add_origin cluster ~name:"warez.example.com" () in
+  Core.Node.Origin.set_static bad ~path:"/index.html" ~max_age:300 "illegal bits";
+  let good = Core.Node.Cluster.add_origin cluster ~name:"news.example.org" () in
+  Core.Node.Origin.set_static good ~path:"/index.html" ~max_age:300 "wholesome news";
+  let phishing = Core.Node.Cluster.add_origin cluster ~name:"phishing.example.net" () in
+  Core.Node.Origin.set_static phishing ~path:"/login/steal.html" ~max_age:300 "gotcha";
+  Core.Node.Origin.set_static phishing ~path:"/about.html" ~max_age:300 "innocent page";
+
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"client" in
+
+  let check url =
+    Core.Node.Cluster.fetch cluster ~client ~proxy (Core.Http.Message.request url)
+      (fun resp ->
+        Printf.printf "%-45s -> %d %s\n" url resp.Core.Http.Message.status
+          (Core.Http.Status.reason resp.Core.Http.Message.status))
+  in
+  check "http://warez.example.com/index.html";
+  check "http://news.example.org/index.html";
+  check "http://phishing.example.net/login/steal.html";
+  check "http://phishing.example.net/about.html";
+  Core.Node.Cluster.run cluster;
+  Printf.printf "blocked origin was contacted %d times (should be 0)\n"
+    (Core.Node.Origin.request_count bad)

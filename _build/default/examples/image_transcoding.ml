@@ -1,0 +1,83 @@
+(* The §5.4 image-transcoding extension: a service "to be published on
+   the web for use by the larger community" that scales images to fit a
+   Nokia cell phone's 176x208 screen (Fig. 2).
+
+     dune exec examples/image_transcoding.exe
+
+   The policy matches on the client's User-Agent header, so phone
+   clients get scaled images while desktop clients receive the
+   original. Transformed content is cached through the Cache
+   vocabulary, as the paper's generalized extension does. *)
+
+let transcoding_script =
+  {|
+var p = new Policy();
+p.url = ["photos.example.org"];
+p.headers = { "User-Agent": "Nokia" };
+p.onResponse = function() {
+  var type = ImageTransformer.type(Response.contentType);
+  if (type == null) { return; }
+
+  var cached = Cache.lookup("phone:" + Request.url);
+  if (cached != null) {
+    Response.setHeader("Content-Type", cached.contentType);
+    Response.write(cached.body);
+    return;
+  }
+
+  var buff = null, body = new ByteArray();
+  while ((buff = Response.read()) != null) { body.append(buff); }
+  var dim = ImageTransformer.dimensions(body, type);
+  if (dim.x > 176 || dim.y > 208) {
+    var img;
+    if (dim.x / 176 > dim.y / 208) {
+      img = ImageTransformer.transform(body, type, "jpeg", 176, dim.y / dim.x * 208);
+    } else {
+      img = ImageTransformer.transform(body, type, "jpeg", dim.x / dim.y * 176, 208);
+    }
+    Response.setHeader("Content-Type", "image/jpeg");
+    Response.setHeader("Content-Length", img.length);
+    Response.write(img);
+    Cache.store("phone:" + Request.url, "image/jpeg", img, 300);
+  }
+}
+p.register();
+|}
+
+let fetch_with_agent cluster ~client ~proxy ~agent url k =
+  let req = Core.Http.Message.request ~headers:[ ("User-Agent", agent) ] url in
+  Core.Node.Cluster.fetch cluster ~client ~proxy req k
+
+let describe tag (resp : Core.Http.Message.response) =
+  let body = Core.Http.Body.to_string resp.Core.Http.Message.resp_body in
+  match Core.Vocab.Image.dimensions body with
+  | Some (w, h) ->
+    Printf.printf "%-28s %dx%d, %d bytes, %s\n" tag w h (String.length body)
+      (Option.value (Core.Http.Message.content_type resp) ~default:"?")
+  | None -> Printf.printf "%-28s (not an image: %d bytes)\n" tag (String.length body)
+
+let () =
+  let cluster = Core.Node.Cluster.create () in
+  let origin = Core.Node.Cluster.add_origin cluster ~name:"photos.example.org" () in
+
+  (* A large photo in the synthetic NKI raster format. *)
+  let photo = Core.Vocab.Image.synthesize ~width:800 ~height:600 ~seed:42 in
+  Core.Node.Origin.set_static origin ~path:"/vacation.jpg" ~content_type:"image/jpeg"
+    ~max_age:600
+    (Core.Vocab.Image.encode photo Core.Vocab.Image.Rle);
+  Core.Node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300 transcoding_script;
+
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"client" in
+  let url = "http://photos.example.org/vacation.jpg" in
+
+  fetch_with_agent cluster ~client ~proxy ~agent:"Mozilla/5.0 (desktop)" url (fun desktop ->
+      describe "desktop client:" desktop;
+      fetch_with_agent cluster ~client ~proxy ~agent:"Nokia6600/2.0" url (fun phone ->
+          describe "Nokia phone client:" phone;
+          (* Second phone request: the transformed copy is cached. *)
+          fetch_with_agent cluster ~client ~proxy ~agent:"Nokia6600/2.0" url (fun phone2 ->
+              describe "Nokia phone (cached):" phone2)));
+  Core.Node.Cluster.run cluster;
+  Printf.printf "origin requests: %d\n" (Core.Node.Origin.request_count origin)

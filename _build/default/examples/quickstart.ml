@@ -1,0 +1,55 @@
+(* Quickstart: bring up a one-proxy Na Kika deployment, publish a site
+   script that transforms content at the edge, and fetch through it.
+
+     dune exec examples/quickstart.exe
+
+   What happens:
+   1. An origin server (www.example.edu) publishes a page and a
+      [nakika.js] site script.
+   2. A Na Kika proxy mediates the exchange: it fetches the script,
+      evaluates it into a pipeline stage, and runs its [onResponse]
+      handler over the origin's response (Fig. 4).
+   3. The second fetch is served from the proxy cache — the origin is
+      not contacted again. *)
+
+let () =
+  let cluster = Core.Node.Cluster.create () in
+
+  (* The content producer's origin server. *)
+  let origin = Core.Node.Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Core.Node.Origin.set_static origin ~path:"/index.html" ~max_age:300
+    "<html><body>Hello from the origin!</body></html>";
+
+  (* The site script, published at the robots.txt-style location. *)
+  Core.Node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300
+    {|
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  var body = "", chunk;
+  while ((chunk = Response.read()) != null) { body += chunk; }
+  Response.write(body.replace("from the origin", "from the edge"));
+}
+p.register();
+|};
+
+  (* One edge node and one client. *)
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"laptop" in
+
+  (* Clients reach Na Kika by appending .nakika.net to the hostname (§3). *)
+  let url = "http://www.example.edu.nakika.net/index.html" in
+  let show tag (resp : Core.Http.Message.response) =
+    Printf.printf "%-14s %d %s\n" tag resp.Core.Http.Message.status
+      (Core.Http.Body.to_string resp.Core.Http.Message.resp_body)
+  in
+  Core.Node.Cluster.fetch cluster ~client ~proxy (Core.Http.Message.request url) (fun resp ->
+      show "first fetch:" resp;
+      Core.Node.Cluster.fetch cluster ~client ~proxy (Core.Http.Message.request url)
+        (fun resp2 -> show "second fetch:" resp2));
+  Core.Node.Cluster.run cluster;
+
+  Printf.printf "origin requests: %d (page + nakika.js, then silence)\n"
+    (Core.Node.Origin.request_count origin);
+  Printf.printf "proxy cache hits: %d\n" (Core.Cache.Http_cache.hits (Core.Node.Node.cache proxy))

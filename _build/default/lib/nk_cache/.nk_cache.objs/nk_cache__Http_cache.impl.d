@@ -1,0 +1,1 @@
+lib/nk_cache/http_cache.ml: Hashtbl Nk_http

@@ -1,0 +1,1 @@
+lib/nk_cache/memo_cache.ml: Hashtbl

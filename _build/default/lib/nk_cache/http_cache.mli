@@ -1,0 +1,47 @@
+(** The proxy cache: expiration-based HTTP caching with LRU eviction.
+
+    Na Kika caches both original and processed content under the web's
+    expiration-based consistency model (§2, §3.3). Time is always
+    passed in explicitly so the cache runs on the simulated clock. *)
+
+type t
+
+val create : ?max_bytes:int -> unit -> t
+(** [max_bytes] bounds the summed body sizes (default 256 MiB). *)
+
+val lookup : t -> now:float -> key:string -> Nk_http.Message.response option
+(** Fresh hit or [None]. The returned response is a private copy.
+    Expired entries are retained (until evicted) so they can be
+    revalidated with a conditional request. *)
+
+val lookup_stale : t -> key:string -> Nk_http.Message.response option
+(** The stored entry regardless of freshness — the revalidation path's
+    view. Does not count as a hit or miss. *)
+
+val refresh : t -> key:string -> expiry:float -> unit
+(** Extend a stored entry's freshness lifetime (after a 304 Not
+    Modified). No-op when the key is absent. *)
+
+val insert : t -> now:float -> key:string -> expiry:float option -> Nk_http.Message.response -> unit
+(** Store a copy. [expiry = None] (no freshness lifetime) is not
+    stored. Oversized entries (> max_bytes) are ignored. *)
+
+val fold_fresh : t -> now:float -> init:'a -> f:('a -> string -> float -> 'a) -> 'a
+(** Fold over fresh entries as [(key, expiry)]; drives the node's
+    periodic soft-state re-announcement to the overlay. *)
+
+val remove : t -> key:string -> unit
+
+val mem : t -> now:float -> key:string -> bool
+
+val clear : t -> unit
+
+val entry_count : t -> int
+
+val size_bytes : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int

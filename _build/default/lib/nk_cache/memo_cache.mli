@@ -1,0 +1,23 @@
+(** Generic TTL'd memo cache.
+
+    Backs the in-memory decision-tree cache of §4 ("decision trees are
+    cached in a dedicated in-memory cache") and the negative cache for
+    sites that publish no [nakika.js]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find : 'a t -> now:float -> string -> 'a option
+
+val put : 'a t -> key:string -> expiry:float -> 'a -> unit
+
+val remove : 'a t -> string -> unit
+
+val clear : 'a t -> unit
+
+val size : 'a t -> int
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int

@@ -1,0 +1,1 @@
+lib/nk_crypto/hmac.ml: Bytes Char Sha256 String

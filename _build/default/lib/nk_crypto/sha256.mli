@@ -1,0 +1,23 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Backs the [X-Content-SHA256] integrity header (§6) and DHT node /
+    content identifiers in the overlay. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** Feed bytes; may be called repeatedly. *)
+
+val finalize : ctx -> string
+(** Returns the 32-byte raw digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot raw 32-byte digest. *)
+
+val hex : string -> string
+(** Lowercase hex encoding of arbitrary bytes (2 chars per byte). *)
+
+val digest_hex : string -> string
+(** [hex (digest s)]. *)

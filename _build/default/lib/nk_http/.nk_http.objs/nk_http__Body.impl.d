@@ -1,0 +1,1 @@
+lib/nk_http/body.ml: List String

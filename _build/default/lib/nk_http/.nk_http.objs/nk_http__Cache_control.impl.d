@@ -1,0 +1,1 @@
+lib/nk_http/cache_control.ml: List Nk_util Option Printf String

@@ -1,0 +1,1 @@
+lib/nk_http/codec.ml: Body Buffer Headers Ip List Message Method_ Nk_util Printf Status String Url

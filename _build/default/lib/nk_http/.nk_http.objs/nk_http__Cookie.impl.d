@@ -1,0 +1,1 @@
+lib/nk_http/cookie.ml: Buffer List Nk_util Option Printf String

@@ -1,0 +1,1 @@
+lib/nk_http/http_date.ml: Array Printf String

@@ -1,0 +1,1 @@
+lib/nk_http/ip.ml: Int32 Nk_util Printf String

@@ -1,0 +1,1 @@
+lib/nk_http/message.ml: Body Cache_control Headers Http_date Ip Method_ Option Printf Status String Url

@@ -1,0 +1,1 @@
+lib/nk_http/message.mli: Body Headers Ip Method_ Status Url

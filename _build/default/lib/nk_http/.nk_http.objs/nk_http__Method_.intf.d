@@ -1,0 +1,1 @@
+lib/nk_http/method_.mli:

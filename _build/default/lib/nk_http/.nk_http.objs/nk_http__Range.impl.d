@@ -1,0 +1,1 @@
+lib/nk_http/range.ml: Body Message Nk_util Printf String

@@ -1,0 +1,1 @@
+lib/nk_http/url.ml: List Nk_util Printf String

@@ -1,0 +1,53 @@
+type t = { chunks : string list; length : int }
+
+let empty = { chunks = []; length = 0 }
+
+let of_string s = if s = "" then empty else { chunks = [ s ]; length = String.length s }
+
+let of_chunks cs =
+  let cs = List.filter (fun c -> c <> "") cs in
+  { chunks = cs; length = List.fold_left (fun n c -> n + String.length c) 0 cs }
+
+let to_string t = String.concat "" t.chunks
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let chunks t = t.chunks
+
+let append a b = { chunks = a.chunks @ b.chunks; length = a.length + b.length }
+
+type reader = { mutable remaining : string list; mutable offset : int }
+
+let reader t = { remaining = t.chunks; offset = 0 }
+
+let read r =
+  match r.remaining with
+  | [] -> None
+  | chunk :: rest ->
+    let part =
+      if r.offset = 0 then chunk
+      else String.sub chunk r.offset (String.length chunk - r.offset)
+    in
+    r.remaining <- rest;
+    r.offset <- 0;
+    Some part
+
+let read_size r n =
+  if n <= 0 then invalid_arg "Body.read_size: non-positive size";
+  match r.remaining with
+  | [] -> None
+  | chunk :: rest ->
+    let avail = String.length chunk - r.offset in
+    if avail <= n then begin
+      let part = String.sub chunk r.offset avail in
+      r.remaining <- rest;
+      r.offset <- 0;
+      Some part
+    end
+    else begin
+      let part = String.sub chunk r.offset n in
+      r.offset <- r.offset + n;
+      Some part
+    end

@@ -1,0 +1,34 @@
+(** Cache-Control directive parsing and expiry computation.
+
+    Implements the expiration-based consistency model Na Kika inherits
+    from HTTP (§3.3): max-age / s-maxage, no-cache, no-store, private,
+    plus the Expires fallback. *)
+
+type t = {
+  max_age : int option;
+  s_maxage : int option;
+  no_cache : bool;
+  no_store : bool;
+  private_ : bool;
+  public : bool;
+  must_revalidate : bool;
+}
+
+val empty : t
+
+val parse : string -> t
+(** Parse a Cache-Control header value; unknown directives are ignored. *)
+
+val to_string : t -> string
+
+val cacheable : t -> bool
+(** False for no-store / private / no-cache (a shared proxy cache may
+    not reuse such responses without revalidation, which we fold into
+    non-cacheability). *)
+
+val expiry :
+  now:float -> date:float option -> cache_control:t -> expires:float option -> float option
+(** Absolute expiry time for a response received at [now]:
+    s-maxage wins over max-age wins over Expires. [None] means the
+    response carries no freshness lifetime (treated as immediately
+    stale). *)

@@ -1,0 +1,36 @@
+(** Ordered, case-insensitive HTTP header collection.
+
+    Field names compare case-insensitively (RFC 2616 §4.2); insertion
+    order of distinct fields is preserved for wire output. *)
+
+type t
+
+val empty : t
+
+val of_list : (string * string) list -> t
+
+val to_list : t -> (string * string) list
+(** In insertion order; names are returned as originally written. *)
+
+val get : t -> string -> string option
+(** First value for the field, case-insensitive. *)
+
+val get_all : t -> string -> string list
+
+val set : t -> string -> string -> t
+(** Replace all existing values for the field with the single value,
+    keeping the original position of the first occurrence. *)
+
+val add : t -> string -> string -> t
+(** Append an additional value. *)
+
+val remove : t -> string -> t
+
+val mem : t -> string -> bool
+
+val fold : (string -> string -> 'a -> 'a) -> t -> 'a -> 'a
+
+val length : t -> int
+
+val equal : t -> t -> bool
+(** Same fields and values after name normalization, order-sensitive. *)

@@ -1,0 +1,21 @@
+(** RFC 1123 date formatting over simulated epoch seconds.
+
+    The simulator's clock is a float of seconds since the Unix epoch;
+    these functions render and parse the HTTP wire format. §6 requires
+    absolute expiration times (untrusted nodes cannot be trusted to
+    decrement relative ages), so dates appear throughout the cache and
+    integrity layers. *)
+
+val format : float -> string
+(** e.g. [format 0. = "Thu, 01 Jan 1970 00:00:00 GMT"]. Fractional
+    seconds are truncated. *)
+
+val parse : string -> float option
+(** Parses the RFC 1123 format produced by [format]. *)
+
+val of_civil : y:int -> month:int -> d:int -> hh:int -> mm:int -> ss:int -> float
+(** Epoch seconds for a UTC civil time ([month] is 1-12). Used by the
+    access-log parser, whose timestamp format differs from HTTP's. *)
+
+val month_of_abbrev : string -> int option
+(** "Jan" -> 1 ... "Dec" -> 12. *)

@@ -1,0 +1,37 @@
+type t =
+  | GET
+  | HEAD
+  | POST
+  | PUT
+  | DELETE
+  | OPTIONS
+  | TRACE
+  | Other of string
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | "PUT" -> PUT
+  | "DELETE" -> DELETE
+  | "OPTIONS" -> OPTIONS
+  | "TRACE" -> TRACE
+  | _ -> Other s
+
+let to_string = function
+  | GET -> "GET"
+  | HEAD -> "HEAD"
+  | POST -> "POST"
+  | PUT -> "PUT"
+  | DELETE -> "DELETE"
+  | OPTIONS -> "OPTIONS"
+  | TRACE -> "TRACE"
+  | Other s -> s
+
+let equal a b =
+  match (a, b) with
+  | Other x, Other y -> String.uppercase_ascii x = String.uppercase_ascii y
+  | _ -> a = b
+
+let is_safe = function GET | HEAD | OPTIONS | TRACE -> true | POST | PUT | DELETE | Other _ -> false

@@ -1,0 +1,23 @@
+(** HTTP request methods. *)
+
+type t =
+  | GET
+  | HEAD
+  | POST
+  | PUT
+  | DELETE
+  | OPTIONS
+  | TRACE
+  | Other of string
+
+val of_string : string -> t
+(** Case-insensitive for the known methods; unknown verbs are preserved
+    verbatim in [Other]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val is_safe : t -> bool
+(** GET/HEAD/OPTIONS/TRACE per RFC 2616 §9.1.1 — only safe responses are
+    cacheable by the proxy cache. *)

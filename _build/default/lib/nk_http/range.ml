@@ -1,0 +1,53 @@
+type t = { first : int option; last : int option }
+
+let parse s =
+  let s = String.trim s in
+  if not (Nk_util.Strutil.starts_with ~prefix:"bytes=" s) then None
+  else begin
+    let spec = String.sub s 6 (String.length s - 6) in
+    if String.contains spec ',' then None (* multi-range unsupported *)
+    else
+      match Nk_util.Strutil.split_first '-' spec with
+      | None -> None
+      | Some (first, last) -> (
+        let parse_opt part =
+          if part = "" then Some None
+          else
+            match int_of_string_opt part with
+            | Some n when n >= 0 -> Some (Some n)
+            | _ -> None
+        in
+        match (parse_opt first, parse_opt last) with
+        | Some None, Some None -> None (* "bytes=-" is meaningless *)
+        | Some first, Some last -> Some { first; last }
+        | _ -> None)
+  end
+
+let resolve t ~length =
+  if length <= 0 then None
+  else
+    match (t.first, t.last) with
+    | Some first, Some last ->
+      if first > last || first >= length then None else Some (first, min last (length - 1))
+    | Some first, None -> if first >= length then None else Some (first, length - 1)
+    | None, Some suffix ->
+      if suffix = 0 then None else Some (max 0 (length - suffix), length - 1)
+    | None, None -> None
+
+let content_range ~first ~last ~length = Printf.sprintf "bytes %d-%d/%d" first last length
+
+let apply t (resp : Message.response) =
+  if resp.Message.status <> 200 then false
+  else begin
+    let body = Body.to_string resp.Message.resp_body in
+    match resolve t ~length:(String.length body) with
+    | None -> false
+    | Some (first, last) ->
+      let slice = String.sub body first (last - first + 1) in
+      resp.Message.status <- 206;
+      resp.Message.resp_body <- Body.of_string slice;
+      Message.set_resp_header resp "Content-Length" (string_of_int (String.length slice));
+      Message.set_resp_header resp "Content-Range"
+        (content_range ~first ~last ~length:(String.length body));
+      true
+  end

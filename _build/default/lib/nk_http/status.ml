@@ -1,0 +1,47 @@
+type t = int
+
+let reason = function
+  | 100 -> "Continue"
+  | 101 -> "Switching Protocols"
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 206 -> "Partial Content"
+  | 301 -> "Moved Permanently"
+  | 302 -> "Found"
+  | 303 -> "See Other"
+  | 304 -> "Not Modified"
+  | 307 -> "Temporary Redirect"
+  | 400 -> "Bad Request"
+  | 401 -> "Unauthorized"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 410 -> "Gone"
+  | 413 -> "Request Entity Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 502 -> "Bad Gateway"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Unknown"
+
+let is_success c = c >= 200 && c < 300
+let is_redirect c = c >= 300 && c < 400
+let is_client_error c = c >= 400 && c < 500
+let is_server_error c = c >= 500 && c < 600
+
+let ok = 200
+let not_modified = 304
+let moved_permanently = 301
+let found = 302
+let bad_request = 400
+let unauthorized = 401
+let forbidden = 403
+let not_found = 404
+let request_timeout = 408
+let internal_server_error = 500
+let service_unavailable = 503
+let gateway_timeout = 504

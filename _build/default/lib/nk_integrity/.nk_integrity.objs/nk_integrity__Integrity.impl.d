@@ -1,0 +1,1 @@
+lib/nk_integrity/integrity.ml: Nk_crypto Nk_http

@@ -1,0 +1,1 @@
+lib/nk_integrity/integrity.mli: Nk_http

@@ -1,0 +1,1 @@
+lib/nk_integrity/verifier.ml: Hashtbl List Nk_util String

@@ -1,0 +1,1 @@
+lib/nk_integrity/verifier.mli: Nk_util

@@ -1,0 +1,1 @@
+lib/nk_node/cluster.ml: List Nk_overlay Nk_pipeline Nk_replication Nk_sim Nk_util Node Option Origin

@@ -1,0 +1,1 @@
+lib/nk_node/cluster.mli: Config Nk_http Nk_overlay Nk_replication Nk_sim Node Origin

@@ -1,0 +1,1 @@
+lib/nk_node/node.mli: Config Nk_cache Nk_overlay Nk_replication Nk_resource Nk_sim

@@ -1,0 +1,1 @@
+lib/nk_node/origin.ml: Hashtbl List Nk_crypto Nk_http Nk_integrity Nk_sim Nk_util Option Printf String

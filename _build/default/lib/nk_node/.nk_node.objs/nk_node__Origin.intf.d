@@ -1,0 +1,1 @@
+lib/nk_node/origin.mli: Nk_http Nk_sim

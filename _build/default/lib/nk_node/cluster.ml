@@ -1,0 +1,80 @@
+type t = {
+  sim : Nk_sim.Sim.t;
+  net : Nk_sim.Net.t;
+  web : Nk_sim.Httpd.t;
+  dht : Nk_overlay.Dht.t;
+  bus : Nk_replication.Message_bus.t;
+  redirector : Nk_overlay.Redirector.t;
+  nakika_origin : Origin.t;
+  rng : Nk_util.Prng.t;
+  mutable proxies : Node.t list;
+}
+
+let sim t = t.sim
+let net t = t.net
+let web t = t.web
+let dht t = t.dht
+let bus t = t.bus
+let redirector t = t.redirector
+let nakika_origin t = t.nakika_origin
+let proxies t = List.rev t.proxies
+
+let create ?(seed = 11) ?default_latency ?default_bandwidth ?client_wall ?server_wall () =
+  let sim = Nk_sim.Sim.create ~seed () in
+  let net = Nk_sim.Net.create sim ?default_latency ?default_bandwidth () in
+  let web = Nk_sim.Httpd.create net in
+  let dht = Nk_overlay.Dht.create () in
+  let bus = Nk_replication.Message_bus.create net in
+  let redirector = Nk_overlay.Redirector.create net in
+  let wall_host = Nk_sim.Net.add_host net ~name:"nakika.net" () in
+  let nakika_origin = Origin.create ~web ~host:wall_host () in
+  let client_wall = Option.value client_wall ~default:Nk_pipeline.Walls.default_client_wall in
+  let server_wall = Option.value server_wall ~default:Nk_pipeline.Walls.default_server_wall in
+  Origin.set_static nakika_origin ~path:"/clientwall.js" ~content_type:"text/javascript"
+    ~max_age:300 client_wall;
+  Origin.set_static nakika_origin ~path:"/serverwall.js" ~content_type:"text/javascript"
+    ~max_age:300 server_wall;
+  Origin.set_static nakika_origin ~path:"/nkp.js" ~content_type:"text/javascript" ~max_age:300
+    Nk_pipeline.Nkp.script;
+  Origin.set_static nakika_origin ~path:"/esi.js" ~content_type:"text/javascript" ~max_age:300
+    Nk_pipeline.Esi.script;
+  {
+    sim;
+    net;
+    web;
+    dht;
+    bus;
+    redirector;
+    nakika_origin;
+    rng = Nk_util.Prng.create (seed * 31);
+    proxies = [];
+  }
+
+let add_proxy t ~name ?(cpu_speed = 1.0) ?config () =
+  let host = Nk_sim.Net.add_host t.net ~name ~cpu_speed () in
+  let node = Node.create ~web:t.web ~host ~dht:t.dht ~bus:t.bus ?config () in
+  Nk_overlay.Redirector.add_proxy t.redirector host;
+  t.proxies <- node :: t.proxies;
+  node
+
+let add_origin t ~name ?(cpu_speed = 1.0) ?sign_key () =
+  let host = Nk_sim.Net.add_host t.net ~name ~cpu_speed () in
+  Origin.create ~web:t.web ~host ?sign_key ()
+
+let add_client t ~name = Nk_sim.Net.add_host t.net ~name ()
+
+let connect t a b ~latency ~bandwidth = Nk_sim.Net.connect t.net a b ~latency ~bandwidth
+
+let pick_proxy t ~client =
+  match Nk_overlay.Redirector.pick t.redirector ~spread:2 ~rng:t.rng ~client () with
+  | None -> None
+  | Some host ->
+    List.find_opt (fun n -> Nk_sim.Net.host_name (Node.host n) = Nk_sim.Net.host_name host) t.proxies
+
+let fetch t ~client ?proxy req k =
+  let proxy = match proxy with Some p -> Some p | None -> pick_proxy t ~client in
+  match proxy with
+  | Some node -> Nk_sim.Httpd.fetch_via t.web ~from:client ~via:(Node.host node) req k
+  | None -> Nk_sim.Httpd.fetch t.web ~from:client req k
+
+let run ?until t = Nk_sim.Sim.run ?until t.sim

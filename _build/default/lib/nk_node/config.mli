@@ -1,0 +1,63 @@
+(** Node configuration, including the CPU cost model.
+
+    The cost constants translate the work our OCaml implementation does
+    into simulated CPU seconds on the reference machine (the paper's
+    2.8 GHz Pentium 4). They are set from the per-operation costs the
+    paper reports in §5.1 — e.g. 1.5 ms to create a scripting context,
+    3 µs to reuse one, 4 µs for a cached decision tree, < 38 µs per
+    predicate evaluation — so the micro-benchmarks reproduce Table 2's
+    shape. *)
+
+type costs = {
+  proxy_base : float; (** per-request proxy handling (cache code path) *)
+  cache_hit : float; (** retrieving a resource from the cache (1.1 ms) *)
+  context_create : float; (** fresh scripting context (1.5 ms) *)
+  context_reuse : float; (** reusing a pooled context (3 us) *)
+  tree_cached : float; (** cached decision tree retrieval (4 us) *)
+  parse_base : float; (** parsing+executing an empty script (0.08 ms) *)
+  parse_per_byte : float; (** additional parse+exec cost per script byte *)
+  predicate_eval : float; (** one stage's predicate evaluation (< 38 us) *)
+  handler_per_fuel : float; (** event-handler CPU per interpreter fuel unit *)
+  handler_invoke : float; (** fixed cost of invoking one event handler *)
+  heap_cpu_per_byte : float; (** GC/paging pressure: CPU charged per byte of
+                                 script heap a pipeline allocates *)
+  concurrency_cpu : float; (** per-request CPU added per concurrently active
+                               request (unmanaged-overload degradation) *)
+  dht_per_hop : float; (** per overlay routing hop *)
+}
+
+type t = {
+  enable_pipeline : bool; (** false: a plain Apache-style proxy (baseline) *)
+  enable_dht : bool;
+  enable_resource_controls : bool;
+  cache_bytes : int;
+  script_max_fuel : int;
+  script_max_heap : int;
+  script_ttl : float; (** freshness lifetime assumed for stage scripts
+                          lacking explicit expiry *)
+  negative_ttl : float; (** remember sites without [nakika.js] this long *)
+  dht_ttl : float; (** cooperative-cache announcement lifetime *)
+  control_interval : float; (** CONTROL period (Fig. 6) *)
+  control_timeout : float; (** WAIT(TIMEOUT) before the kill decision *)
+  termination_penalty : float; (** seconds a terminated site's requests are
+                                   refused before it may run scripts again *)
+  cpu_congestion_backlog : float; (** CPU backlog (s) counting as congested *)
+  memory_congestion_bytes : float; (** script heap per interval counting as congested *)
+  bandwidth_congestion_bytes : float; (** body bytes per interval counting as congested *)
+  local_clients : string list; (** CIDR blocks considered local (System.isLocal) *)
+  integrity_key : string option; (** verify X-Content-SHA256/X-Signature on
+                                     peer-served content with this publisher
+                                     key (§6); [None] disables verification *)
+  misbehaving : bool; (** a §6 threat model node: falsifies cached content
+                          it serves to peers *)
+  costs : costs;
+  seed : int;
+}
+
+val default_costs : costs
+
+val default : t
+
+val plain_proxy : t
+(** The micro-benchmarks' "Proxy" baseline: no pipeline, no DHT, no
+    resource controls. *)

@@ -1,0 +1,698 @@
+type stage_entry = { stage : Nk_pipeline.Stage.t; site : string }
+
+type t = {
+  web : Nk_sim.Httpd.t;
+  net : Nk_sim.Net.t;
+  sim : Nk_sim.Sim.t;
+  host : Nk_sim.Net.host;
+  dht : Nk_overlay.Dht.t option;
+  bus : Nk_replication.Message_bus.t option;
+  cfg : Config.t;
+  rng : Nk_util.Prng.t;
+  cache : Nk_cache.Http_cache.t;
+  stage_cache : stage_entry Nk_cache.Memo_cache.t;
+  negative : unit Nk_cache.Memo_cache.t;
+  accounting : Nk_resource.Accounting.t;
+  mutable monitor : Nk_resource.Monitor.t option;
+  throttles : (Nk_resource.Resource.t, (string, float) Hashtbl.t) Hashtbl.t;
+  (* per resource: site -> reject probability *)
+  banned : (string, float) Hashtbl.t; (* terminated site -> ban expiry *)
+  store : Nk_replication.Store.t;
+  replicas : (string, Nk_replication.Replication.node) Hashtbl.t; (* per site *)
+  log_urls : (string, string) Hashtbl.t; (* site -> posting URL *)
+  log_entries : (string, string list ref) Hashtbl.t;
+  trace : Nk_sim.Trace.t;
+  local_cidrs : Nk_http.Ip.cidr list;
+  mutable terminated : string list;
+  mutable in_flight : int;
+  (* congestion windows *)
+  mutable mem_window : float;
+  mutable bw_window : float;
+  mutable window_start : float;
+}
+
+let host t = t.host
+
+let name t = Nk_sim.Net.host_name t.host
+
+let config t = t.cfg
+
+let trace t = t.trace
+
+let cache t = t.cache
+
+let accounting t = t.accounting
+
+let monitor t = t.monitor
+
+let terminated_sites t = t.terminated
+
+let stage_cache_entries t = Nk_cache.Memo_cache.size t.stage_cache
+
+let now t = Nk_sim.Sim.now t.sim
+
+let peer_header = "X-NK-Peer"
+
+(* --- CPU charging (suspends the current cothread) ------------------ *)
+
+let charge_cpu t seconds =
+  if seconds > 0.0 then
+    Nk_util.Cothread.await (fun k -> Nk_sim.Net.cpu_run t.net t.host ~seconds (fun () -> k ()))
+
+(* CPU that the request consumes without delaying its own response
+   (connection bookkeeping, filter teardown): it occupies the CPU and
+   thus limits throughput, but overlaps this request's network time. *)
+let charge_cpu_background t seconds =
+  if seconds > 0.0 then Nk_sim.Net.cpu_run t.net t.host ~seconds (fun () -> ())
+
+(* --- the content handler: cache + DHT + origin --------------------- *)
+
+let cache_key (req : Nk_http.Message.request) =
+  Nk_http.Method_.to_string req.Nk_http.Message.meth
+  ^ " "
+  ^ Nk_http.Url.to_string req.Nk_http.Message.url
+
+let await_fetch t ~via req =
+  Nk_util.Cothread.await (fun k ->
+      match via with
+      | Some host -> Nk_sim.Httpd.fetch_via t.web ~from:t.host ~via:host req k
+      | None -> Nk_sim.Httpd.fetch t.web ~from:t.host req k)
+
+let insert_if_cacheable t req resp =
+  if Nk_http.Message.cacheable req resp then begin
+    let expiry = Nk_http.Message.response_expiry ~now:(now t) resp in
+    Nk_cache.Http_cache.insert t.cache ~now:(now t) ~key:(cache_key req) ~expiry resp;
+    match (expiry, t.dht) with
+    | Some expiry, Some dht when t.cfg.Config.enable_dht ->
+      let ttl = Float.min t.cfg.Config.dht_ttl (expiry -. now t) in
+      if ttl > 0.0 then
+        ignore
+          (Nk_overlay.Dht.put dht ~now:(now t) ~from:(name t) ~key:(cache_key req)
+             ~value:(name t) ~ttl)
+    | _ -> ()
+  end
+
+(* Fetch content for [req]: proxy cache, then cooperative cache, then
+   origin. Runs inside a cothread. *)
+let content_fetch t ?(allow_peers = true) (req : Nk_http.Message.request) =
+  let key = cache_key req in
+  match Nk_cache.Http_cache.lookup t.cache ~now:(now t) ~key with
+  | Some resp ->
+    charge_cpu t t.cfg.Config.costs.Config.cache_hit;
+    resp
+  | None -> (
+    let from_origin () =
+      (* A stale copy with a validator turns the refetch into a
+         conditional GET; a 304 refreshes the entry without moving the
+         body again (RFC 2616 revalidation under the web's
+         expiration-based consistency model). *)
+      let stale = Nk_cache.Http_cache.lookup_stale t.cache ~key in
+      let validator =
+        match stale with
+        | Some old -> (
+          match Nk_http.Message.resp_header old "ETag" with
+          | Some etag -> Some (("If-None-Match", etag), old)
+          | None -> (
+            match Nk_http.Message.resp_header old "Last-Modified" with
+            | Some lm -> Some (("If-Modified-Since", lm), old)
+            | None -> None))
+        | None -> None
+      in
+      let req, validator =
+        match validator with
+        | Some ((name, value), old) ->
+          let creq = Nk_http.Message.copy_request req in
+          Nk_http.Message.set_req_header creq name value;
+          (creq, Some old)
+        | None -> (req, None)
+      in
+      let resp = await_fetch t ~via:None req in
+      Nk_sim.Trace.incr t.trace "origin-fetches";
+      match (resp.Nk_http.Message.status, validator) with
+      | 304, Some old ->
+        Nk_sim.Trace.incr t.trace "revalidations";
+        (match Nk_http.Message.response_expiry ~now:(now t) resp with
+         | Some expiry -> Nk_cache.Http_cache.refresh t.cache ~key ~expiry
+         | None -> Nk_cache.Http_cache.remove t.cache ~key);
+        old
+      | _ ->
+        insert_if_cacheable t req resp;
+        resp
+    in
+    match t.dht with
+    | Some dht when t.cfg.Config.enable_dht && allow_peers ->
+      let result = Nk_overlay.Dht.get dht ~now:(now t) ~from:(name t) ~key in
+      charge_cpu t
+        (float_of_int (max 1 result.Nk_overlay.Dht.hops) *. t.cfg.Config.costs.Config.dht_per_hop);
+      let peers =
+        List.filter (fun peer -> peer <> name t) result.Nk_overlay.Dht.values
+      in
+      (match peers with
+       | [] -> from_origin ()
+       | peer :: _ -> (
+         match Nk_sim.Httpd.resolve t.web peer with
+         | None -> from_origin ()
+         | Some peer_host ->
+           Nk_sim.Trace.incr t.trace "dht-hits";
+           let peer_req = Nk_http.Message.copy_request req in
+           Nk_http.Message.set_req_header peer_req peer_header "1";
+           let resp = await_fetch t ~via:(Some peer_host) peer_req in
+           let verified =
+             match t.cfg.Config.integrity_key with
+             | None -> true
+             | Some key -> (
+               (* Peer-served content comes from an untrusted node:
+                  check the §6 integrity headers and fall back to the
+                  origin on any violation. Content that never carried
+                  integrity headers is unprotected (a producer opt-in);
+                  stripping attacks are the probabilistic verifier's
+                  job, not this check's. *)
+               match Nk_integrity.Integrity.verify ~key ~now:(now t) resp with
+               | Ok () -> true
+               | Error Nk_integrity.Integrity.Missing_headers ->
+                 Nk_sim.Trace.incr t.trace "integrity-unverified";
+                 true
+               | Error violation ->
+                 Nk_sim.Trace.incr t.trace "integrity-violations";
+                 Logs.warn (fun m ->
+                     m "[%s] integrity violation from %s: %s" (name t) peer
+                       (Nk_integrity.Integrity.violation_to_string violation));
+                 false)
+           in
+           if verified && Nk_http.Status.is_success resp.Nk_http.Message.status then begin
+             Nk_sim.Trace.incr t.trace "peer-fetches";
+             insert_if_cacheable t req resp;
+             resp
+           end
+           else from_origin ()))
+    | _ -> from_origin ())
+
+(* --- host capabilities handed to vocabularies ----------------------- *)
+
+let replica t site =
+  match (Hashtbl.find_opt t.replicas site, t.bus) with
+  | Some r, _ -> Some r
+  | None, Some bus ->
+    let r =
+      Nk_replication.Replication.attach ~bus ~name:(name t) ~host:t.host ~store:t.store ~site
+        Nk_replication.Replication.Optimistic
+    in
+    Hashtbl.add t.replicas site r;
+    Some r
+  | None, None -> None
+
+(* Emission control (§3.2): hosted scripts' own web accesses pass the
+   server-side administrative wall before leaving the node. The wall
+   stage is loaded through the regular cached path; [load_wall] is tied
+   in after stage loading is defined. *)
+let emission_check t (req : Nk_http.Message.request) ~load_wall =
+  match load_wall t with
+  | None -> None
+  | Some stage -> (
+    match Nk_pipeline.Stage.select stage req with
+    | None -> None
+    | Some policy -> (
+      match policy.Nk_policy.Policy.on_request with
+      | None -> None
+      | Some handler -> (
+        match
+          Nk_pipeline.Pipeline.run_handler stage ~this_request:req ~response:None handler
+        with
+        | Ok (Some denial) ->
+          Nk_sim.Trace.incr t.trace "emission-denials";
+          Some denial
+        | Ok None -> None
+        | Error _ -> Some (Nk_http.Message.error_response 500))))
+
+let hostcall t ~site ~load_wall : Nk_vocab.Hostcall.t =
+  let vocab_key key = Printf.sprintf "vocab:%s:%s" site key in
+  {
+    Nk_vocab.Hostcall.now = (fun () -> now t);
+    site;
+    fetch =
+      (fun req ->
+        let resp =
+          match emission_check t req ~load_wall with
+          | Some denial -> denial
+          | None -> content_fetch t req
+        in
+        let bytes = float_of_int (Nk_http.Message.content_length resp) in
+        Nk_resource.Accounting.charge t.accounting ~site Nk_resource.Resource.Bandwidth bytes;
+        t.bw_window <- t.bw_window +. bytes;
+        resp);
+    cache_lookup =
+      (fun key -> Nk_cache.Http_cache.lookup t.cache ~now:(now t) ~key:(vocab_key key));
+    cache_store =
+      (fun ~key ~ttl resp ->
+        Nk_cache.Http_cache.insert t.cache ~now:(now t) ~key:(vocab_key key)
+          ~expiry:(Some (now t +. ttl)) resp);
+    log = (fun msg -> Logs.debug (fun m -> m "[%s/%s] %s" (name t) site msg));
+    is_local =
+      (fun ip_str ->
+        match Nk_http.Ip.of_string ip_str with
+        | Error _ -> false
+        | Ok ip -> List.exists (fun cidr -> Nk_http.Ip.cidr_contains cidr ip) t.local_cidrs);
+    congestion =
+      (fun resource_name ->
+        let resource =
+          List.find_opt
+            (fun r -> Nk_resource.Resource.to_string r = resource_name)
+            Nk_resource.Resource.all
+        in
+        match resource with
+        | Some r -> Nk_resource.Accounting.usage t.accounting ~site r
+        | None -> 0.0);
+    hard_state_get =
+      (fun ~key ->
+        match replica t site with
+        | Some r -> Nk_replication.Replication.read r ~key
+        | None -> Nk_replication.Store.get t.store ~site ~key);
+    hard_state_put =
+      (fun ~key value ->
+        match replica t site with
+        | Some r -> Nk_replication.Replication.update r ~key ~value
+        | None -> Nk_replication.Store.put t.store ~site ~key value);
+    hard_state_delete =
+      (fun ~key ->
+        match replica t site with
+        | Some r -> Nk_replication.Replication.delete r ~key
+        | None -> Nk_replication.Store.delete t.store ~site ~key);
+    hard_state_keys =
+      (fun ~prefix ->
+        match replica t site with
+        | Some r -> Nk_replication.Replication.keys r ~prefix
+        | None -> Nk_replication.Store.keys t.store ~site ~prefix);
+    publish =
+      (fun ~topic payload ->
+        match t.bus with
+        | Some bus -> Nk_replication.Message_bus.publish bus ~from:(name t) ~topic ~payload
+        | None -> ());
+    enable_access_log = (fun ~url -> Hashtbl.replace t.log_urls site url);
+  }
+
+(* --- stage loading: fetch, evaluate, cache --------------------------- *)
+
+let site_of_stage_url url =
+  match Nk_http.Url.parse url with
+  | Ok u -> Nk_http.Url.site u
+  | Error _ -> "unknown"
+
+let rec build_stage t ~url ~source =
+  let site = site_of_stage_url url in
+  (* Join the site's replication group up front so updates published
+     before this node's first hard-state access still arrive. *)
+  ignore (replica t site);
+  (* The administrative stages themselves are exempt from emission
+     control (they *are* the control, and routing them through it would
+     recurse). *)
+  let load_wall t =
+    if url = Nk_pipeline.Pipeline.well_known_server_wall then None
+    else load_stage t Nk_pipeline.Pipeline.well_known_server_wall
+  in
+  let host = hostcall t ~site ~load_wall in
+  Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
+    ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed ~source ()
+
+and load_stage t url =
+  match Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url with
+  | Some entry ->
+    charge_cpu t
+      (t.cfg.Config.costs.Config.tree_cached +. t.cfg.Config.costs.Config.context_reuse);
+    (* Context reuse resets the usage counters (§4); like the prototype,
+       a pipeline suspended mid-request shares the stage context, so the
+       reset is best effort. *)
+    Nk_script.Interp.reset_usage (Nk_pipeline.Stage.context entry.stage);
+    Some entry.stage
+  | None -> (
+    match Nk_cache.Memo_cache.find t.negative ~now:(now t) url with
+    | Some () -> None
+    | None -> (
+      match Nk_http.Url.parse url with
+      | Error _ -> None
+      | Ok _ -> (
+        let req = Nk_http.Message.request url in
+        let resp = content_fetch t req in
+        if not (Nk_http.Status.is_success resp.Nk_http.Message.status) then begin
+          (* Remember that this site publishes no script (§4). *)
+          Nk_cache.Memo_cache.put t.negative ~key:url
+            ~expiry:(now t +. t.cfg.Config.negative_ttl) ();
+          None
+        end
+        else begin
+          let source = Nk_http.Body.to_string resp.Nk_http.Message.resp_body in
+          let costs = t.cfg.Config.costs in
+          charge_cpu t
+            (costs.Config.context_create +. costs.Config.parse_base
+            +. (costs.Config.parse_per_byte *. float_of_int (String.length source)));
+          match build_stage t ~url ~source with
+          | Ok stage ->
+            let expiry =
+              match Nk_http.Message.response_expiry ~now:(now t) resp with
+              | Some e -> e
+              | None -> now t +. t.cfg.Config.script_ttl
+            in
+            Nk_cache.Memo_cache.put t.stage_cache ~key:url ~expiry
+              { stage; site = site_of_stage_url url };
+            Some stage
+          | Error msg ->
+            Nk_sim.Trace.incr t.trace "script-errors";
+            Logs.warn (fun m -> m "[%s] stage %s failed: %s" (name t) url msg);
+            Nk_cache.Memo_cache.put t.negative ~key:url
+              ~expiry:(now t +. t.cfg.Config.negative_ttl) ();
+            None
+        end)))
+
+let warm_stage t ~url ~site ~source =
+  match build_stage t ~url ~source with
+  | Ok stage ->
+    Nk_cache.Memo_cache.put t.stage_cache ~key:url ~expiry:(now t +. t.cfg.Config.script_ttl)
+      { stage; site }
+  | Error msg -> invalid_arg (Printf.sprintf "warm_stage %s: %s" url msg)
+
+let invalidate_stage t ~url = Nk_cache.Memo_cache.remove t.stage_cache url
+
+(* --- request processing ---------------------------------------------- *)
+
+let throttle_fraction t site =
+  Hashtbl.fold
+    (fun _resource table acc ->
+      match Hashtbl.find_opt table site with Some f -> Float.max acc f | None -> acc)
+    t.throttles 0.0
+
+let resource_throttles t resource =
+  match Hashtbl.find_opt t.throttles resource with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 8 in
+    Hashtbl.add t.throttles resource table;
+    table
+
+let access_log t ~site ~(req : Nk_http.Message.request) ~(resp : Nk_http.Message.response) =
+  if Hashtbl.mem t.log_urls site then begin
+    let entry =
+      Printf.sprintf "%.3f %s %s %d" (now t)
+        (Nk_http.Ip.to_string req.Nk_http.Message.client.Nk_http.Ip.ip)
+        (Nk_http.Url.to_string req.Nk_http.Message.url)
+        resp.Nk_http.Message.status
+    in
+    match Hashtbl.find_opt t.log_entries site with
+    | Some r -> r := entry :: !r
+    | None -> Hashtbl.add t.log_entries site (ref [ entry ])
+  end
+
+let account t ~site ~cpu ~heap ~bytes ~elapsed =
+  let charge = Nk_resource.Accounting.charge t.accounting ~site in
+  charge Nk_resource.Resource.Cpu cpu;
+  charge Nk_resource.Resource.Memory heap;
+  charge Nk_resource.Resource.Bandwidth bytes;
+  charge Nk_resource.Resource.Running_time elapsed;
+  charge Nk_resource.Resource.Bytes_transferred bytes;
+  t.mem_window <- t.mem_window +. heap;
+  t.bw_window <- t.bw_window +. bytes
+
+(* Process one client request inside a cothread; returns the response. *)
+let process t (req : Nk_http.Message.request) =
+  let started = now t in
+  let site = Nk_http.Url.site req.Nk_http.Message.url in
+  let costs = t.cfg.Config.costs in
+  t.in_flight <- t.in_flight + 1;
+  let concurrency = float_of_int t.in_flight *. costs.Config.concurrency_cpu in
+  let response, fuel, heap, handlers =
+    if not t.cfg.Config.enable_pipeline then (content_fetch t req, 0, 0, 0)
+    else begin
+      let outcome =
+        Nk_pipeline.Pipeline.execute
+          ~load_stage:(fun url ->
+            let stage = load_stage t url in
+            (match stage with
+             | Some _ -> charge_cpu t costs.Config.predicate_eval
+             | None -> ());
+            stage)
+          ~fetch:(fun req -> content_fetch t req)
+          req
+      in
+      (match outcome.Nk_pipeline.Pipeline.source with
+       | Nk_pipeline.Pipeline.From_failure Nk_pipeline.Pipeline.Killed ->
+         Nk_sim.Trace.incr t.trace "dropped-termination"
+       | Nk_pipeline.Pipeline.From_failure _ -> Nk_sim.Trace.incr t.trace "script-errors"
+       | _ -> ());
+      ( outcome.Nk_pipeline.Pipeline.response,
+        outcome.Nk_pipeline.Pipeline.fuel,
+        outcome.Nk_pipeline.Pipeline.heap,
+        outcome.Nk_pipeline.Pipeline.handlers_run )
+    end
+  in
+  (* Handler CPU: engine crossings, interpreter fuel, and allocation
+     (GC/paging) pressure. *)
+  let handler_cpu =
+    (float_of_int fuel *. costs.Config.handler_per_fuel)
+    +. (float_of_int heap *. costs.Config.heap_cpu_per_byte)
+  in
+  let crossing_cpu = float_of_int handlers *. costs.Config.handler_invoke in
+  charge_cpu t handler_cpu;
+  (* Bookkeeping, engine crossings and concurrency (scheduling/paging)
+     pressure occupy the CPU — limiting capacity — but overlap this
+     request's network time rather than delaying its response. *)
+  charge_cpu_background t (costs.Config.proxy_base +. concurrency +. crossing_cpu);
+  t.in_flight <- t.in_flight - 1;
+  let elapsed = now t -. started in
+  let bytes = float_of_int (Nk_http.Message.content_length response) in
+  account t ~site
+    ~cpu:(costs.Config.proxy_base +. concurrency +. handler_cpu +. crossing_cpu)
+    ~heap:(float_of_int heap) ~bytes ~elapsed;
+  access_log t ~site ~req ~resp:response;
+  Nk_sim.Trace.add t.trace "latency" elapsed;
+  response
+
+let handle t (req : Nk_http.Message.request) k =
+  Nk_sim.Trace.incr t.trace "requests";
+  (* Peer requests serve straight from cache/origin: no pipeline, no
+     further DHT consultation (avoids routing loops). *)
+  if Nk_http.Message.req_header req peer_header <> None then
+    Nk_util.Cothread.spawn
+      (fun () -> content_fetch t ~allow_peers:false req)
+      ~on_done:(fun resp ->
+        Nk_sim.Trace.incr t.trace "responses";
+        if t.cfg.Config.misbehaving then
+          (* The §6 threat: a node that arbitrarily modifies cached
+             content before serving it to its peers. *)
+          Nk_http.Message.set_body resp
+            (Nk_util.Strutil.replace_all
+               (Nk_http.Body.to_string resp.Nk_http.Message.resp_body)
+               ~sub:"content" ~by:"FALSIFIED");
+        k resp)
+      ~on_error:(fun _ -> k (Nk_http.Message.error_response 500))
+  else begin
+    (* Strip the .nakika.net suffix clients use to reach us (§3). *)
+    (match Nk_http.Url.of_nakika req.Nk_http.Message.url with
+     | Some origin -> req.Nk_http.Message.url <- origin
+     | None -> ());
+    let site = Nk_http.Url.site req.Nk_http.Message.url in
+    let banned =
+      match Hashtbl.find_opt t.banned site with
+      | Some expiry when expiry > now t -> true
+      | Some _ ->
+        Hashtbl.remove t.banned site;
+        false
+      | None -> false
+    in
+    let fraction = throttle_fraction t site in
+    if banned then begin
+      Nk_sim.Trace.incr t.trace "dropped-termination";
+      k (Nk_http.Message.error_response 503)
+    end
+    else if
+      t.cfg.Config.enable_resource_controls && fraction > 0.0
+      && Nk_util.Prng.float t.rng 1.0 < fraction
+    then begin
+      Nk_sim.Trace.incr t.trace "rejected-throttle";
+      k (Nk_http.Message.error_response 503)
+    end
+    else
+      (* §3.1: a Range request is processed on the entire instance (the
+         pipeline may transcode it); the requested slice is cut out only
+         for the final client response. *)
+      let range =
+        Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
+      in
+      Nk_util.Cothread.spawn
+        (fun () -> process t req)
+        ~on_done:(fun resp ->
+          Nk_sim.Trace.incr t.trace "responses";
+          (match range with
+           | Some r -> if Nk_http.Range.apply r resp then Nk_sim.Trace.incr t.trace "range-responses"
+           | None -> ());
+          k resp)
+        ~on_error:(fun exn ->
+          Nk_sim.Trace.incr t.trace "script-errors";
+          Logs.warn (fun m -> m "[%s] pipeline error: %s" (name t) (Printexc.to_string exn));
+          k (Nk_http.Message.error_response 500))
+  end
+
+(* --- congestion control (Fig. 6 scheduling) --------------------------- *)
+
+let window_rate t value =
+  let dt = now t -. t.window_start in
+  if dt <= 0.0 then 0.0 else value /. dt
+
+let reset_window t =
+  t.mem_window <- 0.0;
+  t.bw_window <- 0.0;
+  t.window_start <- now t
+
+(* The final (post-timeout) check uses a higher bar: termination is for
+   congestion that throttling demonstrably cannot clear, not for a node
+   hovering at its capacity. *)
+let is_congested t ~final resource =
+  let scale = if final then 3.0 else 1.0 in
+  match resource with
+  | Nk_resource.Resource.Cpu ->
+    Nk_sim.Net.cpu_backlog t.net t.host > scale *. t.cfg.Config.cpu_congestion_backlog
+  | Nk_resource.Resource.Memory ->
+    window_rate t t.mem_window
+    >= scale *. t.cfg.Config.memory_congestion_bytes /. t.cfg.Config.control_interval
+  | Nk_resource.Resource.Bandwidth ->
+    window_rate t t.bw_window
+    >= scale *. t.cfg.Config.bandwidth_congestion_bytes /. t.cfg.Config.control_interval
+  | Nk_resource.Resource.Running_time | Nk_resource.Resource.Bytes_transferred -> false
+
+let terminate_site t ~site =
+  t.terminated <- site :: t.terminated;
+  (* Kill the scripting contexts of every cached stage owned by the
+     site; in-flight pipelines die at their next evaluation step. *)
+  List.iter
+    (fun url ->
+      match Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url with
+      | Some entry when entry.site = site ->
+        Nk_script.Interp.kill (Nk_pipeline.Stage.context entry.stage);
+        Nk_cache.Memo_cache.remove t.stage_cache url
+      | _ -> ())
+    [ Printf.sprintf "http://%s/nakika.js" site ];
+  (* Refuse the site's requests for the penalty period. *)
+  Hashtbl.replace t.banned site (now t +. t.cfg.Config.termination_penalty)
+
+let start_monitor t =
+  let accounting = t.accounting in
+  let monitor =
+    Nk_resource.Monitor.create ~accounting
+      ~is_congested:(fun ~final r -> is_congested t ~final r)
+      ~throttle:(fun ~site ~fraction ~resource ->
+        (* [fraction] is the site's contribution to congestion; scale it
+           by the congestion severity so a single active site is not
+           blocked outright when the node is only slightly over. *)
+        let severity =
+          let backlog = Nk_sim.Net.cpu_backlog t.net t.host in
+          let cpu_sev =
+            if backlog <= t.cfg.Config.cpu_congestion_backlog then 0.0
+            else 1.0 -. (t.cfg.Config.cpu_congestion_backlog /. backlog)
+          in
+          let mem_rate = window_rate t t.mem_window in
+          let mem_limit = t.cfg.Config.memory_congestion_bytes /. t.cfg.Config.control_interval in
+          let mem_sev = if mem_rate <= mem_limit then 0.0 else 1.0 -. (mem_limit /. mem_rate) in
+          Float.min 0.95 (Float.max cpu_sev mem_sev)
+        in
+        let table = resource_throttles t resource in
+        let existing =
+          match Hashtbl.find_opt table site with Some f -> f | None -> 0.0
+        in
+        Hashtbl.replace table site (Float.max existing (fraction *. severity)))
+      ~unthrottle:(fun resource -> Hashtbl.reset (resource_throttles t resource))
+      ~terminate:(fun ~site -> terminate_site t ~site)
+      ()
+  in
+  t.monitor <- Some monitor;
+  let rec cycle () =
+    List.iter (fun r -> ignore (Nk_resource.Monitor.begin_control monitor r)) Nk_resource.Resource.all;
+    reset_window t;
+    Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:t.cfg.Config.control_timeout (fun () ->
+        List.iter
+          (fun r -> ignore (Nk_resource.Monitor.finish_control monitor r))
+          Nk_resource.Resource.all;
+        reset_window t;
+        Nk_sim.Sim.schedule t.sim ~daemon:true
+          ~delay:(Float.max 0.05 (t.cfg.Config.control_interval -. t.cfg.Config.control_timeout))
+          cycle)
+  in
+  Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:t.cfg.Config.control_interval cycle
+
+(* --- access-log posting (§3.3) ---------------------------------------- *)
+
+(* Soft-state maintenance: DHT announcements are TTL'd ([dht_ttl]),
+   typically shorter than cached entries' lifetimes; re-announce fresh
+   cache contents so cooperative caching keeps finding them (Coral-style
+   refresh). *)
+let start_reannouncer t dht =
+  let period = Float.max 5.0 (t.cfg.Config.dht_ttl /. 2.0) in
+  let rec cycle () =
+    Nk_cache.Http_cache.fold_fresh t.cache ~now:(now t) ~init:()
+      ~f:(fun () key expiry ->
+        let ttl = Float.min t.cfg.Config.dht_ttl (expiry -. now t) in
+        if ttl > 0.0 then
+          ignore (Nk_overlay.Dht.put dht ~now:(now t) ~from:(name t) ~key ~value:(name t) ~ttl));
+    Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+  in
+  Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+
+let start_log_poster t =
+  let rec cycle () =
+    Hashtbl.iter
+      (fun site url ->
+        match Hashtbl.find_opt t.log_entries site with
+        | Some entries when !entries <> [] ->
+          let body = String.concat "\n" (List.rev !entries) in
+          entries := [];
+          let req = Nk_http.Message.request ~meth:Nk_http.Method_.POST ~body url in
+          Nk_sim.Httpd.fetch t.web ~from:t.host req (fun _ ->
+              Nk_sim.Trace.incr t.trace "log-posts")
+        | _ -> ())
+      t.log_urls;
+    Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:30.0 cycle
+  in
+  Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:30.0 cycle
+
+let create ~web ~host ?dht ?bus ?(config = Config.default) () =
+  let net = Nk_sim.Httpd.net web in
+  let sim = Nk_sim.Net.sim net in
+  let t =
+    {
+      web;
+      net;
+      sim;
+      host;
+      dht;
+      bus;
+      cfg = config;
+      rng = Nk_util.Prng.create (config.Config.seed + String.length (Nk_sim.Net.host_name host));
+      cache = Nk_cache.Http_cache.create ~max_bytes:config.Config.cache_bytes ();
+      stage_cache = Nk_cache.Memo_cache.create ();
+      negative = Nk_cache.Memo_cache.create ();
+      accounting = Nk_resource.Accounting.create ();
+      monitor = None;
+      throttles = Hashtbl.create 4;
+      banned = Hashtbl.create 4;
+      store = Nk_replication.Store.create ();
+      replicas = Hashtbl.create 4;
+      log_urls = Hashtbl.create 4;
+      log_entries = Hashtbl.create 4;
+      trace = Nk_sim.Trace.create ();
+      local_cidrs =
+        List.filter_map
+          (fun s -> Result.to_option (Nk_http.Ip.cidr_of_string s))
+          config.Config.local_clients;
+      terminated = [];
+      in_flight = 0;
+      mem_window = 0.0;
+      bw_window = 0.0;
+      window_start = Nk_sim.Sim.now sim;
+    }
+  in
+  Nk_sim.Httpd.serve web ~host ~hostnames:[ Nk_sim.Net.host_name host ] (fun req k ->
+      handle t req k);
+  (match dht with
+   | Some dht when config.Config.enable_dht ->
+     ignore (Nk_overlay.Dht.join dht (name t));
+     start_reannouncer t dht
+   | _ -> ());
+  if config.Config.enable_resource_controls then start_monitor t;
+  start_log_poster t;
+  t

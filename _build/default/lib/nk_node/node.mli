@@ -1,0 +1,54 @@
+(** A Na Kika edge node: the proxy runtime of §4.
+
+    One node ties together the proxy cache, the scripting pipeline with
+    its stage/decision-tree caches and context accounting, cooperative
+    caching through the DHT, hard state, access logging, and the
+    congestion-based resource monitor. The node attaches to a simulated
+    host and serves HTTP through {!Nk_sim.Httpd}; clients reach it with
+    [Httpd.fetch_via] after DNS redirection.
+
+    A node configured with [Config.plain_proxy] degenerates into the
+    micro-benchmarks' baseline Apache-style proxy. *)
+
+type t
+
+val create :
+  web:Nk_sim.Httpd.t ->
+  host:Nk_sim.Net.host ->
+  ?dht:Nk_overlay.Dht.t ->
+  ?bus:Nk_replication.Message_bus.t ->
+  ?config:Config.t ->
+  unit ->
+  t
+(** Registers the node as the HTTP server on [host] (hostname =
+    [Net.host_name host]) and, when given a DHT, joins the overlay. *)
+
+val host : t -> Nk_sim.Net.host
+
+val name : t -> string
+
+val config : t -> Config.t
+
+val trace : t -> Nk_sim.Trace.t
+(** Counters: ["requests"], ["responses"], ["rejected-throttle"],
+    ["dropped-termination"], ["script-errors"], ["origin-fetches"],
+    ["peer-fetches"], ["dht-hits"]; samples: ["latency"] (per-request
+    service time at this node). *)
+
+val cache : t -> Nk_cache.Http_cache.t
+
+val accounting : t -> Nk_resource.Accounting.t
+
+val monitor : t -> Nk_resource.Monitor.t option
+
+val terminated_sites : t -> string list
+(** Sites whose pipelines the monitor has terminated (most recent
+    first; a site may appear more than once). *)
+
+val stage_cache_entries : t -> int
+
+val warm_stage : t -> url:string -> site:string -> source:string -> unit
+(** Pre-install a stage script (used by tests and benches to skip the
+    fetch path). The script's decision tree is cached under [url]. *)
+
+val invalidate_stage : t -> url:string -> unit

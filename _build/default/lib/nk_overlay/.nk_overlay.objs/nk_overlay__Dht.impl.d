@@ -1,0 +1,1 @@
+lib/nk_overlay/dht.ml: Hashtbl List Node_id Printf Ring

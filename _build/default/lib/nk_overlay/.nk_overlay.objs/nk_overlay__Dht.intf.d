@@ -1,0 +1,1 @@
+lib/nk_overlay/dht.mli: Node_id Ring

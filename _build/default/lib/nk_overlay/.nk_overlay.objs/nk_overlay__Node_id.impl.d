@@ -1,0 +1,1 @@
+lib/nk_overlay/node_id.ml: Char Int Nk_crypto Printf String

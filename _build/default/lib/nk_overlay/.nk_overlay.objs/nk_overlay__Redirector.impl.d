@@ -1,0 +1,1 @@
+lib/nk_overlay/redirector.ml: List Nk_sim Nk_util

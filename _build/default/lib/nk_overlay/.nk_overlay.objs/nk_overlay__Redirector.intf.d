@@ -1,0 +1,1 @@
+lib/nk_overlay/redirector.mli: Nk_sim Nk_util

@@ -1,0 +1,1 @@
+lib/nk_overlay/ring.ml: Array List Node_id

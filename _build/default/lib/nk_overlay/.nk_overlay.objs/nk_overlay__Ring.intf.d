@@ -1,0 +1,1 @@
+lib/nk_overlay/ring.mli: Node_id

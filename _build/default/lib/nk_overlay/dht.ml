@@ -1,0 +1,98 @@
+type entry = { value : string; expiry : float }
+
+type node_store = (string, entry list) Hashtbl.t
+
+type t = {
+  ring : Ring.t;
+  stores : (int, node_store) Hashtbl.t; (* keyed by ring id *)
+  ids : (string, Node_id.t) Hashtbl.t; (* node name -> id *)
+  values_per_key : int;
+}
+
+let create ?(values_per_key = 16) () =
+  { ring = Ring.create (); stores = Hashtbl.create 16; ids = Hashtbl.create 16; values_per_key }
+
+let ring t = t.ring
+
+let join t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some id -> id
+  | None ->
+    let id = Node_id.of_string name in
+    Hashtbl.replace t.ids name id;
+    Hashtbl.replace t.stores (Node_id.to_int id) (Hashtbl.create 16);
+    Ring.join t.ring id;
+    id
+
+let leave t name =
+  match Hashtbl.find_opt t.ids name with
+  | None -> ()
+  | Some id ->
+    Hashtbl.remove t.ids name;
+    Hashtbl.remove t.stores (Node_id.to_int id);
+    Ring.leave t.ring id
+
+let node_id t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Dht: node %s has not joined" name)
+
+type lookup = { values : string list; hops : int; owner : Node_id.t option }
+
+let route t ~from ~key =
+  let from_id = node_id t from in
+  let key_id = Node_id.of_string key in
+  let path = Ring.lookup_path t.ring ~from:from_id ~key:key_id in
+  let owner =
+    match List.rev path with
+    | last :: _ -> Some last
+    | [] -> if Ring.mem t.ring from_id then Some from_id else None
+  in
+  (owner, List.length path)
+
+let put t ~now ~from ~key ~value ~ttl =
+  let owner, hops = route t ~from ~key in
+  (match owner with
+   | None -> ()
+   | Some owner -> (
+     match Hashtbl.find_opt t.stores (Node_id.to_int owner) with
+     | None -> ()
+     | Some store ->
+       let live =
+         (match Hashtbl.find_opt store key with Some es -> es | None -> [])
+         |> List.filter (fun e -> e.expiry > now && e.value <> value)
+       in
+       let entries = { value; expiry = now +. ttl } :: live in
+       let entries =
+         if List.length entries > t.values_per_key then
+           List.filteri (fun i _ -> i < t.values_per_key) entries
+         else entries
+       in
+       Hashtbl.replace store key entries));
+  hops
+
+let get t ~now ~from ~key =
+  let owner, hops = route t ~from ~key in
+  let values =
+    match owner with
+    | None -> []
+    | Some owner -> (
+      match Hashtbl.find_opt t.stores (Node_id.to_int owner) with
+      | None -> []
+      | Some store -> (
+        match Hashtbl.find_opt store key with
+        | None -> []
+        | Some entries ->
+          let live = List.filter (fun e -> e.expiry > now) entries in
+          Hashtbl.replace store key live;
+          List.map (fun e -> e.value) live))
+  in
+  { values; hops; owner }
+
+let stored_keys t name =
+  match Hashtbl.find_opt t.ids name with
+  | None -> 0
+  | Some id -> (
+    match Hashtbl.find_opt t.stores (Node_id.to_int id) with
+    | None -> 0
+    | Some store -> Hashtbl.length store)

@@ -1,0 +1,34 @@
+(** Soft-state key/value storage over the ring — the Coral stand-in.
+
+    Values are TTL'd announcements ("node X holds a copy of URL Y");
+    they live on the key's successor node, several announcements can
+    coexist under one key, and everything expires unless re-announced —
+    exactly the soft-state discipline cooperative caching needs (§3.4).
+    Lookups report the routing hop count so callers can charge overlay
+    latency. *)
+
+type t
+
+val create : ?values_per_key:int -> unit -> t
+(** [values_per_key] caps coexisting announcements (default 16; newest
+    win). *)
+
+val ring : t -> Ring.t
+
+val join : t -> string -> Node_id.t
+(** Add a node by name; returns its ring id. *)
+
+val leave : t -> string -> unit
+(** Remove the node and drop the soft state it stored. *)
+
+type lookup = { values : string list; hops : int; owner : Node_id.t option }
+
+val put : t -> now:float -> from:string -> key:string -> value:string -> ttl:float -> int
+(** Announce [value] under [key]; returns the routing hop count. Raises
+    [Invalid_argument] if [from] never joined. *)
+
+val get : t -> now:float -> from:string -> key:string -> lookup
+(** Live values under [key] (newest first). *)
+
+val stored_keys : t -> string -> int
+(** Number of keys currently stored at the named node. *)

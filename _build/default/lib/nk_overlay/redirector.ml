@@ -1,0 +1,35 @@
+type t = { net : Nk_sim.Net.t; mutable proxies : Nk_sim.Net.host list }
+
+let create net = { net; proxies = [] }
+
+let add_proxy t host =
+  if not (List.exists (fun h -> Nk_sim.Net.host_name h = Nk_sim.Net.host_name host) t.proxies)
+  then t.proxies <- host :: t.proxies
+
+let remove_proxy t host =
+  t.proxies <-
+    List.filter (fun h -> Nk_sim.Net.host_name h <> Nk_sim.Net.host_name host) t.proxies
+
+let proxies t = t.proxies
+
+let pick t ?(spread = 1) ~rng ~client () =
+  match t.proxies with
+  | [] -> None
+  | proxies ->
+    let probe_size = 1024 in
+    let scored =
+      List.map
+        (fun p ->
+          (Nk_sim.Net.transfer_time_estimate t.net ~src:client ~dst:p ~size:probe_size, p))
+        proxies
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (* "Close-by": only proxies comparable to the nearest count as
+       spread candidates, so load balancing never sends a client across
+       the world. *)
+    let best = match scored with (s, _) :: _ -> s | [] -> 0.0 in
+    let close = List.filter (fun (s, _) -> s <= (best *. 2.0) +. 1e-4) scored in
+    let k = max 1 (min spread (List.length close)) in
+    let nearest = List.filteri (fun i _ -> i < k) close in
+    let _, choice = List.nth nearest (Nk_util.Prng.int rng (List.length nearest)) in
+    Some choice

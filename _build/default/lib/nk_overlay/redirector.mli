@@ -1,0 +1,20 @@
+(** DNS-style redirection of clients to nearby edge nodes (§3, §3.4).
+
+    Coral's optional DNS redirection is modeled by choosing, per client,
+    the proxy with the lowest estimated transfer time; [pick ~spread]
+    randomizes among the closest few for the paper's "randomly chosen,
+    but close-by proxies" load balancing (§5.2). *)
+
+type t
+
+val create : Nk_sim.Net.t -> t
+
+val add_proxy : t -> Nk_sim.Net.host -> unit
+
+val remove_proxy : t -> Nk_sim.Net.host -> unit
+
+val proxies : t -> Nk_sim.Net.host list
+
+val pick : t -> ?spread:int -> rng:Nk_util.Prng.t -> client:Nk_sim.Net.host -> unit -> Nk_sim.Net.host option
+(** The nearest proxy, or with [spread = k > 1] a uniform choice among
+    the [k] nearest. [None] when no proxies are registered. *)

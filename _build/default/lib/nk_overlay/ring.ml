@@ -1,0 +1,65 @@
+type t = { mutable members : Node_id.t array (* sorted *) }
+
+let create () = { members = [||] }
+
+let mem t id = Array.exists (Node_id.equal id) t.members
+
+let join t id =
+  if not (mem t id) then begin
+    let members = Array.append t.members [| id |] in
+    Array.sort Node_id.compare members;
+    t.members <- members
+  end
+
+let leave t id =
+  t.members <- Array.of_list (List.filter (fun x -> not (Node_id.equal x id)) (Array.to_list t.members))
+
+let size t = Array.length t.members
+
+let nodes t = Array.to_list t.members
+
+let successor t key =
+  let n = Array.length t.members in
+  if n = 0 then None
+  else begin
+    (* binary search: first member >= key, else wrap to members.(0) *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Node_id.compare t.members.(mid) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    Some (if !lo = n then t.members.(0) else t.members.(!lo))
+  end
+
+(* The finger of [node] for exponent [i]: successor(node + 2^i). *)
+let finger t node i = successor t (Node_id.add_pow2 node i)
+
+let lookup_path t ~from ~key =
+  match successor t key with
+  | None -> []
+  | Some owner ->
+    if Node_id.equal owner from then []
+    else begin
+      (* Greedy: repeatedly jump to the finger that gets closest to the
+         key without overshooting its successor; fall back to the
+         immediate successor, guaranteeing progress. *)
+      let rec route current acc guard =
+        if Node_id.equal current owner || guard = 0 then List.rev acc
+        else begin
+          let best = ref None in
+          for i = 61 downto 0 do
+            if !best = None then
+              match finger t current i with
+              | Some f
+                when (not (Node_id.equal f current))
+                     && Node_id.distance current f < Node_id.distance current key
+                     && Node_id.distance current f > 0 ->
+                best := Some f
+              | _ -> ()
+          done;
+          let next = match !best with Some f -> f | None -> owner in
+          route next (next :: acc) (guard - 1)
+        end
+      in
+      route from [] (Array.length t.members + 64)
+    end

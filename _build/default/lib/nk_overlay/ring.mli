@@ -1,0 +1,31 @@
+(** Membership and Chord-style greedy routing on the identifier ring.
+
+    The architecture treats the overlay "largely as a black box" (§3.4);
+    this module provides the black box's contract: nodes join and leave
+    with low overhead, every key has a live successor, and lookups
+    take O(log n) hops via finger tables computed against the current
+    membership. *)
+
+type t
+
+val create : unit -> t
+
+val join : t -> Node_id.t -> unit
+
+val leave : t -> Node_id.t -> unit
+
+val mem : t -> Node_id.t -> bool
+
+val size : t -> int
+
+val nodes : t -> Node_id.t list
+(** Sorted by ring position. *)
+
+val successor : t -> Node_id.t -> Node_id.t option
+(** First node at or clockwise after the key; [None] on an empty
+    ring. *)
+
+val lookup_path : t -> from:Node_id.t -> key:Node_id.t -> Node_id.t list
+(** The nodes visited routing greedily by fingers from [from] to the
+    key's successor, successor included, [from] excluded. Empty when
+    the ring is empty or [from] already owns the key. *)

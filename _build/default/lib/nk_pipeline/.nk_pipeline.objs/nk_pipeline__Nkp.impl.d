@@ -1,0 +1,1 @@
+lib/nk_pipeline/nkp.ml: Buffer Nk_script Nk_util String

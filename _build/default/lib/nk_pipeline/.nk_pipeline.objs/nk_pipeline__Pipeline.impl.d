@@ -1,0 +1,1 @@
+lib/nk_pipeline/pipeline.ml: Nk_http Nk_policy Nk_script Nk_vocab Option Printf Stage

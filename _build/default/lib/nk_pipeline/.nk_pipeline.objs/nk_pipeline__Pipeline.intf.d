@@ -1,0 +1,1 @@
+lib/nk_pipeline/pipeline.mli: Nk_http Nk_script Stage

@@ -1,0 +1,1 @@
+lib/nk_pipeline/stage.ml: Nk_policy Nk_script Nk_util Nk_vocab Printf Queue

@@ -1,0 +1,1 @@
+lib/nk_pipeline/stage.mli: Nk_http Nk_policy Nk_script Nk_vocab

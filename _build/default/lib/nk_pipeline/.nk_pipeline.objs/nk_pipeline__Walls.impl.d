@@ -1,0 +1,1 @@
+lib/nk_pipeline/walls.ml: List Printf String

@@ -1,0 +1,33 @@
+let script =
+  {|
+var p = new Policy();
+p.onResponse = function() {
+  var ct = Response.contentType;
+  if (ct == null || ct.indexOf("text/html") < 0) { return; }
+  var body = "";
+  var chunk;
+  while ((chunk = Response.read()) != null) { body += chunk; }
+  if (body.indexOf("<esi:include") < 0) { return; }
+  var out = "";
+  var i = 0;
+  while (i < body.length) {
+    var start = body.indexOf("<esi:include", i);
+    if (start < 0) { out += body.substring(i); break; }
+    out += body.substring(i, start);
+    var stop = body.indexOf("/>", start);
+    if (stop < 0) { break; }
+    var tag = body.substring(start, stop);
+    var srcAt = tag.indexOf("src=\"");
+    if (srcAt >= 0) {
+      var rest = tag.substring(srcAt + 5);
+      var quote = rest.indexOf("\"");
+      var src = rest.substring(0, quote);
+      var fragment = fetchResource(src);
+      if (fragment.status == 200) { out += fragment.body; }
+    }
+    i = stop + 2;
+  }
+  Response.write(out);
+}
+p.register();
+|}

@@ -1,0 +1,8 @@
+(** Edge Side Includes, supported "within the Na Kika architecture"
+    via the same technique as Na Kika Pages (§3.1): a stage script that
+    replaces [<esi:include src="..."/>] tags with the fetched
+    fragments. *)
+
+val script : string
+(** The ESI processor as an NKScript pipeline-stage script; applies to
+    [text/html] responses containing include tags. *)

@@ -1,0 +1,47 @@
+let script =
+  {|
+var p = new Policy();
+p.onResponse = function() {
+  var ct = Response.contentType;
+  var isNkp = (ct == "text/nkp");
+  if (!isNkp && Request.path.indexOf(".nkp") < 0) { return; }
+  var body = "";
+  var chunk;
+  while ((chunk = Response.read()) != null) { body += chunk; }
+  var out = "";
+  var i = 0;
+  while (i < body.length) {
+    var start = body.indexOf("<?nkp", i);
+    if (start < 0) { out += body.substring(i); break; }
+    out += body.substring(i, start);
+    var stop = body.indexOf("?>", start);
+    if (stop < 0) { break; }
+    var code = body.substring(start + 5, stop);
+    var result = evalScript(code);
+    if (result != null && result != undefined) { out += String(result); }
+    i = stop + 2;
+  }
+  Response.setHeader("Content-Type", "text/html");
+  Response.write(out);
+}
+p.register();
+|}
+
+let render ctx source =
+  let buf = Buffer.create (String.length source) in
+  let rec go i =
+    match Nk_util.Strutil.index_sub source ~sub:"<?nkp" ~start:i with
+    | None -> Buffer.add_substring buf source i (String.length source - i)
+    | Some start -> (
+      Buffer.add_substring buf source i (start - i);
+      match Nk_util.Strutil.index_sub source ~sub:"?>" ~start:(start + 5) with
+      | None -> ()
+      | Some stop ->
+        let code = String.sub source (start + 5) (stop - start - 5) in
+        (match Nk_script.Interp.run_string ctx code with
+         | Nk_script.Value.Vundefined | Nk_script.Value.Vnull -> ()
+         | v -> Buffer.add_string buf (Nk_script.Value.to_string v));
+        go (stop + 2))
+  in
+  go 0;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Na Kika Pages (§3.1): markup-style content creation for developers
+    versed in PHP/JSP/ASP.NET.
+
+    Resources with the [.nkp] extension or [text/nkp] MIME type are
+    processed edge-side: text between [<?nkp] and [?>] is evaluated as
+    NKScript and replaced by the result. As in the paper, the feature
+    is implemented *on top of* the event-based model by a short script
+    ([script] below) that sites schedule as a pipeline stage. *)
+
+val script : string
+(** The nkp processor as an NKScript pipeline-stage script (the paper's
+    "simple, 60 line script"). Requires the [evalScript] vocabulary. *)
+
+val render : Nk_script.Interp.ctx -> string -> string
+(** Direct OCaml-side rendering of an nkp page in a given context;
+    used by tests to pin the script's semantics. *)

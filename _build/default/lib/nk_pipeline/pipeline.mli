@@ -1,0 +1,62 @@
+(** EXECUTE-PIPELINE (Fig. 4).
+
+    The forward list starts as client wall, site script, server wall;
+    each popped stage selects its closest-match policy, runs
+    [onRequest], and may prepend dynamically scheduled stages
+    ([nextStages]) or produce a response (reversing direction). If the
+    forward pass completes without a response, the original resource is
+    fetched; then the backward stack runs the matched [onResponse]
+    handlers in reverse order. *)
+
+type failure =
+  | Script_failure of string (** runtime error in a handler *)
+  | Resources of string (** fuel/heap sandbox limit *)
+  | Killed (** pipeline terminated by the resource monitor *)
+
+type source =
+  | From_script of string (** a stage's onRequest produced the response *)
+  | From_origin (** the content handler fetched it *)
+  | From_failure of failure
+
+type outcome = {
+  response : Nk_http.Message.response;
+  source : source;
+  stages_matched : int; (** stages whose predicate selection found a policy *)
+  handlers_run : int; (** event handlers actually invoked *)
+  fuel : int; (** interpreter fuel consumed by this pipeline *)
+  heap : int; (** script heap bytes allocated by this pipeline *)
+}
+
+val well_known_client_wall : string
+(** "http://nakika.net/clientwall.js" *)
+
+val well_known_server_wall : string
+
+val site_script_url : Nk_http.Message.request -> string
+(** "http://<site>/nakika.js" — the robots.txt-style per-site policy
+    location. *)
+
+val default_stages : Nk_http.Message.request -> string list
+(** The three default stages in pop order: client wall, site script,
+    server wall. *)
+
+val execute :
+  load_stage:(string -> Stage.t option) ->
+  fetch:(Nk_http.Message.request -> Nk_http.Message.response) ->
+  ?initial_stages:string list ->
+  ?max_stages:int ->
+  Nk_http.Message.request ->
+  outcome
+(** [load_stage] returns [None] for sites that publish no script (the
+    stage is skipped); [fetch] is the content handler (proxy cache +
+    origin). [max_stages] (default 64) bounds dynamic scheduling so a
+    misbehaving script cannot loop the scheduler forever. *)
+
+val run_handler :
+  Stage.t ->
+  this_request:Nk_http.Message.request ->
+  response:Nk_http.Message.response option ->
+  Nk_script.Value.t ->
+  (Nk_http.Message.response option, failure) result
+(** Run one event handler in the stage's context with the message
+    globals installed; exposed for tests and the extension examples. *)

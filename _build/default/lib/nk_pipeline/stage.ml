@@ -1,0 +1,61 @@
+type t = {
+  url : string;
+  ctx : Nk_script.Interp.ctx;
+  policies : Nk_policy.Policy.t list;
+  tree : Nk_policy.Decision_tree.t;
+  (* Handlers share the stage's scripting context (its globals include
+     the per-request Request/Response objects), so concurrent pipelines
+     must not interleave inside it: a FIFO lock serializes handler
+     execution per stage, the moral equivalent of the prototype running
+     each pipeline in its own process (§4). *)
+  mutable busy : bool;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let url t = t.url
+
+let context t = t.ctx
+
+let policies t = t.policies
+
+let tree t = t.tree
+
+let of_policies ~url ~ctx policies =
+  {
+    url;
+    ctx;
+    policies;
+    tree = Nk_policy.Decision_tree.build policies;
+    busy = false;
+    waiters = Queue.create ();
+  }
+
+let of_script ~url ~host ?max_fuel ?max_heap_bytes ?seed ~source () =
+  let ctx = Nk_script.Interp.create ?max_fuel ?max_heap_bytes () in
+  Nk_vocab.Platform_v.install_all host ?seed ctx;
+  Nk_vocab.Eval_v.install ctx;
+  let registry = Nk_policy.Script_bridge.create_registry () in
+  Nk_policy.Script_bridge.install registry ctx;
+  match Nk_script.Interp.run_string ctx source with
+  | _ -> Ok (of_policies ~url ~ctx (Nk_policy.Script_bridge.policies registry))
+  | exception Nk_script.Value.Script_error msg -> Error (Printf.sprintf "%s: %s" url msg)
+  | exception Nk_script.Parser.Parse_error (msg, pos) ->
+    Error (Printf.sprintf "%s: parse error at %d:%d: %s" url pos.Nk_script.Ast.line pos.col msg)
+  | exception Nk_script.Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "%s: lex error at %d:%d: %s" url pos.Nk_script.Ast.line pos.col msg)
+  | exception Nk_script.Interp.Resource_exhausted msg ->
+    Error (Printf.sprintf "%s: %s" url msg)
+
+let select t req = Nk_policy.Decision_tree.find_closest t.tree req
+
+let acquire t =
+  if t.busy then
+    (* Suspend this pipeline's cothread until the current holder
+       releases; the release hands the lock over directly. *)
+    Nk_util.Cothread.await (fun k -> Queue.add k t.waiters)
+  else t.busy <- true
+
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some k -> k () (* stays busy; ownership passes to the waiter *)
+  | None -> t.busy <- false

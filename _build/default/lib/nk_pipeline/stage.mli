@@ -1,0 +1,47 @@
+(** A scripting-pipeline stage: the unit of composition (§3.1).
+
+    A stage is produced by fetching and evaluating a script; evaluation
+    registers policy objects, from which the matcher's decision tree is
+    built (§4). The stage keeps the scripting context its handlers
+    close over; nodes cache stages keyed by script URL until the
+    script's HTTP expiration. *)
+
+type t
+
+val url : t -> string
+
+val context : t -> Nk_script.Interp.ctx
+
+val policies : t -> Nk_policy.Policy.t list
+
+val tree : t -> Nk_policy.Decision_tree.t
+
+val of_script :
+  url:string ->
+  host:Nk_vocab.Hostcall.t ->
+  ?max_fuel:int ->
+  ?max_heap_bytes:int ->
+  ?seed:int ->
+  source:string ->
+  unit ->
+  (t, string) result
+(** Build a fresh context, install the platform vocabularies and the
+    [Policy] constructor, evaluate the script, and compile the decision
+    tree. Returns [Error] on parse or runtime failure (such a script
+    publishes no policies). *)
+
+val of_policies : url:string -> ctx:Nk_script.Interp.ctx -> Nk_policy.Policy.t list -> t
+(** Assemble a stage from pre-built policies (used by tests and
+    OCaml-authored stages). *)
+
+val select : t -> Nk_http.Message.request -> Nk_policy.Policy.t option
+(** Closest-match policy for the request via the decision tree. *)
+
+val acquire : t -> unit
+(** Take the stage's handler lock, suspending the calling cothread
+    while another pipeline is executing inside this stage's context.
+    Uncontended acquisition never suspends (callable outside a
+    cothread). *)
+
+val release : t -> unit
+(** Hand the lock to the next waiting pipeline, if any. *)

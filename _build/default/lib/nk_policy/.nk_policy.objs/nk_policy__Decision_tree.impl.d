@@ -1,0 +1,1 @@
+lib/nk_policy/decision_tree.ml: Hashtbl List Nk_http Policy String

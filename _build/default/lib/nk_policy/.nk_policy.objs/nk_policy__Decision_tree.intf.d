@@ -1,0 +1,1 @@
+lib/nk_policy/decision_tree.mli: Nk_http Policy

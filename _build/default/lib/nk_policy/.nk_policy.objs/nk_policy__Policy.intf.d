@@ -1,0 +1,1 @@
+lib/nk_policy/policy.mli: Nk_http Nk_regex Nk_script

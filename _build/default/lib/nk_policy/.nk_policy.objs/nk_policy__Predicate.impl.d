@@ -1,0 +1,1 @@
+lib/nk_policy/predicate.ml: List Nk_http Nk_regex Nk_util String

@@ -1,0 +1,1 @@
+lib/nk_policy/predicate.mli: Nk_http Nk_regex

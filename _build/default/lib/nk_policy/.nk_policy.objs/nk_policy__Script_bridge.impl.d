@@ -1,0 +1,1 @@
+lib/nk_policy/script_bridge.ml: List Nk_regex Nk_script Policy

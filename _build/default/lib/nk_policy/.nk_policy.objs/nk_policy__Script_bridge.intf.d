@@ -1,0 +1,1 @@
+lib/nk_policy/script_bridge.mli: Nk_script Policy

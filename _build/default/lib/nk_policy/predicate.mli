@@ -1,0 +1,23 @@
+(** The individual predicate forms policies are built from (§3.1):
+    URL prefixes, client CIDR blocks / domain suffixes, HTTP methods,
+    and header regexes. Each matcher returns a specificity score —
+    higher is more specific — or [None] when the value does not match;
+    scores feed the closest-match selection. *)
+
+val url : pattern:string -> Nk_http.Url.t -> int option
+(** "host/pathprefix" matching; score grows with host label count and
+    matched path prefix length. *)
+
+val client : pattern:string -> Nk_http.Ip.client -> int option
+(** CIDR patterns score by prefix length; domain suffixes by label
+    count. *)
+
+val meth : pattern:string -> Nk_http.Method_.t -> int option
+
+val header : name:string -> regex:Nk_regex.Regex.t -> Nk_http.Headers.t -> int option
+(** Matches when the header is present and the regex finds a match in
+    its value. *)
+
+val best : ('a -> int option) -> 'a list -> int option
+(** Disjunction over a value list: best (highest) score of any match;
+    [None] when nothing matches. *)

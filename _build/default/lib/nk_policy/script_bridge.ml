@@ -1,0 +1,67 @@
+open Nk_script.Value
+
+type registry = { mutable items : Policy.t list; mutable next_order : int }
+
+let create_registry () = { items = []; next_order = 0 }
+
+let policies r = List.rev r.items
+
+let string_list_field o name =
+  match obj_get o name with
+  | Vundefined | Vnull -> []
+  | Vstr s -> [ s ]
+  | Varr a ->
+    List.map
+      (function Vstr s -> s | v -> error "%s: expected string, got %s" name (type_name v))
+      (arr_to_list a)
+  | v -> error "%s: expected string or array, got %s" name (type_name v)
+
+let handler_field o name =
+  match obj_get o name with
+  | Vundefined | Vnull -> None
+  | Vfun _ as f -> Some f
+  | v -> error "%s: expected function, got %s" name (type_name v)
+
+let headers_field o =
+  match obj_get o "headers" with
+  | Vundefined | Vnull -> []
+  | Vobj ho ->
+    List.map
+      (fun key ->
+        match obj_get ho key with
+        | Vstr pattern -> (
+          ( key,
+            try Nk_regex.Regex.compile pattern
+            with Nk_regex.Regex.Parse_error msg ->
+              error "headers.%s: bad regex: %s" key msg ))
+        | v -> error "headers.%s: expected regex string, got %s" key (type_name v))
+      (obj_keys ho)
+  | v -> error "headers: expected object, got %s" (type_name v)
+
+let of_object ~order o =
+  {
+    Policy.urls = string_list_field o "url";
+    clients = string_list_field o "client";
+    methods = string_list_field o "method";
+    headers = headers_field o;
+    on_request = handler_field o "onRequest";
+    on_response = handler_field o "onResponse";
+    next_stages = string_list_field o "nextStages";
+    order;
+  }
+
+let install registry ctx =
+  let ctor =
+    native "Policy" (fun _ _ ->
+        let o = new_obj () in
+        let self = Vobj o in
+        obj_set o "register"
+          (native "register" (fun this _ ->
+               let target = match this with Some (Vobj t) -> t | _ -> o in
+               let policy = of_object ~order:registry.next_order target in
+               registry.next_order <- registry.next_order + 1;
+               registry.items <- policy :: registry.items;
+               Vundefined));
+        self)
+  in
+  Nk_script.Interp.define_global ctx "Policy" ctor

@@ -1,0 +1,1 @@
+lib/nk_regex/regex.ml: Buffer List Printf String

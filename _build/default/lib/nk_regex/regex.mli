@@ -1,0 +1,35 @@
+(** A small backtracking regular-expression engine.
+
+    Supports the subset needed by Na Kika's header predicates and the
+    script-level regex vocabulary: literals, [.], character classes
+    ([\[a-z\]], negation), escapes ([\d \w \s] and escaped
+    metacharacters), alternation ([|]), grouping [( )], the quantifiers
+    [* + ?] and bounded [{m}] / [{m,n}], plus anchors [^] and [$]. *)
+
+type t
+
+exception Parse_error of string
+
+val compile : string -> t
+(** Raises [Parse_error] on malformed patterns. *)
+
+val matches : t -> string -> bool
+(** Unanchored search: true when the pattern matches anywhere. *)
+
+val matches_full : t -> string -> bool
+(** True when the pattern matches the entire string. *)
+
+val find : t -> string -> (int * int) option
+(** Leftmost match as [(start, end_exclusive)]. *)
+
+val find_all : t -> string -> (int * int) list
+(** Non-overlapping leftmost matches. *)
+
+val replace : t -> by:string -> string -> string
+(** Replace every non-overlapping match. *)
+
+val split : t -> string -> string list
+(** Split the string on matches. *)
+
+val source : t -> string
+(** The pattern the regex was compiled from. *)

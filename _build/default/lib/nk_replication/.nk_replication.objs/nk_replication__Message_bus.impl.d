@@ -1,0 +1,1 @@
+lib/nk_replication/message_bus.ml: Hashtbl List Nk_sim Printf String

@@ -1,0 +1,1 @@
+lib/nk_replication/message_bus.mli: Nk_sim

@@ -1,0 +1,1 @@
+lib/nk_replication/registration.ml: List Replication

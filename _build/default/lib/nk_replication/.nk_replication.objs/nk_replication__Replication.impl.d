@@ -1,0 +1,1 @@
+lib/nk_replication/replication.ml: Hashtbl List Message_bus Printf Store String

@@ -1,0 +1,1 @@
+lib/nk_replication/replication.mli: Message_bus Nk_sim Store

@@ -1,0 +1,1 @@
+lib/nk_replication/store.ml: Hashtbl List Nk_util String

@@ -1,0 +1,61 @@
+type member = {
+  host : Nk_sim.Net.host;
+  subscriptions : (string, payload:string -> from:string -> unit) Hashtbl.t; (* by topic *)
+}
+
+type t = {
+  net : Nk_sim.Net.t;
+  members : (string, member) Hashtbl.t;
+  retained : (string, (string * string) list ref) Hashtbl.t;
+  (* topic -> (from, payload), newest first: durable-subscription backlog *)
+  mutable delivered : int;
+}
+
+let create net =
+  { net; members = Hashtbl.create 8; retained = Hashtbl.create 8; delivered = 0 }
+
+let attach t ~name ~host =
+  if not (Hashtbl.mem t.members name) then
+    Hashtbl.add t.members name { host; subscriptions = Hashtbl.create 4 }
+
+let deliver t m ~from ~topic ~payload =
+  match (Hashtbl.find_opt t.members from, Hashtbl.find_opt m.subscriptions topic) with
+  | Some sender, Some handler ->
+    let size = String.length payload + 64 in
+    Nk_sim.Net.send t.net ~src:sender.host ~dst:m.host ~size (fun () ->
+        t.delivered <- t.delivered + 1;
+        handler ~payload ~from)
+  | _ -> ()
+
+let subscribe t ~name ~topic ~handler =
+  match Hashtbl.find_opt t.members name with
+  | None -> invalid_arg (Printf.sprintf "Message_bus.subscribe: %s is not attached" name)
+  | Some m ->
+    let fresh = not (Hashtbl.mem m.subscriptions topic) in
+    Hashtbl.replace m.subscriptions topic handler;
+    if fresh then begin
+      (* Durable subscription: replay the topic's backlog so late
+         joiners converge (JORAM-style durability). *)
+      match Hashtbl.find_opt t.retained topic with
+      | Some backlog ->
+        List.iter
+          (fun (from, payload) -> if from <> name then deliver t m ~from ~topic ~payload)
+          (List.rev !backlog)
+      | None -> ()
+    end
+
+let publish t ~from ~topic ~payload =
+  match Hashtbl.find_opt t.members from with
+  | None -> invalid_arg (Printf.sprintf "Message_bus.publish: %s is not attached" from)
+  | Some _ ->
+    (match Hashtbl.find_opt t.retained topic with
+     | Some backlog -> backlog := (from, payload) :: !backlog
+     | None -> Hashtbl.add t.retained topic (ref [ (from, payload) ]));
+    Hashtbl.iter
+      (fun name m ->
+        (* Per-link FIFO in Net keeps same-size messages in order, which
+           gives per-sender in-order delivery. *)
+        if name <> from then deliver t m ~from ~topic ~payload)
+      t.members
+
+let delivered t = t.delivered

@@ -1,0 +1,33 @@
+(** The reliable messaging service (the JORAM stand-in, §3.3/§4).
+
+    Topic-based publish/subscribe with exactly-once, per-sender-in-order
+    delivery over the network simulator. Each subscription carries its
+    own handler, so one member (a Na Kika node) can process several
+    sites' update streams independently. Subscriptions are durable in
+    the JORAM sense: a member that subscribes after messages were
+    published receives the topic's backlog, so late-joining replicas
+    converge. *)
+
+type t
+
+val create : Nk_sim.Net.t -> t
+
+val attach : t -> name:string -> host:Nk_sim.Net.host -> unit
+(** Join the bus (idempotent). *)
+
+val subscribe :
+  t ->
+  name:string ->
+  topic:string ->
+  handler:(payload:string -> from:string -> unit) ->
+  unit
+(** Subscribe the member to a topic. The handler runs at (simulated)
+    delivery time; re-subscribing replaces the handler. The topic's
+    backlog is replayed to the new subscriber. Raises
+    [Invalid_argument] if [name] never attached. *)
+
+val publish : t -> from:string -> topic:string -> payload:string -> unit
+(** Deliver to every *other* subscribed member, in per-sender order. *)
+
+val delivered : t -> int
+(** Total messages delivered so far (for tests and benches). *)

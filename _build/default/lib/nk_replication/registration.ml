@@ -1,0 +1,19 @@
+type t = { node : Replication.node }
+
+let key user = "user:" ^ user
+
+let create node = { node }
+
+let register t ~user ~profile =
+  match Replication.read t.node ~key:(key user) with
+  | Some _ -> false
+  | None -> Replication.update t.node ~key:(key user) ~value:profile
+
+let lookup t ~user = Replication.read t.node ~key:(key user)
+
+let update_profile t ~user ~profile =
+  match Replication.read t.node ~key:(key user) with
+  | None -> false
+  | Some _ -> Replication.update t.node ~key:(key user) ~value:profile
+
+let user_count t = List.length (Replication.keys t.node ~prefix:"user:")

@@ -1,0 +1,18 @@
+(** The user-registration vocabulary required by the SPECweb99 port
+    (§4: the prototype "exposes a vocabulary for managing user
+    registrations, as required by the SPECweb99 benchmark"). A thin,
+    typed layer over a replication node. *)
+
+type t
+
+val create : Replication.node -> t
+
+val register : t -> user:string -> profile:string -> bool
+(** False when the user already exists or storage is over quota. *)
+
+val lookup : t -> user:string -> string option
+
+val update_profile : t -> user:string -> profile:string -> bool
+(** False when the user does not exist locally. *)
+
+val user_count : t -> int

@@ -1,0 +1,48 @@
+(** Script-style hard-state replication (§3.3), after Gao et al.
+
+    Each node pairs a local {!Store} with the {!Message_bus}. An update
+    is accepted at any node, applied per the site's strategy, and
+    propagated; receivers resolve conflicts with a per-key version
+    ordering (Lamport counter, node name as tie-break) — optimistic
+    last-writer-wins — or through a caller-supplied resolver. The
+    [Primary] strategy forwards updates through a primary node first,
+    giving serializability. *)
+
+type strategy =
+  | Optimistic (** apply locally, propagate to all nodes *)
+  | Primary of string (** route through the named node for serializability *)
+
+type node
+
+val attach :
+  bus:Message_bus.t ->
+  name:string ->
+  host:Nk_sim.Net.host ->
+  store:Store.t ->
+  ?resolve:(key:string -> current:string option -> proposed:string -> string) ->
+  site:string ->
+  strategy ->
+  node
+(** Join the replication group for [site]. [resolve] overrides
+    last-writer-wins for concurrent versions. *)
+
+val update : node -> key:string -> value:string -> bool
+(** Accept an update at this node. Under [Optimistic] (or at the
+    primary itself) the write applies locally and broadcasts; false
+    means the local quota refused it. Under [Primary] at a non-primary
+    replica the proposal is forwarded to the primary, which serializes,
+    applies and broadcasts it — the local replica converges when the
+    broadcast arrives. *)
+
+val read : node -> key:string -> string option
+
+val delete : node -> key:string -> unit
+(** Deletions replicate like writes (tombstone value). *)
+
+val keys : node -> prefix:string -> string list
+(** Live (non-tombstoned) keys at this replica, sorted. *)
+
+val name : node -> string
+
+val applied_updates : node -> int
+(** Local + remote updates applied at this node. *)

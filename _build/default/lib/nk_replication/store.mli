@@ -1,0 +1,25 @@
+(** Per-site partitioned local storage for hard state (§3.3).
+
+    "Na Kika partitions hard state amongst sites and enforces resource
+    constraints on persistent storage" — each site owns a keyspace with
+    a byte quota; writes that would exceed it are refused. *)
+
+type t
+
+val create : ?quota_bytes:int -> unit -> t
+(** [quota_bytes] is per site (default 16 MiB). *)
+
+val get : t -> site:string -> key:string -> string option
+
+val put : t -> site:string -> key:string -> string -> bool
+(** False (and no change) when the write would push the site over
+    quota. Overwrites account only the size delta. *)
+
+val delete : t -> site:string -> key:string -> unit
+
+val keys : t -> site:string -> prefix:string -> string list
+(** Sorted. *)
+
+val site_bytes : t -> site:string -> int
+
+val sites : t -> string list

@@ -1,0 +1,1 @@
+lib/nk_resource/accounting.ml: Hashtbl List Nk_util Resource

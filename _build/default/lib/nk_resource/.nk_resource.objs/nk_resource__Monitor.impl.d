@@ -1,0 +1,1 @@
+lib/nk_resource/monitor.ml: Accounting Hashtbl List Resource

@@ -1,0 +1,1 @@
+lib/nk_resource/resource.mli:

@@ -1,0 +1,43 @@
+(** Per-site resource accounting.
+
+    Sites accumulate consumption in the current control interval; when
+    the interval closes, UPDATE folds it into a weighted average of past
+    and present consumption — the value "exposed to scripts, thus
+    allowing scripts to adapt to system congestion and recover from past
+    penalization" (§3.2). Renewable resources only fold in while the
+    resource is congested. *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** [alpha] is the EWMA weight of the newest interval (default 0.3). *)
+
+val charge : t -> site:string -> Resource.t -> float -> unit
+(** Add consumption for the current interval (seconds of CPU, bytes of
+    memory/bandwidth, ...). *)
+
+val interval_consumption : t -> site:string -> Resource.t -> float
+
+val usage : t -> site:string -> Resource.t -> float
+(** The weighted average (the paper's [site.usage]). *)
+
+val contribution : t -> site:string -> Resource.t -> float
+(** This site's share of the summed usage over all active sites, in
+    [0, 1]; 0 when nothing is recorded. Drives proportional
+    throttling. *)
+
+val active_sites : t -> string list
+(** Sites with any recorded activity, sorted. *)
+
+val close_interval : t -> congested:(Resource.t -> bool) -> unit
+(** Fold the interval counters into the averages per the Fig. 6 rules
+    and reset them. *)
+
+val close_resource_interval : t -> Resource.t -> congested:bool -> unit
+(** Same, for a single resource — CONTROL runs per tracked resource. *)
+
+val total_interval : t -> Resource.t -> float
+(** Summed current-interval consumption across sites (the node-wide
+    view used by congestion detection). *)
+
+val forget : t -> site:string -> unit

@@ -1,0 +1,77 @@
+type t = {
+  accounting : Accounting.t;
+  is_congested : final:bool -> Resource.t -> bool;
+  throttle : site:string -> fraction:float -> resource:Resource.t -> unit;
+  unthrottle : Resource.t -> unit;
+  terminate : site:string -> unit;
+  pending : (Resource.t, (string * float) list) Hashtbl.t;
+  (* usage-ranked sites from the begin phase, largest first *)
+  mutable terminations : int;
+  mutable throttle_events : int;
+}
+
+let create ~accounting ~is_congested ~throttle ~unthrottle ~terminate () =
+  {
+    accounting;
+    is_congested;
+    throttle;
+    unthrottle;
+    terminate;
+    pending = Hashtbl.create 8;
+    terminations = 0;
+    throttle_events = 0;
+  }
+
+let begin_control t resource =
+  let congested = t.is_congested ~final:false resource in
+  if congested then begin
+    Accounting.close_resource_interval t.accounting resource ~congested:true;
+    let ranked =
+      Accounting.active_sites t.accounting
+      |> List.map (fun site -> (site, Accounting.usage t.accounting ~site resource))
+      |> List.filter (fun (_, u) -> u > 0.0)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    Hashtbl.replace t.pending resource ranked;
+    let total = List.fold_left (fun acc (_, u) -> acc +. u) 0.0 ranked in
+    let throttled =
+      List.map
+        (fun (site, u) ->
+          let fraction = if total > 0.0 then u /. total else 0.0 in
+          t.throttle ~site ~fraction ~resource;
+          t.throttle_events <- t.throttle_events + 1;
+          (site, fraction))
+        ranked
+    in
+    `Congested throttled
+  end
+  else begin
+    (* Close the interval regardless: for renewables this folds a zero
+       (consumption under no congestion never counts, and the average
+       decays so past penalization is forgotten); for nonrenewables the
+       actual consumption folds in. *)
+    Accounting.close_resource_interval t.accounting resource ~congested:false;
+    `Clear
+  end
+
+let finish_control t resource =
+  let ranked = match Hashtbl.find_opt t.pending resource with Some r -> r | None -> [] in
+  Hashtbl.remove t.pending resource;
+  if t.is_congested ~final:true resource then begin
+    match ranked with
+    | (site, _) :: _ ->
+      t.terminate ~site;
+      t.terminations <- t.terminations + 1;
+      `Terminated site
+    | [] ->
+      t.unthrottle resource;
+      `Unthrottled
+  end
+  else begin
+    t.unthrottle resource;
+    `Unthrottled
+  end
+
+let terminations t = t.terminations
+
+let throttle_events t = t.throttle_events

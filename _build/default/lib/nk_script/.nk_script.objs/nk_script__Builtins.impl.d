@@ -1,0 +1,1 @@
+lib/nk_script/builtins.ml: Float Interp List Nk_util String Value

@@ -1,0 +1,1 @@
+lib/nk_script/context_pool.mli: Interp

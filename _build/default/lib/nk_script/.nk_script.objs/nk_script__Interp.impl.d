@@ -1,0 +1,1 @@
+lib/nk_script/interp.ml: Array Ast Buffer Bytes Char Float Hashtbl List Nk_util Option Parser String Value

@@ -1,0 +1,1 @@
+lib/nk_script/lexer.ml: Ast Buffer List Printf String

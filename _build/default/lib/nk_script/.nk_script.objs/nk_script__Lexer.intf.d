@@ -1,0 +1,1 @@
+lib/nk_script/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/nk_script/parser.ml: Array Ast Float Lexer List Printf

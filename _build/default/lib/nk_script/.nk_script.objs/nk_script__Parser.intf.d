@@ -1,0 +1,1 @@
+lib/nk_script/parser.mli: Ast

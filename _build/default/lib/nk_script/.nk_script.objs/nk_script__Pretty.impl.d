@@ -1,0 +1,1 @@
+lib/nk_script/pretty.ml: Ast Buffer Char Float Lexer List Parser Printf String

@@ -1,0 +1,1 @@
+lib/nk_script/value.ml: Array Ast Bytes Float Hashtbl List Printf String

@@ -1,0 +1,77 @@
+(* Abstract syntax of NKScript, the JavaScript-like language hosted
+   services are written in (§3.1). The subset covers everything the
+   paper's figures use: functions and closures, object and array
+   literals, member/index access, the usual operators, exceptions, and
+   [new] for vocabulary constructors such as [Policy] and [ByteArray]. *)
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type unop = Neg | Not | Bnot | Typeof
+
+type logical = And | Or
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Undefined
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Ident of string
+  | This
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Func of string list * stmt list (* anonymous function expression *)
+  | Member of expr * string
+  | Index of expr * expr
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Assign of lvalue * binop option * expr (* x = e; x += e; o.f -= e; ... *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Logical of logical * expr * expr
+  | Cond of expr * expr * expr
+  | Incr of bool * lvalue (* prefix?, ++ *)
+  | Decr of bool * lvalue
+  | Delete of expr * string (* delete obj.prop *)
+
+and lvalue = Lident of string | Lmember of expr * string | Lindex of expr * expr
+
+and stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Svar of (string * expr option) list
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo_while of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sfor_in of string * expr * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sfunc of string * string list * stmt list
+  | Sblock of stmt list
+  | Sthrow of expr
+  | Stry of stmt list * string * stmt list
+
+type program = stmt list

@@ -1,0 +1,6 @@
+(** The base globals installed into every fresh scripting context:
+    [Math], [String], [Number], [parseInt], [parseFloat], [isNaN] and
+    the [ByteArray] constructor (§3.1/§4). Vocabularies add the rest. *)
+
+val install : ?seed:int -> Interp.ctx -> unit
+(** [seed] feeds the deterministic [Math.random]. *)

@@ -1,0 +1,34 @@
+type t = {
+  capacity : int;
+  make : unit -> Interp.ctx;
+  mutable free : Interp.ctx list;
+  mutable free_count : int;
+  mutable created : int;
+  mutable reused : int;
+}
+
+let create ?(capacity = 32) ~make () =
+  { capacity; make; free = []; free_count = 0; created = 0; reused = 0 }
+
+let acquire t =
+  match t.free with
+  | ctx :: rest ->
+    t.free <- rest;
+    t.free_count <- t.free_count - 1;
+    t.reused <- t.reused + 1;
+    Interp.reset_usage ctx;
+    Interp.revive ctx;
+    ctx
+  | [] ->
+    t.created <- t.created + 1;
+    t.make ()
+
+let release t ctx =
+  if t.free_count < t.capacity then begin
+    t.free <- ctx :: t.free;
+    t.free_count <- t.free_count + 1
+  end
+
+let created t = t.created
+
+let reused t = t.reused

@@ -1,0 +1,24 @@
+(** Reusable scripting contexts.
+
+    The prototype "reuses scripting contexts to amortize the overhead of
+    context creation across several event handler executions" (§4);
+    reuse is safe because scripts cannot forge pointers and usage
+    counters are reset between requests. The pool records creation vs
+    reuse counts so the micro-benchmarks can report both costs. *)
+
+type t
+
+val create : ?capacity:int -> make:(unit -> Interp.ctx) -> unit -> t
+(** [make] builds a fresh context (typically [Interp.create] followed by
+    [Builtins.install] and vocabulary setup). *)
+
+val acquire : t -> Interp.ctx
+(** A pooled context (usage counters reset) or a fresh one. *)
+
+val release : t -> Interp.ctx -> unit
+(** Return a context to the pool; dropped when the pool is full. *)
+
+val created : t -> int
+(** Number of fresh contexts built so far. *)
+
+val reused : t -> int

@@ -1,0 +1,55 @@
+(** The NKScript evaluator and its sandbox.
+
+    Each scripting context is fully isolated: it owns its globals and is
+    subject to a fuel (CPU) and heap limit, mirroring the per-pipeline
+    sandboxing of §3.2/§4. The resource monitor reads [fuel_used] /
+    [heap_used] for congestion accounting and calls [kill] to terminate
+    a pipeline mid-execution. *)
+
+type ctx
+
+exception Resource_exhausted of string
+(** Fuel or heap limit exceeded. *)
+
+exception Terminated
+(** The context was killed by the resource monitor. *)
+
+val create : ?max_fuel:int -> ?max_heap_bytes:int -> unit -> ctx
+(** Defaults: 5,000,000 fuel units and 64 MiB of script heap. *)
+
+val define_global : ctx -> string -> Value.t -> unit
+
+val get_global : ctx -> string -> Value.t option
+
+val remove_global : ctx -> string -> unit
+
+val run : ctx -> Ast.program -> Value.t
+(** Execute a program; returns the value of the final expression
+    statement ([Vundefined] when none). Raises [Value.Script_error] for
+    runtime errors and the sandbox exceptions above. *)
+
+val run_string : ctx -> string -> Value.t
+(** Parse then [run]. Also raises [Parser.Parse_error] /
+    [Lexer.Lex_error]. *)
+
+val apply : ctx -> ?this:Value.t -> Value.t -> Value.t list -> Value.t
+(** Call a function value (event handlers are invoked this way). *)
+
+val consume_fuel : ctx -> int -> unit
+(** Charge additional fuel from native (vocabulary) code, so
+    data-proportional platform work — XML transforms, image scaling —
+    counts against the sandbox and the CPU model like interpreted work
+    does. Raises [Resource_exhausted] / [Terminated] like any
+    evaluation step. *)
+
+val fuel_used : ctx -> int
+val heap_used : ctx -> int
+
+val reset_usage : ctx -> unit
+(** Zero the fuel/heap counters (called between requests when a context
+    is reused from the pool). *)
+
+val kill : ctx -> unit
+(** Make the next evaluation step raise [Terminated]. *)
+
+val revive : ctx -> unit

@@ -1,0 +1,173 @@
+type token =
+  | Tnumber of float
+  | Tstring of string
+  | Tident of string
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+type lexed = { token : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [ "var"; "function"; "if"; "else"; "while"; "do"; "for"; "in"; "return"; "break";
+    "continue"; "true"; "false"; "null"; "undefined"; "new"; "this"; "typeof"; "throw";
+    "try"; "catch"; "delete" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [ "==="; "!=="; "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "++"; "--"; "+=";
+    "-="; "*="; "/="; "%="; "&="; "|="; "^="; "<<"; ">>"; "{"; "}"; "("; ")"; "["; "]";
+    ";"; ","; "."; "?"; ":"; "="; "+"; "-"; "*"; "/"; "%"; "<"; ">"; "!"; "&"; "|"; "^";
+    "~" ]
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let pos () = { Ast.line = !line; col = !col } in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let advance k =
+    for j = !i to !i + k - 1 do
+      if j < n && src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let emit tok p = tokens := { token = tok; pos = p } :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let p = pos () in
+      advance 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          advance 2;
+          closed := true
+        end
+        else advance 1
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", p))
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let p = pos () in
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') then begin
+        advance 2;
+        while
+          !i < n
+          &&
+          let h = src.[!i] in
+          is_digit h || (h >= 'a' && h <= 'f') || (h >= 'A' && h <= 'F')
+        do
+          advance 1
+        done;
+        let text = String.sub src start (!i - start) in
+        match int_of_string_opt text with
+        | Some v -> emit (Tnumber (float_of_int v)) p
+        | None -> raise (Lex_error ("bad hex literal " ^ text, p))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do
+          advance 1
+        done;
+        if !i < n && src.[!i] = '.' then begin
+          advance 1;
+          while !i < n && is_digit src.[!i] do
+            advance 1
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          advance 1;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance 1;
+          while !i < n && is_digit src.[!i] do
+            advance 1
+          done
+        end;
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some v -> emit (Tnumber v) p
+        | None -> raise (Lex_error ("bad number literal " ^ text, p))
+      end
+    end
+    else if is_ident_start c then begin
+      let p = pos () in
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      if List.mem text keywords then emit (Tkeyword text) p else emit (Tident text) p
+    end
+    else if c = '"' || c = '\'' then begin
+      let p = pos () in
+      let quote = c in
+      advance 1;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = quote then begin
+          advance 1;
+          closed := true
+        end
+        else if c = '\\' && !i + 1 < n then begin
+          let e = src.[!i + 1] in
+          let ch =
+            match e with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | 'r' -> '\r'
+            | '0' -> '\x00'
+            | '\\' -> '\\'
+            | '\'' -> '\''
+            | '"' -> '"'
+            | c -> c
+          in
+          Buffer.add_char buf ch;
+          advance 2
+        end
+        else if c = '\n' then raise (Lex_error ("newline in string literal", p))
+        else begin
+          Buffer.add_char buf c;
+          advance 1
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string literal", p));
+      emit (Tstring (Buffer.contents buf)) p
+    end
+    else begin
+      let p = pos () in
+      let matched =
+        List.find_opt
+          (fun punct ->
+            let lp = String.length punct in
+            !i + lp <= n && String.sub src !i lp = punct)
+          puncts
+      in
+      match matched with
+      | Some punct ->
+        advance (String.length punct);
+        emit (Tpunct punct) p
+      | None -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, p))
+    end
+  done;
+  emit Teof (pos ());
+  List.rev !tokens

@@ -1,0 +1,17 @@
+(** NKScript tokenizer. *)
+
+type token =
+  | Tnumber of float
+  | Tstring of string
+  | Tident of string
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+type lexed = { token : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val tokenize : string -> lexed list
+(** Raises [Lex_error] on malformed input (unterminated strings or
+    comments, stray characters). *)

@@ -1,0 +1,581 @@
+exception Parse_error of string * Ast.pos
+
+type state = { tokens : Lexer.lexed array; mutable pos : int }
+
+let current st = st.tokens.(st.pos)
+
+let peek_token st = (current st).Lexer.token
+
+let peek_pos st = (current st).Lexer.pos
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error (msg, peek_pos st))
+
+let is_punct st s = match peek_token st with Lexer.Tpunct p -> p = s | _ -> false
+
+let is_keyword st s = match peek_token st with Lexer.Tkeyword k -> k = s | _ -> false
+
+let eat_punct st s =
+  if is_punct st s then advance st else fail st (Printf.sprintf "expected '%s'" s)
+
+let eat_keyword st s =
+  if is_keyword st s then advance st else fail st (Printf.sprintf "expected '%s'" s)
+
+let eat_ident st =
+  match peek_token st with
+  | Lexer.Tident name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+let mk pos desc = { Ast.desc; pos }
+
+let mks pos sdesc = { Ast.sdesc; spos = pos }
+
+let lvalue_of_expr st (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Ident name -> Ast.Lident name
+  | Ast.Member (obj, field) -> Ast.Lmember (obj, field)
+  | Ast.Index (obj, idx) -> Ast.Lindex (obj, idx)
+  | _ -> fail st "invalid assignment target"
+
+let assign_op = function
+  | "+=" -> Some Ast.Add
+  | "-=" -> Some Ast.Sub
+  | "*=" -> Some Ast.Mul
+  | "/=" -> Some Ast.Div
+  | "%=" -> Some Ast.Mod
+  | "&=" -> Some Ast.Band
+  | "|=" -> Some Ast.Bor
+  | "^=" -> Some Ast.Bxor
+  | "<<=" -> Some Ast.Shl
+  | ">>=" -> Some Ast.Shr
+  | _ -> None
+
+let rec parse_program st =
+  let stmts = ref [] in
+  while peek_token st <> Lexer.Teof do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_block st =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while not (is_punct st "}") do
+    if peek_token st = Lexer.Teof then fail st "unterminated block";
+    stmts := parse_stmt st :: !stmts
+  done;
+  eat_punct st "}";
+  List.rev !stmts
+
+(* A statement body: either a block or a single statement. *)
+and parse_body st = if is_punct st "{" then parse_block st else [ parse_stmt st ]
+
+and parse_stmt st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Lexer.Tkeyword "var" ->
+    advance st;
+    let rec bindings acc =
+      let name = eat_ident st in
+      let init =
+        if is_punct st "=" then begin
+          advance st;
+          Some (parse_assignment st)
+        end
+        else None
+      in
+      let acc = (name, init) :: acc in
+      if is_punct st "," then begin
+        advance st;
+        bindings acc
+      end
+      else List.rev acc
+    in
+    let bs = bindings [] in
+    semicolon st;
+    mks pos (Ast.Svar bs)
+  | Lexer.Tkeyword "function" ->
+    advance st;
+    let name = eat_ident st in
+    let params = parse_params st in
+    let body = parse_block st in
+    mks pos (Ast.Sfunc (name, params, body))
+  | Lexer.Tkeyword "if" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    let then_branch = parse_body st in
+    let else_branch =
+      if is_keyword st "else" then begin
+        advance st;
+        parse_body st
+      end
+      else []
+    in
+    mks pos (Ast.Sif (cond, then_branch, else_branch))
+  | Lexer.Tkeyword "while" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    mks pos (Ast.Swhile (cond, parse_body st))
+  | Lexer.Tkeyword "do" ->
+    advance st;
+    let body = parse_body st in
+    eat_keyword st "while";
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    semicolon st;
+    mks pos (Ast.Sdo_while (body, cond))
+  | Lexer.Tkeyword "for" ->
+    advance st;
+    eat_punct st "(";
+    (* Distinguish for-in from the three-clause form. *)
+    let is_for_in =
+      (match peek_token st with
+       | Lexer.Tkeyword "var" -> (
+         match st.tokens.(st.pos + 1).Lexer.token with
+         | Lexer.Tident _ -> st.tokens.(st.pos + 2).Lexer.token = Lexer.Tkeyword "in"
+         | _ -> false)
+       | Lexer.Tident _ -> st.tokens.(st.pos + 1).Lexer.token = Lexer.Tkeyword "in"
+       | _ -> false)
+    in
+    if is_for_in then begin
+      if is_keyword st "var" then advance st;
+      let name = eat_ident st in
+      eat_keyword st "in";
+      let subject = parse_expr st in
+      eat_punct st ")";
+      mks pos (Ast.Sfor_in (name, subject, parse_body st))
+    end
+    else begin
+      let init =
+        if is_punct st ";" then begin
+          advance st;
+          None
+        end
+        else if is_keyword st "var" then begin
+          let s = parse_stmt st in
+          (* parse_stmt consumed the ';' *)
+          Some s
+        end
+        else begin
+          let e = parse_expr st in
+          eat_punct st ";";
+          Some (mks pos (Ast.Sexpr e))
+        end
+      in
+      let cond =
+        if is_punct st ";" then None
+        else Some (parse_expr st)
+      in
+      eat_punct st ";";
+      let step = if is_punct st ")" then None else Some (parse_expr st) in
+      eat_punct st ")";
+      mks pos (Ast.Sfor (init, cond, step, parse_body st))
+    end
+  | Lexer.Tkeyword "return" ->
+    advance st;
+    let value =
+      if is_punct st ";" || is_punct st "}" then None else Some (parse_expr st)
+    in
+    semicolon st;
+    mks pos (Ast.Sreturn value)
+  | Lexer.Tkeyword "break" ->
+    advance st;
+    semicolon st;
+    mks pos Ast.Sbreak
+  | Lexer.Tkeyword "continue" ->
+    advance st;
+    semicolon st;
+    mks pos Ast.Scontinue
+  | Lexer.Tkeyword "throw" ->
+    advance st;
+    let e = parse_expr st in
+    semicolon st;
+    mks pos (Ast.Sthrow e)
+  | Lexer.Tkeyword "try" ->
+    advance st;
+    let body = parse_block st in
+    eat_keyword st "catch";
+    eat_punct st "(";
+    let name = eat_ident st in
+    eat_punct st ")";
+    let handler = parse_block st in
+    mks pos (Ast.Stry (body, name, handler))
+  | Lexer.Tpunct "{" -> mks pos (Ast.Sblock (parse_block st))
+  | Lexer.Tpunct ";" ->
+    advance st;
+    mks pos (Ast.Sblock [])
+  | _ ->
+    let e = parse_expr st in
+    semicolon st;
+    mks pos (Ast.Sexpr e)
+
+and semicolon st = if is_punct st ";" then advance st (* semicolons are optional *)
+
+and parse_params st =
+  eat_punct st "(";
+  let params = ref [] in
+  if not (is_punct st ")") then begin
+    params := [ eat_ident st ];
+    while is_punct st "," do
+      advance st;
+      params := eat_ident st :: !params
+    done
+  end;
+  eat_punct st ")";
+  List.rev !params
+
+and parse_expr st =
+  (* comma expressions are not supported; expression = assignment *)
+  parse_assignment st
+
+and parse_assignment st =
+  let left = parse_conditional st in
+  match peek_token st with
+  | Lexer.Tpunct "=" ->
+    let pos = peek_pos st in
+    advance st;
+    let right = parse_assignment st in
+    mk pos (Ast.Assign (lvalue_of_expr st left, None, right))
+  | Lexer.Tpunct p when assign_op p <> None ->
+    let pos = peek_pos st in
+    advance st;
+    let right = parse_assignment st in
+    mk pos (Ast.Assign (lvalue_of_expr st left, assign_op p, right))
+  | _ -> left
+
+and parse_conditional st =
+  let cond = parse_logical_or st in
+  if is_punct st "?" then begin
+    let pos = peek_pos st in
+    advance st;
+    let t = parse_assignment st in
+    eat_punct st ":";
+    let f = parse_assignment st in
+    mk pos (Ast.Cond (cond, t, f))
+  end
+  else cond
+
+and parse_logical_or st =
+  let left = ref (parse_logical_and st) in
+  while is_punct st "||" do
+    let pos = peek_pos st in
+    advance st;
+    let right = parse_logical_and st in
+    left := mk pos (Ast.Logical (Ast.Or, !left, right))
+  done;
+  !left
+
+and parse_logical_and st =
+  let left = ref (parse_bitor st) in
+  while is_punct st "&&" do
+    let pos = peek_pos st in
+    advance st;
+    let right = parse_bitor st in
+    left := mk pos (Ast.Logical (Ast.And, !left, right))
+  done;
+  !left
+
+and parse_bitor st =
+  let left = ref (parse_bitxor st) in
+  while is_punct st "|" do
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (Ast.Bor, !left, parse_bitxor st))
+  done;
+  !left
+
+and parse_bitxor st =
+  let left = ref (parse_bitand st) in
+  while is_punct st "^" do
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (Ast.Bxor, !left, parse_bitand st))
+  done;
+  !left
+
+and parse_bitand st =
+  let left = ref (parse_equality st) in
+  while is_punct st "&" do
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (Ast.Band, !left, parse_equality st))
+  done;
+  !left
+
+and parse_equality st =
+  let left = ref (parse_relational st) in
+  let rec loop () =
+    match peek_token st with
+    | Lexer.Tpunct ("==" | "===") ->
+      let pos = peek_pos st in
+      advance st;
+      left := mk pos (Ast.Binop (Ast.Eq, !left, parse_relational st));
+      loop ()
+    | Lexer.Tpunct ("!=" | "!==") ->
+      let pos = peek_pos st in
+      advance st;
+      left := mk pos (Ast.Binop (Ast.Neq, !left, parse_relational st));
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !left
+
+and parse_relational st =
+  let left = ref (parse_shift st) in
+  let rec loop () =
+    match peek_token st with
+    | Lexer.Tpunct "<" ->
+      op Ast.Lt
+    | Lexer.Tpunct "<=" ->
+      op Ast.Le
+    | Lexer.Tpunct ">" ->
+      op Ast.Gt
+    | Lexer.Tpunct ">=" ->
+      op Ast.Ge
+    | _ -> ()
+  and op o =
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (o, !left, parse_shift st));
+    loop ()
+  in
+  loop ();
+  !left
+
+and parse_shift st =
+  let left = ref (parse_additive st) in
+  let rec loop () =
+    match peek_token st with
+    | Lexer.Tpunct "<<" ->
+      op Ast.Shl
+    | Lexer.Tpunct ">>" ->
+      op Ast.Shr
+    | _ -> ()
+  and op o =
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (o, !left, parse_additive st));
+    loop ()
+  in
+  loop ();
+  !left
+
+and parse_additive st =
+  let left = ref (parse_multiplicative st) in
+  let rec loop () =
+    match peek_token st with
+    | Lexer.Tpunct "+" ->
+      op Ast.Add
+    | Lexer.Tpunct "-" ->
+      op Ast.Sub
+    | _ -> ()
+  and op o =
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (o, !left, parse_multiplicative st));
+    loop ()
+  in
+  loop ();
+  !left
+
+and parse_multiplicative st =
+  let left = ref (parse_unary st) in
+  let rec loop () =
+    match peek_token st with
+    | Lexer.Tpunct "*" ->
+      op Ast.Mul
+    | Lexer.Tpunct "/" ->
+      op Ast.Div
+    | Lexer.Tpunct "%" ->
+      op Ast.Mod
+    | _ -> ()
+  and op o =
+    let pos = peek_pos st in
+    advance st;
+    left := mk pos (Ast.Binop (o, !left, parse_unary st));
+    loop ()
+  in
+  loop ();
+  !left
+
+and parse_unary st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Lexer.Tpunct "!" ->
+    advance st;
+    mk pos (Ast.Unop (Ast.Not, parse_unary st))
+  | Lexer.Tpunct "-" ->
+    advance st;
+    mk pos (Ast.Unop (Ast.Neg, parse_unary st))
+  | Lexer.Tpunct "+" ->
+    advance st;
+    parse_unary st
+  | Lexer.Tpunct "~" ->
+    advance st;
+    mk pos (Ast.Unop (Ast.Bnot, parse_unary st))
+  | Lexer.Tkeyword "typeof" ->
+    advance st;
+    mk pos (Ast.Unop (Ast.Typeof, parse_unary st))
+  | Lexer.Tkeyword "delete" -> (
+    advance st;
+    let target = parse_unary st in
+    match target.Ast.desc with
+    | Ast.Member (obj, field) -> mk pos (Ast.Delete (obj, field))
+    | _ -> fail st "delete expects a property access")
+  | Lexer.Tpunct "++" ->
+    advance st;
+    let e = parse_unary st in
+    mk pos (Ast.Incr (true, lvalue_of_expr st e))
+  | Lexer.Tpunct "--" ->
+    advance st;
+    let e = parse_unary st in
+    mk pos (Ast.Decr (true, lvalue_of_expr st e))
+  | Lexer.Tkeyword "new" ->
+    advance st;
+    let ctor = parse_member_chain st (parse_primary st) ~calls:false in
+    let args = if is_punct st "(" then parse_args st else [] in
+    parse_postfix st (mk pos (Ast.New (ctor, args)))
+  | _ -> parse_postfix st (parse_primary st)
+
+and parse_args st =
+  eat_punct st "(";
+  let args = ref [] in
+  if not (is_punct st ")") then begin
+    args := [ parse_assignment st ];
+    while is_punct st "," do
+      advance st;
+      args := parse_assignment st :: !args
+    done
+  end;
+  eat_punct st ")";
+  List.rev !args
+
+(* Member/index chains, optionally consuming call parentheses. *)
+and parse_member_chain st expr ~calls =
+  let e = ref expr in
+  let continue = ref true in
+  while !continue do
+    let pos = peek_pos st in
+    match peek_token st with
+    | Lexer.Tpunct "." ->
+      advance st;
+      let field = eat_ident st in
+      e := mk pos (Ast.Member (!e, field))
+    | Lexer.Tpunct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      e := mk pos (Ast.Index (!e, idx))
+    | Lexer.Tpunct "(" when calls -> e := mk pos (Ast.Call (!e, parse_args st))
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_postfix st expr =
+  let e = parse_member_chain st expr ~calls:true in
+  let pos = peek_pos st in
+  match peek_token st with
+  | Lexer.Tpunct "++" ->
+    advance st;
+    mk pos (Ast.Incr (false, lvalue_of_expr st e))
+  | Lexer.Tpunct "--" ->
+    advance st;
+    mk pos (Ast.Decr (false, lvalue_of_expr st e))
+  | _ -> e
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Lexer.Tnumber n ->
+    advance st;
+    mk pos (Ast.Number n)
+  | Lexer.Tstring s ->
+    advance st;
+    mk pos (Ast.String s)
+  | Lexer.Tident name ->
+    advance st;
+    mk pos (Ast.Ident name)
+  | Lexer.Tkeyword "true" ->
+    advance st;
+    mk pos (Ast.Bool true)
+  | Lexer.Tkeyword "false" ->
+    advance st;
+    mk pos (Ast.Bool false)
+  | Lexer.Tkeyword "null" ->
+    advance st;
+    mk pos Ast.Null
+  | Lexer.Tkeyword "undefined" ->
+    advance st;
+    mk pos Ast.Undefined
+  | Lexer.Tkeyword "this" ->
+    advance st;
+    mk pos Ast.This
+  | Lexer.Tkeyword "function" ->
+    advance st;
+    (* Optional name is ignored: function expressions are anonymous. *)
+    (match peek_token st with Lexer.Tident _ -> advance st | _ -> ());
+    let params = parse_params st in
+    let body = parse_block st in
+    mk pos (Ast.Func (params, body))
+  | Lexer.Tpunct "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | Lexer.Tpunct "[" ->
+    advance st;
+    let items = ref [] in
+    if not (is_punct st "]") then begin
+      items := [ parse_assignment st ];
+      while is_punct st "," do
+        advance st;
+        if not (is_punct st "]") then items := parse_assignment st :: !items
+      done
+    end;
+    eat_punct st "]";
+    mk pos (Ast.Array_lit (List.rev !items))
+  | Lexer.Tpunct "{" ->
+    advance st;
+    let fields = ref [] in
+    if not (is_punct st "}") then begin
+      let parse_field () =
+        let key =
+          match peek_token st with
+          | Lexer.Tident name | Lexer.Tkeyword name ->
+            advance st;
+            name
+          | Lexer.Tstring s ->
+            advance st;
+            s
+          | Lexer.Tnumber n ->
+            advance st;
+            if Float.is_integer n then string_of_int (int_of_float n) else string_of_float n
+          | _ -> fail st "expected property name"
+        in
+        eat_punct st ":";
+        let value = parse_assignment st in
+        (key, value)
+      in
+      fields := [ parse_field () ];
+      while is_punct st "," do
+        advance st;
+        if not (is_punct st "}") then fields := parse_field () :: !fields
+      done
+    end;
+    eat_punct st "}";
+    mk pos (Ast.Object_lit (List.rev !fields))
+  | _ -> fail st "unexpected token"
+
+let parse src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; pos = 0 } in
+  parse_program st

@@ -1,0 +1,6 @@
+(** NKScript parser: token stream to [Ast.program]. *)
+
+exception Parse_error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** Raises [Parse_error] or [Lexer.Lex_error] on malformed source. *)

@@ -1,0 +1,175 @@
+(* Runtime values of NKScript. Byte arrays are a core type — the paper
+   added them to SpiderMonkey "to avoid unnecessarily copying data"
+   (§3.1, §4) — and native functions are how vocabularies surface. *)
+
+type t =
+  | Vundefined
+  | Vnull
+  | Vbool of bool
+  | Vnum of float
+  | Vstr of string
+  | Vbytes of bytebuf
+  | Vobj of obj
+  | Varr of arr
+  | Vfun of func
+
+and obj = { props : (string, t) Hashtbl.t; oid : int }
+
+and arr = { mutable items : t array; mutable len : int }
+
+and bytebuf = { mutable data : Bytes.t; mutable blen : int }
+
+and func = Script_fn of script_fn | Native_fn of native_fn
+
+and script_fn = {
+  params : string list;
+  body : Ast.stmt list;
+  closure : scope list;
+  fname : string;
+}
+
+and native_fn = { nname : string; call : t option -> t list -> t }
+(* [call this args]; raises Script_error on misuse. *)
+
+and scope = (string, t ref) Hashtbl.t
+
+exception Script_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Script_error msg)) fmt
+
+let next_oid = ref 0
+
+let new_obj () =
+  incr next_oid;
+  { props = Hashtbl.create 8; oid = !next_oid }
+
+let new_arr items = { items = Array.of_list items; len = List.length items }
+
+let arr_get a i = if i >= 0 && i < a.len then a.items.(i) else Vundefined
+
+let arr_set a i v =
+  if i < 0 then error "negative array index %d" i;
+  if i >= Array.length a.items then begin
+    let ncap = max 8 (max (i + 1) (2 * Array.length a.items)) in
+    let nitems = Array.make ncap Vundefined in
+    Array.blit a.items 0 nitems 0 a.len;
+    a.items <- nitems
+  end;
+  a.items.(i) <- v;
+  if i >= a.len then a.len <- i + 1
+
+let arr_push a v = arr_set a a.len v
+
+let arr_to_list a = Array.to_list (Array.sub a.items 0 a.len)
+
+let new_bytes () = { data = Bytes.create 0; blen = 0 }
+
+let bytes_of_string s = { data = Bytes.of_string s; blen = String.length s }
+
+let bytes_to_string b = Bytes.sub_string b.data 0 b.blen
+
+let bytes_append b s =
+  let slen = String.length s in
+  if b.blen + slen > Bytes.length b.data then begin
+    let ncap = max 32 (max (b.blen + slen) (2 * Bytes.length b.data)) in
+    let ndata = Bytes.create ncap in
+    Bytes.blit b.data 0 ndata 0 b.blen;
+    b.data <- ndata
+  end;
+  Bytes.blit_string s 0 b.data b.blen slen;
+  b.blen <- b.blen + slen
+
+let native name call = Vfun (Native_fn { nname = name; call })
+
+let type_name = function
+  | Vundefined -> "undefined"
+  | Vnull -> "object"
+  | Vbool _ -> "boolean"
+  | Vnum _ -> "number"
+  | Vstr _ -> "string"
+  | Vbytes _ -> "bytearray"
+  | Vobj _ -> "object"
+  | Varr _ -> "object"
+  | Vfun _ -> "function"
+
+let truthy = function
+  | Vundefined | Vnull -> false
+  | Vbool b -> b
+  | Vnum n -> n <> 0.0 && not (Float.is_nan n)
+  | Vstr s -> s <> ""
+  | Vbytes _ | Vobj _ | Varr _ | Vfun _ -> true
+
+let number_to_string n =
+  if Float.is_nan n then "NaN"
+  else if Float.is_integer n && Float.abs n < 1e15 then
+    string_of_int (int_of_float n)
+  else Printf.sprintf "%g" n
+
+let rec to_string = function
+  | Vundefined -> "undefined"
+  | Vnull -> "null"
+  | Vbool b -> string_of_bool b
+  | Vnum n -> number_to_string n
+  | Vstr s -> s
+  | Vbytes b -> bytes_to_string b
+  | Vobj _ -> "[object Object]"
+  | Varr a -> String.concat "," (List.map to_string (arr_to_list a))
+  | Vfun (Script_fn f) -> Printf.sprintf "function %s() { ... }" f.fname
+  | Vfun (Native_fn f) -> Printf.sprintf "function %s() { [native code] }" f.nname
+
+let to_number = function
+  | Vundefined -> Float.nan
+  | Vnull -> 0.0
+  | Vbool true -> 1.0
+  | Vbool false -> 0.0
+  | Vnum n -> n
+  | Vstr s -> (
+    let s = String.trim s in
+    if s = "" then 0.0 else match float_of_string_opt s with Some n -> n | None -> Float.nan)
+  | Vbytes b -> float_of_int b.blen
+  | Vobj _ | Varr _ | Vfun _ -> Float.nan
+
+let to_int v =
+  let n = to_number v in
+  if Float.is_nan n then 0 else int_of_float n
+
+let rec equal a b =
+  match (a, b) with
+  | Vundefined, Vundefined | Vnull, Vnull | Vundefined, Vnull | Vnull, Vundefined -> true
+  | Vbool x, Vbool y -> x = y
+  | Vnum x, Vnum y -> x = y
+  | Vstr x, Vstr y -> x = y
+  | Vnum _, Vstr _ -> to_number b = to_number a
+  | Vstr _, Vnum _ -> to_number a = to_number b
+  | Vbool _, (Vnum _ | Vstr _) -> equal (Vnum (to_number a)) b
+  | (Vnum _ | Vstr _), Vbool _ -> equal a (Vnum (to_number b))
+  | Vbytes x, Vbytes y -> x == y
+  | Vobj x, Vobj y -> x == y
+  | Varr x, Varr y -> x == y
+  | Vfun x, Vfun y -> x == y
+  | _ -> false
+
+(* Approximate heap footprint of a freshly created value, in bytes; the
+   sandbox charges allocations against the per-context heap limit. *)
+let alloc_size = function
+  | Vstr s -> String.length s + 16
+  | Vbytes b -> Bytes.length b.data + 24
+  | Vobj _ -> 64
+  | Varr a -> (Array.length a.items * 8) + 24
+  | Vfun _ -> 48
+  | Vundefined | Vnull | Vbool _ | Vnum _ -> 0
+
+let obj_get o name = match Hashtbl.find_opt o.props name with Some v -> v | None -> Vundefined
+
+let obj_set o name v = Hashtbl.replace o.props name v
+
+let obj_has o name = Hashtbl.mem o.props name
+
+let obj_keys o =
+  (* stable order: sort for determinism *)
+  Hashtbl.fold (fun k _ acc -> k :: acc) o.props [] |> List.sort compare
+
+let obj_of_list kvs =
+  let o = new_obj () in
+  List.iter (fun (k, v) -> obj_set o k v) kvs;
+  o

@@ -1,0 +1,1 @@
+lib/nk_sim/httpd.ml: Hashtbl List Net Nk_http Sim String

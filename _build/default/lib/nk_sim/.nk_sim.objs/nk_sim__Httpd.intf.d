@@ -1,0 +1,1 @@
+lib/nk_sim/httpd.mli: Net Nk_http Sim

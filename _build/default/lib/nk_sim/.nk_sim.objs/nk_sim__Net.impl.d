@@ -1,0 +1,1 @@
+lib/nk_sim/net.ml: Float Hashtbl Sim

@@ -1,0 +1,1 @@
+lib/nk_sim/net.mli: Sim

@@ -1,0 +1,1 @@
+lib/nk_sim/sim.ml: Nk_util

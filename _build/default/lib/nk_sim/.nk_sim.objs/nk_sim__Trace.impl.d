@@ -1,0 +1,1 @@
+lib/nk_sim/trace.ml: Hashtbl List Nk_util

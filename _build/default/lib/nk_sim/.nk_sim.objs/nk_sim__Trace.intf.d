@@ -1,0 +1,1 @@
+lib/nk_sim/trace.mli: Nk_util

@@ -1,0 +1,42 @@
+type handler = Nk_http.Message.request -> (Nk_http.Message.response -> unit) -> unit
+
+type t = {
+  network : Net.t;
+  by_hostname : (string, Net.host) Hashtbl.t;
+  by_host : (string, handler) Hashtbl.t; (* keyed by host name *)
+}
+
+let create network = { network; by_hostname = Hashtbl.create 16; by_host = Hashtbl.create 16 }
+
+let net t = t.network
+
+let sim t = Net.sim t.network
+
+let serve t ~host ~hostnames handler =
+  Hashtbl.replace t.by_host (Net.host_name host) handler;
+  List.iter
+    (fun name -> Hashtbl.replace t.by_hostname (String.lowercase_ascii name) host)
+    hostnames
+
+let resolve t name = Hashtbl.find_opt t.by_hostname (String.lowercase_ascii name)
+
+let fetch_via t ~from ~via request k =
+  match Hashtbl.find_opt t.by_host (Net.host_name via) with
+  | None ->
+    Sim.schedule (sim t) ~delay:0.0 (fun () -> k (Nk_http.Message.error_response 502))
+  | Some handler ->
+    let req_size = Nk_http.Codec.request_wire_size request in
+    (* Handlers receive their own copy so concurrent processing of the
+       same logical request cannot alias. *)
+    let request = Nk_http.Message.copy_request request in
+    Net.send t.network ~src:from ~dst:via ~size:req_size (fun () ->
+        handler request (fun response ->
+            let resp_size = Nk_http.Codec.response_wire_size response in
+            Net.send t.network ~src:via ~dst:from ~size:resp_size (fun () ->
+                k (Nk_http.Message.copy_response response))))
+
+let fetch t ~from request k =
+  match resolve t request.Nk_http.Message.url.Nk_http.Url.host with
+  | Some via -> fetch_via t ~from ~via request k
+  | None ->
+    Sim.schedule (sim t) ~delay:0.0 (fun () -> k (Nk_http.Message.error_response 502))

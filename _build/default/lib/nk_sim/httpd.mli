@@ -1,0 +1,34 @@
+(** The simulated web: HTTP request/response exchange over [Net].
+
+    Servers attach to hosts and claim hostnames; [fetch] resolves the
+    request URL's hostname, ships the encoded request across the
+    network, runs the server's handler (which may itself fetch, charge
+    CPU, etc.), and ships the response back. [fetch_via] directs the
+    exchange at an explicit host instead — that is how clients reach a
+    Na Kika edge proxy after DNS redirection. *)
+
+type t
+
+type handler = Nk_http.Message.request -> (Nk_http.Message.response -> unit) -> unit
+
+val create : Net.t -> t
+
+val net : t -> Net.t
+
+val sim : t -> Sim.t
+
+val serve : t -> host:Net.host -> hostnames:string list -> handler -> unit
+(** Attach a handler to a host and bind the given hostnames to it. A
+    host has at most one handler; later [serve] calls replace it and
+    add hostnames. *)
+
+val resolve : t -> string -> Net.host option
+
+val fetch : t -> from:Net.host -> Nk_http.Message.request -> (Nk_http.Message.response -> unit) -> unit
+(** Resolve by URL hostname; responds 502 Bad Gateway when no server
+    claims the name. The callback receives a private copy of the
+    response. *)
+
+val fetch_via :
+  t -> from:Net.host -> via:Net.host -> Nk_http.Message.request -> (Nk_http.Message.response -> unit) -> unit
+(** Ship the request to [via]'s handler regardless of the URL host. *)

@@ -1,0 +1,108 @@
+type host = { id : int; name : string; cpu_speed : float }
+
+type link_state = { mutable busy_until : float }
+
+type link_params = { latency : float; bandwidth : float }
+
+type t = {
+  sim : Sim.t;
+  default : link_params;
+  links : (int * int, link_params) Hashtbl.t;
+  pipes : (int * int, link_state) Hashtbl.t;
+  cpus : (int, link_state) Hashtbl.t;
+  sent : (int, int ref) Hashtbl.t;
+  egress : (int, float * link_state) Hashtbl.t; (* bandwidth cap + shared pipe *)
+  mutable next_id : int;
+}
+
+let create sim ?(default_latency = 0.0002) ?(default_bandwidth = 12_500_000.0) () =
+  {
+    sim;
+    default = { latency = default_latency; bandwidth = default_bandwidth };
+    links = Hashtbl.create 16;
+    pipes = Hashtbl.create 16;
+    cpus = Hashtbl.create 16;
+    sent = Hashtbl.create 16;
+    egress = Hashtbl.create 4;
+    next_id = 0;
+  }
+
+let sim t = t.sim
+
+let add_host t ~name ?(cpu_speed = 1.0) () =
+  let host = { id = t.next_id; name; cpu_speed } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.cpus host.id { busy_until = 0.0 };
+  Hashtbl.replace t.sent host.id (ref 0);
+  host
+
+let host_name h = h.name
+
+let connect t a b ~latency ~bandwidth =
+  let params = { latency; bandwidth } in
+  Hashtbl.replace t.links (a.id, b.id) params;
+  Hashtbl.replace t.links (b.id, a.id) params
+
+let params t src dst =
+  match Hashtbl.find_opt t.links (src.id, dst.id) with
+  | Some p -> p
+  | None -> t.default
+
+let pipe t src dst =
+  let key = (src.id, dst.id) in
+  match Hashtbl.find_opt t.pipes key with
+  | Some s -> s
+  | None ->
+    let s = { busy_until = 0.0 } in
+    Hashtbl.add t.pipes key s;
+    s
+
+let set_egress_limit t host bandwidth =
+  Hashtbl.replace t.egress host.id (bandwidth, { busy_until = 0.0 })
+
+let send t ~src ~dst ~size k =
+  if src.id = dst.id then Sim.schedule t.sim ~delay:0.0 k
+  else begin
+    let { latency; bandwidth } = params t src dst in
+    let pipe = pipe t src dst in
+    let now = Sim.now t.sim in
+    (* The transfer serializes through the source's shared egress pipe
+       (when capped) and then the per-pair link pipe. *)
+    let egress_done =
+      match Hashtbl.find_opt t.egress src.id with
+      | None -> now
+      | Some (cap, state) ->
+        let start = Float.max now state.busy_until in
+        state.busy_until <- start +. (float_of_int size /. cap);
+        state.busy_until
+    in
+    let start = Float.max egress_done pipe.busy_until in
+    let transmit = float_of_int size /. bandwidth in
+    pipe.busy_until <- start +. transmit;
+    (match Hashtbl.find_opt t.sent src.id with
+     | Some r -> r := !r + size
+     | None -> ());
+    Sim.schedule_at t.sim (start +. transmit +. latency) k
+  end
+
+let transfer_time_estimate t ~src ~dst ~size =
+  if src.id = dst.id then 0.0
+  else begin
+    let { latency; bandwidth } = params t src dst in
+    latency +. (float_of_int size /. bandwidth)
+  end
+
+let cpu_run t host ~seconds k =
+  let cpu = Hashtbl.find t.cpus host.id in
+  let now = Sim.now t.sim in
+  let start = Float.max now cpu.busy_until in
+  let work = seconds /. host.cpu_speed in
+  cpu.busy_until <- start +. work;
+  Sim.schedule_at t.sim cpu.busy_until k
+
+let cpu_backlog t host =
+  let cpu = Hashtbl.find t.cpus host.id in
+  Float.max 0.0 (cpu.busy_until -. Sim.now t.sim)
+
+let bytes_sent t host =
+  match Hashtbl.find_opt t.sent host.id with Some r -> !r | None -> 0

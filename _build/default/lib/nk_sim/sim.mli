@@ -1,0 +1,35 @@
+(** Deterministic discrete-event simulation core.
+
+    All end-to-end experiments (§5) run on this clock: events are
+    scheduled at absolute times and executed in order; ties break by
+    scheduling order. The simulated clock stands in for both wall-clock
+    latency and HTTP absolute expiration times. *)
+
+type t
+
+val create : ?seed:int -> ?start_time:float -> unit -> t
+(** [start_time] is the initial clock value in epoch seconds (defaults
+    to 1,136,073,600 — January 2006, the paper's era — so HTTP dates
+    look plausible). *)
+
+val now : t -> float
+
+val prng : t -> Nk_util.Prng.t
+(** The simulation-wide deterministic random stream. *)
+
+val schedule : t -> ?daemon:bool -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk [delay] seconds from now (clamped to now for negative
+    delays). A [daemon] event (periodic monitors, log posters) does not
+    keep [run] alive: once only daemon events remain, [run] returns. *)
+
+val schedule_at : t -> ?daemon:bool -> float -> (unit -> unit) -> unit
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue until only daemon events remain; with
+    [until], stop once the clock would pass it (remaining events stay
+    queued). *)
+
+val step : t -> bool
+(** Execute one event; false when the queue is empty. *)
+
+val pending : t -> int

@@ -1,0 +1,27 @@
+type t = {
+  samples : (string, Nk_util.Stats.t) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let create () = { samples = Hashtbl.create 16; counters = Hashtbl.create 16 }
+
+let stats t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some s -> s
+  | None ->
+    let s = Nk_util.Stats.create () in
+    Hashtbl.add t.samples name s;
+    s
+
+let add t name x = Nk_util.Stats.add (stats t name) x
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let count t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let stat_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.samples [] |> List.sort compare
+
+let counter_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.counters [] |> List.sort compare

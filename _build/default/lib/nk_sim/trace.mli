@@ -1,0 +1,22 @@
+(** Experiment instrumentation: named sample collections and counters.
+
+    Experiments record client-perceived latency, achieved bandwidth,
+    rejects, drops, etc., under well-known keys; the bench harness then
+    prints paper-style tables from the same trace. *)
+
+type t
+
+val create : unit -> t
+
+val stats : t -> string -> Nk_util.Stats.t
+(** Get-or-create the named sample collection. *)
+
+val add : t -> string -> float -> unit
+
+val incr : ?by:int -> t -> string -> unit
+
+val count : t -> string -> int
+
+val stat_names : t -> string list
+
+val counter_names : t -> string list

@@ -1,0 +1,1 @@
+lib/nk_util/heap.ml: Array

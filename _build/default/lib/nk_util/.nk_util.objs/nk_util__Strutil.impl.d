@@ -1,0 +1,1 @@
+lib/nk_util/strutil.ml: Buffer String

@@ -1,0 +1,29 @@
+type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
+
+exception Not_in_cothread
+
+let await register = Effect.perform (Await register)
+
+let spawn f ~on_done ~on_error =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = on_done;
+      exnc = on_error;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Await register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let resumed = ref false in
+                register (fun v ->
+                    if not !resumed then begin
+                      resumed := true;
+                      (* Exceptions raised by the rest of the cothread
+                         surface here and must go to on_error, not leak
+                         into the resumer's stack. *)
+                      try continue k v with exn -> on_error exn
+                    end))
+          | _ -> None);
+    }

@@ -1,0 +1,24 @@
+(** Per-script user-level threads via OCaml effects.
+
+    The prototype runs each script in its own user-level thread so that
+    scripts see run-to-completion semantics while the proxy processes
+    HTTP piecemeal (§4). Here a script (or pipeline) runs inside
+    [spawn]; whenever it needs an asynchronous result — a sub-fetch, a
+    cache fill — it calls [await register], which suspends the thread,
+    hands the registration function a resume callback, and continues
+    when that callback fires (typically from a simulator event). *)
+
+val await : (('a -> unit) -> unit) -> 'a
+(** Suspend the current cothread until the resume callback is invoked.
+    Must be called from within [spawn]. The callback must be invoked at
+    most once. *)
+
+exception Not_in_cothread
+(** [await] was called outside [spawn]. *)
+
+val spawn : (unit -> 'a) -> on_done:('a -> unit) -> on_error:(exn -> unit) -> unit
+(** Run a computation as a cothread. [on_done] fires with the result
+    when it finishes; exceptions (including those raised after a
+    resume) go to [on_error]. A suspended cothread whose resume
+    callback is dropped simply never completes — that is how a
+    terminated pipeline dies silently. *)

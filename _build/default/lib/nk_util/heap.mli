@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by float priority.
+
+    Used by the discrete-event simulator ([Nk_sim.Sim]) for its event
+    queue and by the resource monitor for offender ranking. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t priority value] inserts. Smaller priorities pop first; ties
+    pop in insertion order (stable). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum, or [None] if empty. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

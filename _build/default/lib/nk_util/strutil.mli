@@ -1,0 +1,25 @@
+(** Small string helpers shared across the HTTP and scripting layers. *)
+
+val starts_with : prefix:string -> string -> bool
+
+val ends_with : suffix:string -> string -> bool
+
+val lowercase : string -> string
+
+val split_char : char -> string -> string list
+(** Split on every occurrence of the character; no empty-trimming. *)
+
+val split_first : char -> string -> (string * string) option
+(** [split_first c s] splits at the first occurrence of [c], excluding
+    it, or [None] when absent. *)
+
+val trim : string -> string
+
+val contains_sub : string -> sub:string -> bool
+
+val index_sub : string -> sub:string -> start:int -> int option
+(** First index [>= start] where [sub] occurs. *)
+
+val replace_all : string -> sub:string -> by:string -> string
+
+val join : string -> string list -> string

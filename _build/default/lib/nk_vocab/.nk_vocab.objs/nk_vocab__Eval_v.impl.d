@@ -1,0 +1,1 @@
+lib/nk_vocab/eval_v.ml: Nk_script

@@ -1,0 +1,1 @@
+lib/nk_vocab/eval_v.mli: Nk_script

@@ -1,0 +1,1 @@
+lib/nk_vocab/hostcall.ml: Hashtbl List Nk_http Nk_util

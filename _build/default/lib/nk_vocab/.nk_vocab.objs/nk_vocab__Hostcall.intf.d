@@ -1,0 +1,1 @@
+lib/nk_vocab/hostcall.mli: Nk_http

@@ -1,0 +1,1 @@
+lib/nk_vocab/http_v.ml: Buffer List Nk_http Nk_script String

@@ -1,0 +1,1 @@
+lib/nk_vocab/http_v.mli: Nk_http Nk_script

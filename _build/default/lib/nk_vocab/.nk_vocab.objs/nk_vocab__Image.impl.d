@@ -1,0 +1,1 @@
+lib/nk_vocab/image.ml: Buffer Bytes Char Nk_util Printf String

@@ -1,0 +1,1 @@
+lib/nk_vocab/image_v.ml: Image List Nk_script String

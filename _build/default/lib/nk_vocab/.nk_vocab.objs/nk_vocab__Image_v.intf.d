@@ -1,0 +1,1 @@
+lib/nk_vocab/image_v.mli: Nk_script

@@ -1,0 +1,1 @@
+lib/nk_vocab/json.ml: Buffer Char Float List Printf String

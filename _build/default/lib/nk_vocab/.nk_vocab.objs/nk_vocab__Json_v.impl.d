@@ -1,0 +1,1 @@
+lib/nk_vocab/json_v.ml: Json List Nk_script String

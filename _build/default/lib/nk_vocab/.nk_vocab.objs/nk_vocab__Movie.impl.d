@@ -1,0 +1,1 @@
+lib/nk_vocab/movie.ml: Buffer Char Image List Option String

@@ -1,0 +1,1 @@
+lib/nk_vocab/movie.mli: Image

@@ -1,0 +1,1 @@
+lib/nk_vocab/movie_v.ml: List Movie Nk_script

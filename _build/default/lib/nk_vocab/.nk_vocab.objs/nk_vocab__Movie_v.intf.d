@@ -1,0 +1,1 @@
+lib/nk_vocab/movie_v.mli: Nk_script

@@ -1,0 +1,1 @@
+lib/nk_vocab/platform_v.ml: Float Hostcall Http_v Image_v Json_v List Movie_v Nk_crypto Nk_http Nk_script Regex_v Xml_v

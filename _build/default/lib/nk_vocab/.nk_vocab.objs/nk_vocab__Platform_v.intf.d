@@ -1,0 +1,1 @@
+lib/nk_vocab/platform_v.mli: Hostcall Nk_script

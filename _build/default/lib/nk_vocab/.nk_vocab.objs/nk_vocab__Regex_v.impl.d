@@ -1,0 +1,1 @@
+lib/nk_vocab/regex_v.ml: Hashtbl List Nk_regex Nk_script String

@@ -1,0 +1,1 @@
+lib/nk_vocab/regex_v.mli: Nk_script

@@ -1,0 +1,1 @@
+lib/nk_vocab/xml.ml: Buffer List Nk_util Printf String

@@ -1,0 +1,1 @@
+lib/nk_vocab/xml_v.ml: List Nk_script Nk_util String Xml

@@ -1,0 +1,1 @@
+lib/nk_vocab/xml_v.mli: Nk_script Xml

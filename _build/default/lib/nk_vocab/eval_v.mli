@@ -1,0 +1,10 @@
+(** [evalScript(code)] — evaluate NKScript source inside the calling
+    context and return its final expression value.
+
+    This powers Na Kika Pages (§3.1): the 60-line [nkp.js] script splits
+    a page on [<?nkp ... ?>] and evaluates each chunk. It also powers
+    the blacklist extension's dynamically generated policy code (§5.4).
+    Evaluated code runs in the same sandbox, so it shares the context's
+    fuel and heap limits. *)
+
+val install : Nk_script.Interp.ctx -> unit

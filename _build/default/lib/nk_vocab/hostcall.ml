@@ -1,0 +1,43 @@
+type t = {
+  now : unit -> float;
+  site : string;
+  fetch : Nk_http.Message.request -> Nk_http.Message.response;
+  cache_lookup : string -> Nk_http.Message.response option;
+  cache_store : key:string -> ttl:float -> Nk_http.Message.response -> unit;
+  log : string -> unit;
+  is_local : string -> bool;
+  congestion : string -> float;
+  hard_state_get : key:string -> string option;
+  hard_state_put : key:string -> string -> bool;
+  hard_state_delete : key:string -> unit;
+  hard_state_keys : prefix:string -> string list;
+  publish : topic:string -> string -> unit;
+  enable_access_log : url:string -> unit;
+}
+
+let stub ?(site = "test.example") () =
+  let store : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  {
+    now = (fun () -> 0.0);
+    site;
+    fetch = (fun _ -> Nk_http.Message.error_response 502);
+    cache_lookup = (fun _ -> None);
+    cache_store = (fun ~key:_ ~ttl:_ _ -> ());
+    log = (fun _ -> ());
+    is_local = (fun _ -> false);
+    congestion = (fun _ -> 0.0);
+    hard_state_get = (fun ~key -> Hashtbl.find_opt store key);
+    hard_state_put =
+      (fun ~key value ->
+        Hashtbl.replace store key value;
+        true);
+    hard_state_delete = (fun ~key -> Hashtbl.remove store key);
+    hard_state_keys =
+      (fun ~prefix ->
+        Hashtbl.fold
+          (fun k _ acc -> if Nk_util.Strutil.starts_with ~prefix k then k :: acc else acc)
+          store []
+        |> List.sort compare);
+    publish = (fun ~topic:_ _ -> ());
+    enable_access_log = (fun ~url:_ -> ());
+  }

@@ -1,0 +1,30 @@
+(** The capability surface a Na Kika node hands to vocabularies.
+
+    "The only resources besides computing power and memory accessible by
+    scripts are the services provided by Na Kika's vocabularies" (§3.2)
+    — this record is that boundary. Every native function closes over
+    one of these; a stub instance (all-defaults) supports testing
+    vocabularies without a node. [fetch] is synchronous from the
+    script's point of view: the node implements it with
+    [Nk_util.Cothread.await] over the simulator. *)
+
+type t = {
+  now : unit -> float;
+  site : string; (** the site this pipeline runs for (accounting domain) *)
+  fetch : Nk_http.Message.request -> Nk_http.Message.response;
+  cache_lookup : string -> Nk_http.Message.response option;
+  cache_store : key:string -> ttl:float -> Nk_http.Message.response -> unit;
+  log : string -> unit;
+  is_local : string -> bool; (** dotted-quad IP inside the hosting org? *)
+  congestion : string -> float; (** resource name -> this site's usage average *)
+  hard_state_get : key:string -> string option;
+  hard_state_put : key:string -> string -> bool; (** false: storage quota hit *)
+  hard_state_delete : key:string -> unit;
+  hard_state_keys : prefix:string -> string list;
+  publish : topic:string -> string -> unit; (** reliable messaging send *)
+  enable_access_log : url:string -> unit;
+}
+
+val stub : ?site:string -> unit -> t
+(** Inert host: fetches answer 502, the cache is empty and forgetful,
+    hard state is an in-memory table, logs are dropped. *)

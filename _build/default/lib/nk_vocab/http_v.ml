@@ -1,0 +1,143 @@
+open Nk_script.Value
+
+exception Terminate_request of Nk_http.Message.response
+
+let arg i args = match List.nth_opt args i with Some v -> v | None -> Vundefined
+
+let sarg i args = to_string (arg i args)
+
+let response_to_value (resp : Nk_http.Message.response) =
+  let o = new_obj () in
+  obj_set o "status" (Vnum (float_of_int resp.Nk_http.Message.status));
+  obj_set o "contentType"
+    (match Nk_http.Message.content_type resp with Some ct -> Vstr ct | None -> Vnull);
+  obj_set o "body" (Vstr (Nk_http.Body.to_string resp.Nk_http.Message.resp_body));
+  obj_set o "header"
+    (native "header" (fun _ args ->
+         match Nk_http.Message.resp_header resp (sarg 0 args) with
+         | Some v -> Vstr v
+         | None -> Vnull));
+  Vobj o
+
+let install_request ctx (req : Nk_http.Message.request) =
+  let o = new_obj () in
+  let refresh () =
+    obj_set o "url" (Vstr (Nk_http.Url.to_string req.Nk_http.Message.url));
+    obj_set o "host" (Vstr req.Nk_http.Message.url.Nk_http.Url.host);
+    obj_set o "path" (Vstr req.Nk_http.Message.url.Nk_http.Url.path);
+    obj_set o "method" (Vstr (Nk_http.Method_.to_string req.Nk_http.Message.meth));
+    obj_set o "clientIP" (Vstr (Nk_http.Ip.to_string req.Nk_http.Message.client.Nk_http.Ip.ip))
+  in
+  refresh ();
+  obj_set o "header"
+    (native "header" (fun _ args ->
+         match Nk_http.Message.req_header req (sarg 0 args) with
+         | Some v -> Vstr v
+         | None -> Vnull));
+  obj_set o "setHeader"
+    (native "setHeader" (fun _ args ->
+         Nk_http.Message.set_req_header req (sarg 0 args) (sarg 1 args);
+         Vundefined));
+  obj_set o "setUrl"
+    (native "setUrl" (fun _ args ->
+         (match Nk_http.Url.parse (sarg 0 args) with
+          | Ok url -> req.Nk_http.Message.url <- url
+          | Error e -> error "setUrl: %s" e);
+         refresh ();
+         Vundefined));
+  obj_set o "setMethod"
+    (native "setMethod" (fun _ args ->
+         req.Nk_http.Message.meth <- Nk_http.Method_.of_string (sarg 0 args);
+         refresh ();
+         Vundefined));
+  obj_set o "cookie"
+    (native "cookie" (fun _ args ->
+         match Nk_http.Message.req_header req "Cookie" with
+         | None -> Vnull
+         | Some header -> (
+           match List.assoc_opt (sarg 0 args) (Nk_http.Cookie.parse header) with
+           | Some v -> Vstr v
+           | None -> Vnull)));
+  obj_set o "query"
+    (native "query" (fun _ args ->
+         match Nk_http.Url.query_get req.Nk_http.Message.url (sarg 0 args) with
+         | Some v -> Vstr v
+         | None -> Vnull));
+  obj_set o "terminate"
+    (native "terminate" (fun _ args ->
+         let status = match arg 0 args with Vundefined -> 403 | v -> to_int v in
+         raise (Terminate_request (Nk_http.Message.error_response status))));
+  obj_set o "redirect"
+    (native "redirect" (fun _ args ->
+         let target = sarg 0 args in
+         let resp =
+           Nk_http.Message.response ~status:302 ~headers:[ ("Location", target) ] ()
+         in
+         raise (Terminate_request resp)));
+  obj_set o "respond"
+    (native "respond" (fun _ args ->
+         let status = to_int (arg 0 args) in
+         let content_type = sarg 1 args in
+         let body = match arg 2 args with Vbytes b -> bytes_to_string b | v -> to_string v in
+         let resp =
+           Nk_http.Message.response ~status
+             ~headers:[ ("Content-Type", content_type) ]
+             ~body ()
+         in
+         raise (Terminate_request resp)));
+  Nk_script.Interp.define_global ctx "Request" (Vobj o)
+
+type response_sink = { written : Buffer.t; mutable wrote : bool }
+
+let install_response ctx (resp : Nk_http.Message.response) =
+  let sink = { written = Buffer.create 256; wrote = false } in
+  let o = new_obj () in
+  let reader = ref (Nk_http.Body.reader resp.Nk_http.Message.resp_body) in
+  obj_set o "status" (Vnum (float_of_int resp.Nk_http.Message.status));
+  obj_set o "contentType"
+    (match Nk_http.Message.content_type resp with Some ct -> Vstr ct | None -> Vnull);
+  obj_set o "contentLength" (Vnum (float_of_int (Nk_http.Message.content_length resp)));
+  obj_set o "read"
+    (native "read" (fun _ _ ->
+         match Nk_http.Body.read !reader with Some chunk -> Vstr chunk | None -> Vnull));
+  obj_set o "rewind"
+    (native "rewind" (fun _ _ ->
+         reader := Nk_http.Body.reader resp.Nk_http.Message.resp_body;
+         Vundefined));
+  obj_set o "write"
+    (native "write" (fun _ args ->
+         (match arg 0 args with
+          | Vbytes b -> Buffer.add_string sink.written (bytes_to_string b)
+          | v -> Buffer.add_string sink.written (to_string v));
+         sink.wrote <- true;
+         Vundefined));
+  obj_set o "getHeader"
+    (native "getHeader" (fun _ args ->
+         match Nk_http.Message.resp_header resp (sarg 0 args) with
+         | Some v -> Vstr v
+         | None -> Vnull));
+  obj_set o "setHeader"
+    (native "setHeader" (fun _ args ->
+         Nk_http.Message.set_resp_header resp (sarg 0 args) (sarg 1 args);
+         (* Keep the snapshot property coherent for subsequent reads. *)
+         if String.lowercase_ascii (sarg 0 args) = "content-type" then
+           obj_set o "contentType" (Vstr (sarg 1 args));
+         Vundefined));
+  obj_set o "setStatus"
+    (native "setStatus" (fun _ args ->
+         resp.Nk_http.Message.status <- to_int (arg 0 args);
+         obj_set o "status" (Vnum (float_of_int resp.Nk_http.Message.status));
+         Vundefined));
+  Nk_script.Interp.define_global ctx "Response" (Vobj o);
+  sink
+
+let apply_writes sink (resp : Nk_http.Message.response) =
+  if sink.wrote then begin
+    let body = Buffer.contents sink.written in
+    resp.Nk_http.Message.resp_body <- Nk_http.Body.of_string body;
+    Nk_http.Message.set_resp_header resp "Content-Length" (string_of_int (String.length body))
+  end
+
+let clear_message_globals ctx =
+  Nk_script.Interp.remove_global ctx "Request";
+  Nk_script.Interp.remove_global ctx "Response"

@@ -1,0 +1,122 @@
+type format = Raw | Rle
+
+type t = { width : int; height : int; pixels : Bytes.t }
+
+let magic = "NKI1"
+
+let synthesize ~width ~height ~seed =
+  if width <= 0 || height <= 0 then invalid_arg "Image.synthesize: non-positive dimensions";
+  let pixels = Bytes.create (width * height) in
+  let rng = Nk_util.Prng.create seed in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      (* Smooth gradient with occasional noise: compresses well under
+         RLE but not trivially. *)
+      let base = (x * 255 / width) + (y * 255 / height) in
+      let v = if Nk_util.Prng.int rng 16 = 0 then Nk_util.Prng.int rng 256 else base / 2 in
+      Bytes.set pixels ((y * width) + x) (Char.chr (v land 0xFF))
+    done
+  done;
+  { width; height; pixels }
+
+let rle_compress s =
+  let buf = Buffer.create (String.length s / 2) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let run = ref 1 in
+    while !i + !run < n && s.[!i + !run] = c && !run < 255 do
+      incr run
+    done;
+    Buffer.add_char buf (Char.chr !run);
+    Buffer.add_char buf c;
+    i := !i + !run
+  done;
+  Buffer.contents buf
+
+let rle_decompress s =
+  if String.length s mod 2 <> 0 then Error "RLE payload has odd length"
+  else begin
+    let buf = Buffer.create (String.length s * 2) in
+    let rec go i =
+      if i >= String.length s then Ok (Buffer.contents buf)
+      else begin
+        let run = Char.code s.[i] in
+        if run = 0 then Error "zero-length RLE run"
+        else begin
+          for _ = 1 to run do
+            Buffer.add_char buf s.[i + 1]
+          done;
+          go (i + 2)
+        end
+      end
+    in
+    go 0
+  end
+
+let encode t format =
+  let buf = Buffer.create (16 + Bytes.length t.pixels) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr ((t.width lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (t.width land 0xFF));
+  Buffer.add_char buf (Char.chr ((t.height lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (t.height land 0xFF));
+  (match format with
+   | Raw ->
+     Buffer.add_char buf '\x00';
+     Buffer.add_bytes buf t.pixels
+   | Rle ->
+     Buffer.add_char buf '\x01';
+     Buffer.add_string buf (rle_compress (Bytes.to_string t.pixels)));
+  Buffer.contents buf
+
+let dimensions s =
+  if String.length s >= 9 && String.sub s 0 4 = magic then
+    let w = (Char.code s.[4] lsl 8) lor Char.code s.[5] in
+    let h = (Char.code s.[6] lsl 8) lor Char.code s.[7] in
+    Some (w, h)
+  else None
+
+let decode s =
+  if String.length s < 9 then Error "truncated NKI image"
+  else if String.sub s 0 4 <> magic then Error "bad NKI magic"
+  else begin
+    let w = (Char.code s.[4] lsl 8) lor Char.code s.[5] in
+    let h = (Char.code s.[6] lsl 8) lor Char.code s.[7] in
+    if w <= 0 || h <= 0 then Error "bad NKI dimensions"
+    else begin
+      let payload = String.sub s 9 (String.length s - 9) in
+      match s.[8] with
+      | '\x00' ->
+        if String.length payload <> w * h then Error "raw payload size mismatch"
+        else Ok ({ width = w; height = h; pixels = Bytes.of_string payload }, Raw)
+      | '\x01' -> (
+        match rle_decompress payload with
+        | Error e -> Error e
+        | Ok raw ->
+          if String.length raw <> w * h then Error "RLE payload size mismatch"
+          else Ok ({ width = w; height = h; pixels = Bytes.of_string raw }, Rle))
+      | c -> Error (Printf.sprintf "unknown NKI format byte %d" (Char.code c))
+    end
+  end
+
+let scale t ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Image.scale: non-positive dimensions";
+  let pixels = Bytes.create (width * height) in
+  for y = 0 to height - 1 do
+    let sy = y * t.height / height in
+    for x = 0 to width - 1 do
+      let sx = x * t.width / width in
+      Bytes.set pixels ((y * width) + x) (Bytes.get t.pixels ((sy * t.width) + sx))
+    done
+  done;
+  { width; height; pixels }
+
+let format_of_mime mime =
+  match String.lowercase_ascii (String.trim mime) with
+  | "image/nki" -> Some Raw
+  | "image/jpeg" | "image/nki-rle" | "image/gif" | "image/png" -> Some Rle
+  | _ -> None
+
+let mime_of_format = function Raw -> "image/nki" | Rle -> "image/jpeg"

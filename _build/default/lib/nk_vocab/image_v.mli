@@ -1,0 +1,5 @@
+(** The [ImageTransformer] vocabulary of Fig. 2: [type(contentType)],
+    [dimensions(body, type)] and
+    [transform(body, fromType, toType, width, height)]. *)
+
+val install : Nk_script.Interp.ctx -> unit

@@ -1,0 +1,113 @@
+type t = { fps : int; frames : Image.t list }
+
+let magic = "NKV1"
+
+let synthesize ~width ~height ~fps ~seconds ~seed =
+  if width <= 0 || height <= 0 || fps <= 0 || seconds <= 0 then
+    invalid_arg "Movie.synthesize: non-positive parameter";
+  let total = fps * seconds in
+  let frames =
+    List.init total (fun i ->
+        (* A base pattern that shifts per frame: consecutive frames
+           differ, so frame-dropping genuinely changes the content. *)
+        Image.synthesize ~width ~height ~seed:(seed + (i * 31)))
+  in
+  { fps; frames }
+
+let u16 n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xFF))
+
+let read_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let u32 n =
+  String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+
+let read_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let geometry t =
+  match t.frames with
+  | [] -> (0, 0)
+  | f :: _ -> (f.Image.width, f.Image.height)
+
+let encode t =
+  let w, h = geometry t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_string buf (u16 (List.length t.frames));
+  Buffer.add_string buf (u16 t.fps);
+  Buffer.add_string buf (u16 w);
+  Buffer.add_string buf (u16 h);
+  List.iter
+    (fun frame ->
+      let payload = Image.encode frame Image.Rle in
+      Buffer.add_string buf (u32 (String.length payload));
+      Buffer.add_string buf payload)
+    t.frames;
+  Buffer.contents buf
+
+let info s =
+  if String.length s >= 12 && String.sub s 0 4 = magic then
+    Some (read_u16 s 4, read_u16 s 6, read_u16 s 8, read_u16 s 10)
+  else None
+
+let decode s =
+  match info s with
+  | None -> Error "bad NKV header"
+  | Some (count, fps, w, h) ->
+    if fps <= 0 then Error "bad NKV frame rate"
+    else begin
+      let rec read_frames acc off remaining =
+        if remaining = 0 then
+          if off = String.length s then Ok (List.rev acc) else Error "trailing NKV bytes"
+        else if off + 4 > String.length s then Error "truncated NKV frame table"
+        else begin
+          let len = read_u32 s off in
+          if off + 4 + len > String.length s then Error "truncated NKV frame"
+          else
+            match Image.decode (String.sub s (off + 4) len) with
+            | Error e -> Error ("NKV frame: " ^ e)
+            | Ok (frame, _) ->
+              if frame.Image.width <> w || frame.Image.height <> h then
+                Error "NKV frame geometry mismatch"
+              else read_frames (frame :: acc) (off + 4 + len) (remaining - 1)
+        end
+      in
+      match read_frames [] 12 count with
+      | Ok frames -> Ok { fps; frames }
+      | Error e -> Error e
+    end
+
+let duration t = float_of_int (List.length t.frames) /. float_of_int t.fps
+
+let transcode t ?fps ?width ?height () =
+  let target_fps = Option.value fps ~default:t.fps in
+  let src_w, src_h = geometry t in
+  let target_w = Option.value width ~default:src_w in
+  let target_h = Option.value height ~default:src_h in
+  if target_fps <= 0 || target_w <= 0 || target_h <= 0 then
+    invalid_arg "Movie.transcode: non-positive target";
+  if target_fps > t.fps then invalid_arg "Movie.transcode: cannot raise the frame rate";
+  (* Keep every (fps/target)-th frame: uniform frame dropping. *)
+  let keep_every = float_of_int t.fps /. float_of_int target_fps in
+  let frames =
+    List.filteri
+      (fun i _ ->
+        int_of_float (float_of_int i /. keep_every)
+        <> int_of_float (float_of_int (i - 1) /. keep_every)
+        || i = 0)
+      t.frames
+  in
+  let frames =
+    if target_w = src_w && target_h = src_h then frames
+    else List.map (fun f -> Image.scale f ~width:target_w ~height:target_h) frames
+  in
+  { fps = target_fps; frames }
+
+let bitrate s =
+  match info s with
+  | Some (count, fps, _, _) when count > 0 && fps > 0 ->
+    float_of_int (String.length s) /. (float_of_int count /. float_of_int fps)
+  | _ -> 0.0

@@ -1,0 +1,37 @@
+(** NKV — the synthetic movie format behind the movie-transcoder
+    vocabulary.
+
+    §3.1 lists movie transcoding among the vocabularies the authors
+    "expect to add"; this implements it over a self-contained container:
+    a header (magic "NKV1", frame count, frames-per-second, width,
+    height) followed by that many RLE-compressed NKI frames, each
+    length-prefixed. Transcoding does real work: decoding every frame,
+    dropping frames to reduce the rate, rescaling, and re-encoding. *)
+
+type t = {
+  fps : int;
+  frames : Image.t list; (** all frames share one geometry *)
+}
+
+val synthesize : width:int -> height:int -> fps:int -> seconds:int -> seed:int -> t
+(** A deterministic test clip (a moving gradient). *)
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+val info : string -> (int * int * int * int) option
+(** Header-only peek: [(frames, fps, width, height)]. *)
+
+val duration : t -> float
+(** Seconds of playback. *)
+
+val transcode : t -> ?fps:int -> ?width:int -> ?height:int -> unit -> t
+(** Drop frames down to [fps] (must not exceed the source rate) and
+    rescale to [width]x[height]; omitted parameters keep the source
+    values. Raises [Invalid_argument] on a zero/negative target or an
+    fps increase. *)
+
+val bitrate : string -> float
+(** Encoded bytes per second of playback (0 for malformed input) —
+    what a device policy compares against its link capacity. *)

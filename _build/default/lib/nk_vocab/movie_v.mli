@@ -1,0 +1,6 @@
+(** The [MovieTranscoder] script vocabulary (§3.1's anticipated movie
+    transcoding): [info(body)], [duration(body)], [bitrate(body)] and
+    [transcode(body, fps, width, height)] — the last three arguments
+    may be 0 to keep the source value. *)
+
+val install : Nk_script.Interp.ctx -> unit

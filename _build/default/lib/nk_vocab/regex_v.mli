@@ -1,0 +1,4 @@
+(** The [Regex] vocabulary ("processing regular expressions", §3.1).
+    Patterns are compiled once per context and memoized. *)
+
+val install : Nk_script.Interp.ctx -> unit

@@ -1,0 +1,256 @@
+type node = Element of string * (string * string) list * node list | Text of string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      let entity_end = try Some (String.index_from s i ';') with Not_found -> None in
+      match entity_end with
+      | Some j when j - i <= 6 ->
+        let name = String.sub s (i + 1) (j - i - 1) in
+        let repl =
+          match name with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "quot" -> "\""
+          | "apos" -> "'"
+          | _ -> "&" ^ name ^ ";"
+        in
+        Buffer.add_string buf repl;
+        go (j + 1)
+      | _ ->
+        Buffer.add_char buf '&';
+        go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+exception Xml_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
+  || c = '_' || c = ':' || c = '.'
+
+let read_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then raise (Xml_error (Printf.sprintf "expected name at %d" st.pos));
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> raise (Xml_error (Printf.sprintf "expected '%c' at %d" c st.pos))
+
+let skip_until st marker =
+  match Nk_util.Strutil.index_sub st.src ~sub:marker ~start:st.pos with
+  | Some i -> st.pos <- i + String.length marker
+  | None -> raise (Xml_error ("unterminated " ^ marker))
+
+let read_attributes st =
+  let attrs = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_spaces st;
+    match peek st with
+    | Some c when is_name_char c ->
+      let name = read_name st in
+      skip_spaces st;
+      expect st '=';
+      skip_spaces st;
+      let quote =
+        match peek st with
+        | Some (('"' | '\'') as q) ->
+          st.pos <- st.pos + 1;
+          q
+        | _ -> raise (Xml_error "expected quoted attribute value")
+      in
+      let start = st.pos in
+      while (match peek st with Some c when c <> quote -> true | _ -> false) do
+        st.pos <- st.pos + 1
+      done;
+      expect st quote;
+      attrs := (name, unescape (String.sub st.src start (st.pos - 1 - start))) :: !attrs
+    | _ -> continue := false
+  done;
+  List.rev !attrs
+
+let rec parse_element st =
+  expect st '<';
+  let name = read_name st in
+  let attrs = read_attributes st in
+  skip_spaces st;
+  match peek st with
+  | Some '/' ->
+    st.pos <- st.pos + 1;
+    expect st '>';
+    Element (name, attrs, [])
+  | Some '>' ->
+    st.pos <- st.pos + 1;
+    let children = parse_children st name in
+    Element (name, attrs, children)
+  | _ -> raise (Xml_error (Printf.sprintf "malformed tag <%s> at %d" name st.pos))
+
+and parse_children st parent =
+  let children = ref [] in
+  let rec go () =
+    match peek st with
+    | None -> raise (Xml_error (Printf.sprintf "unterminated element <%s>" parent))
+    | Some '<' ->
+      if st.pos + 1 < String.length st.src then begin
+        match st.src.[st.pos + 1] with
+        | '/' ->
+          st.pos <- st.pos + 2;
+          let name = read_name st in
+          skip_spaces st;
+          expect st '>';
+          if name <> parent then
+            raise (Xml_error (Printf.sprintf "mismatched </%s>, expected </%s>" name parent))
+        | '!' ->
+          if st.pos + 3 < String.length st.src && String.sub st.src st.pos 4 = "<!--" then
+            skip_until st "-->"
+          else if
+            st.pos + 8 < String.length st.src && String.sub st.src st.pos 9 = "<![CDATA["
+          then begin
+            (* CDATA: verbatim text, no entity processing *)
+            let start = st.pos + 9 in
+            skip_until st "]]>";
+            let text = String.sub st.src start (st.pos - 3 - start) in
+            if text <> "" then children := Text text :: !children
+          end
+          else skip_until st ">";
+          go ()
+        | '?' ->
+          skip_until st "?>";
+          go ()
+        | _ ->
+          children := parse_element st :: !children;
+          go ()
+      end
+      else raise (Xml_error "stray '<' at end of input")
+    | Some _ ->
+      let start = st.pos in
+      while (match peek st with Some c when c <> '<' -> true | _ -> false) do
+        st.pos <- st.pos + 1
+      done;
+      let text = unescape (String.sub st.src start (st.pos - start)) in
+      if String.trim text <> "" then children := Text text :: !children;
+      go ()
+  in
+  go ();
+  List.rev !children
+
+let parse src =
+  let st = { src; pos = 0 } in
+  try
+    skip_spaces st;
+    (* leading declaration / comments *)
+    let rec skip_prolog () =
+      if st.pos + 1 < String.length src && src.[st.pos] = '<' then
+        match src.[st.pos + 1] with
+        | '?' ->
+          skip_until st "?>";
+          skip_spaces st;
+          skip_prolog ()
+        | '!' ->
+          if st.pos + 3 < String.length src && String.sub src st.pos 4 = "<!--" then begin
+            skip_until st "-->";
+            skip_spaces st;
+            skip_prolog ()
+          end
+          else begin
+            skip_until st ">";
+            skip_spaces st;
+            skip_prolog ()
+          end
+        | _ -> ()
+    in
+    skip_prolog ();
+    let root = parse_element st in
+    skip_spaces st;
+    if st.pos <> String.length src then Error "trailing content after root element"
+    else Ok root
+  with Xml_error msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok n -> n | Error e -> invalid_arg ("Xml.parse_exn: " ^ e)
+
+let rec serialize = function
+  | Text t -> escape t
+  | Element (name, attrs, children) ->
+    let attr_str =
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) attrs)
+    in
+    if children = [] then Printf.sprintf "<%s%s/>" name attr_str
+    else
+      Printf.sprintf "<%s%s>%s</%s>" name attr_str
+        (String.concat "" (List.map serialize children))
+        name
+
+let rec text_content = function
+  | Text t -> t
+  | Element (_, _, children) -> String.concat "" (List.map text_content children)
+
+let find_all node tag =
+  let rec go acc node =
+    match node with
+    | Text _ -> acc
+    | Element (name, _, children) ->
+      let acc = if name = tag then node :: acc else acc in
+      List.fold_left go acc children
+  in
+  List.rev (go [] node)
+
+type rule = { tag : string; html_tag : string; html_class : string option }
+
+type stylesheet = rule list
+
+let rec transform sheet node =
+  match node with
+  | Text _ -> node
+  | Element (name, _attrs, children) ->
+    let children = List.map (transform sheet) children in
+    (match List.find_opt (fun r -> r.tag = name) sheet with
+     | Some rule ->
+       let attrs = match rule.html_class with Some c -> [ ("class", c) ] | None -> [] in
+       Element (rule.html_tag, attrs, children)
+     | None -> Element ("div", [ ("class", name) ], children))
+
+let to_html sheet node =
+  "<html><body>" ^ serialize (transform sheet node) ^ "</body></html>"

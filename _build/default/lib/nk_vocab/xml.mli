@@ -1,0 +1,36 @@
+(** XML parsing, serialization, and the small template-rule transform
+    used to render SIMM-style XML content to HTML (§5.2: personalized
+    content "is represented as XML and, before being returned to the
+    client, rendered as HTML by an XSL stylesheet"). *)
+
+type node = Element of string * (string * string) list * node list | Text of string
+
+val parse : string -> (node, string) result
+(** A single root element; supports attributes, nested elements, text,
+    comments, XML declarations, and the five standard entities. *)
+
+val parse_exn : string -> node
+
+val serialize : node -> string
+
+val text_content : node -> string
+(** Concatenated text of the subtree. *)
+
+val find_all : node -> string -> node list
+(** All descendant elements (and the node itself) with the given tag. *)
+
+type rule = { tag : string; html_tag : string; html_class : string option }
+(** One template rule: rewrite elements named [tag] into [html_tag]
+    (optionally with a class), recursively transforming children. *)
+
+type stylesheet = rule list
+
+val transform : stylesheet -> node -> node
+(** Apply rules top-down; unmatched elements become [<div>]s keeping
+    their tag name as the class. Text passes through. *)
+
+val to_html : stylesheet -> node -> string
+(** [serialize (transform sheet doc)] wrapped in an [<html><body>]
+    shell. *)
+
+val escape : string -> string

@@ -1,0 +1,1 @@
+lib/nk_workload/driver.ml: List Nk_node Nk_sim

@@ -1,0 +1,1 @@
+lib/nk_workload/driver.mli: Nk_http Nk_node Nk_sim

@@ -1,0 +1,1 @@
+lib/nk_workload/extensions.ml: List Nk_pipeline Printf String

@@ -1,0 +1,1 @@
+lib/nk_workload/flashcrowd.ml: Nk_http Nk_node Printf Static_page

@@ -1,0 +1,1 @@
+lib/nk_workload/flashcrowd.mli: Nk_http Nk_node

@@ -1,0 +1,1 @@
+lib/nk_workload/logreplay.ml: Array Buffer List Nk_http Nk_util Option Printf Result String

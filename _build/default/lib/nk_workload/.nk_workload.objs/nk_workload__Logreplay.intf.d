@@ -1,0 +1,1 @@
+lib/nk_workload/logreplay.mli: Nk_http Nk_util

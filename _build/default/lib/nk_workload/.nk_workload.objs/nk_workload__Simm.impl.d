@@ -1,0 +1,1 @@
+lib/nk_workload/simm.ml: Array Buffer Char Nk_http Nk_node Nk_util Nk_vocab Option Printf String

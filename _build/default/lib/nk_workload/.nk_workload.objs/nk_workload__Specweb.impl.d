@@ -1,0 +1,1 @@
+lib/nk_workload/specweb.ml: Buffer Hashtbl Nk_http Nk_node Nk_util Option Printf

@@ -1,0 +1,1 @@
+lib/nk_workload/specweb.mli: Nk_http Nk_node Nk_util

@@ -1,0 +1,1 @@
+lib/nk_workload/static_page.ml: Array Buffer Nk_node Printf String

@@ -1,0 +1,1 @@
+lib/nk_workload/static_page.mli: Nk_node

@@ -1,0 +1,106 @@
+let image_transcoding =
+  {|
+var p = new Policy();
+p.headers = { "User-Agent": "Nokia" };
+p.onResponse = function() {
+  var type = ImageTransformer.type(Response.contentType);
+  if (type == null) { return; }
+  var cached = Cache.lookup("phone:" + Request.url);
+  if (cached != null) {
+    Response.setHeader("Content-Type", cached.contentType);
+    Response.write(cached.body);
+    return;
+  }
+  var buff = null, body = new ByteArray();
+  while ((buff = Response.read()) != null) { body.append(buff); }
+  var dim = ImageTransformer.dimensions(body, type);
+  if (dim.x > 176 || dim.y > 208) {
+    var img;
+    if (dim.x / 176 > dim.y / 208) {
+      img = ImageTransformer.transform(body, type, "jpeg", 176, dim.y / dim.x * 208);
+    } else {
+      img = ImageTransformer.transform(body, type, "jpeg", dim.x / dim.y * 176, 208);
+    }
+    Response.setHeader("Content-Type", "image/jpeg");
+    Response.setHeader("Content-Length", img.length);
+    Response.write(img);
+    Cache.store("phone:" + Request.url, "image/jpeg", img, 300);
+  }
+}
+p.register();
+|}
+
+let blacklist_generator ~url =
+  Printf.sprintf
+    {|
+var blacklist = fetchResource("%s");
+if (blacklist.status == 200) {
+  var entries = blacklist.body.split("\n");
+  for (var i = 0; i < entries.length; i++) {
+    var entry = entries[i].trim();
+    if (entry.length == 0) { continue; }
+    var code = "var b = new Policy();" +
+               "b.url = [\"" + entry + "\"];" +
+               "b.onRequest = function() { Request.terminate(403); };" +
+               "b.register();";
+    evalScript(code);
+  }
+}
+var pass = new Policy();
+pass.onRequest = function() { };
+pass.register();
+|}
+    url
+
+let annotations ~site ~target_site =
+  Printf.sprintf
+    {|
+var p = new Policy();
+p.url = ["%s"];
+p.nextStages = ["http://%s/nakika.js"];
+p.onRequest = function() {
+  var marker = "/simm/";
+  var at = Request.url.indexOf(marker);
+  if (at >= 0) {
+    Request.setUrl("http://%s/" + Request.url.substring(at + marker.length));
+  }
+}
+p.onResponse = function() {
+  if (Response.contentType == null || Response.contentType.indexOf("text/html") < 0) { return; }
+  var body = "", c;
+  while ((c = Response.read()) != null) { body += c; }
+  var notes = HardState.get("notes:" + Request.url);
+  var widget = "<aside class=\"postit\">" + ((notes == null) ? "no notes yet" : notes) + "</aside>";
+  body = body.replace("</body>", widget + "</body>");
+  body = body.replace("http://%s/", "http://%s/simm/");
+  Response.write(body);
+}
+p.register();
+
+var poster = new Policy();
+poster.url = ["%s/annotate"];
+poster.onRequest = function() {
+  var key = "notes:http://%s/" + Request.query("target");
+  var existing = HardState.get(key);
+  var text = Request.query("text");
+  HardState.put(key, (existing == null) ? text : existing + " | " + text);
+  Request.respond(200, "text/plain", "noted");
+}
+poster.register();
+|}
+    site target_site target_site target_site site site target_site
+
+let nkp = Nk_pipeline.Nkp.script
+
+let loc source =
+  String.split_on_char '\n' source
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.length
+
+let all =
+  [
+    ("Na Kika Pages", nkp, 60);
+    ("electronic annotations", annotations ~site:"notes.medcommunity.org" ~target_site:"simm.med.nyu.edu", 230);
+    ("image transcoding", image_transcoding, 80);
+    ("blacklist blocking", blacklist_generator ~url:"http://policy.nakika.net/blacklist.txt", 70);
+  ]

@@ -1,0 +1,32 @@
+let good_host = "popular.example.org"
+
+let bomb_host = "bomb.example.org"
+
+let memory_bomb_script =
+  Printf.sprintf
+    {|
+var p = new Policy();
+p.url = ["%s"];
+p.onResponse = function() {
+  var s = "xxxxxxxxxxxxxxxx";
+  while (true) { s = s + s; }
+}
+p.register();
+|}
+    bomb_host
+
+let install_good_site origin =
+  Static_page.install origin;
+  Nk_node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300
+    (Static_page.pred_script ~host:good_host ~n:0 ~matching:true)
+
+let install_bomb_site origin =
+  Nk_node.Origin.set_static origin ~path:"/index.html" ~content_type:"text/html" ~max_age:300
+    "<html>pay no attention to the script behind the curtain</html>";
+  Nk_node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300 memory_bomb_script
+
+let good_request () = Nk_http.Message.request (Printf.sprintf "http://%s/index.html" good_host)
+
+let bomb_request () = Nk_http.Message.request (Printf.sprintf "http://%s/index.html" bomb_host)

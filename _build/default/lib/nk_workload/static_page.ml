@@ -1,0 +1,55 @@
+let page_bytes = 2096
+
+let page_path = "/index.html"
+
+let page_body =
+  let skeleton_head =
+    "<html><head><title>Search</title><meta charset=\"utf-8\"></head><body>"
+  in
+  let skeleton_tail = "</body></html>"
+  in
+  let filler_needed = page_bytes - String.length skeleton_head - String.length skeleton_tail in
+  let filler = Buffer.create filler_needed in
+  let words = [| "search"; "images"; "news"; "maps"; "mail"; "about"; "links"; "more" |] in
+  let i = ref 0 in
+  while Buffer.length filler < filler_needed do
+    let w = words.(!i mod Array.length words) in
+    let item = Printf.sprintf "<a href=\"/%s%d\">%s</a> " w !i w in
+    if Buffer.length filler + String.length item <= filler_needed then Buffer.add_string filler item
+    else Buffer.add_char filler '.';
+    incr i
+  done;
+  let body = skeleton_head ^ Buffer.contents filler ^ skeleton_tail in
+  assert (String.length body = page_bytes);
+  body
+
+let install origin =
+  Nk_node.Origin.set_static origin ~path:page_path ~content_type:"text/html" ~max_age:300
+    page_body
+
+let pred_script ~host ~n ~matching =
+  let buf = Buffer.create (n * 160) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|
+var p%d = new Policy();
+p%d.url = ["other%d.example.org/some/path"];
+p%d.onRequest = function() { };
+p%d.onResponse = function() { };
+p%d.register();
+|}
+         i i i i i i)
+  done;
+  if matching then
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|
+var pm = new Policy();
+pm.url = ["%s"];
+pm.onRequest = function() { };
+pm.onResponse = function() { };
+pm.register();
+|}
+         host);
+  Buffer.contents buf

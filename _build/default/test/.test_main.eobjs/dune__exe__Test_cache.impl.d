@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Body Core Http_cache List Memo_cache Message Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Core Gen Hmac List Printf QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Body Cache_control Codec Cookie Core Gen Headers Http_date Ip List Message Method_ Option QCheck QCheck_alcotest Range Result Status String Url

@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Core Http_date Integrity Message Printf QCheck QCheck_alcotest Verifier

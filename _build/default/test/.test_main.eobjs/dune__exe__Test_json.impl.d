@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Core Hostcall Json List Platform_v Printf QCheck QCheck_alcotest

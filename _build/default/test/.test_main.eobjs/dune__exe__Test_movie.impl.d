@@ -1,0 +1,1 @@
+test/test_movie.ml: Alcotest Core Hostcall Image List Movie Option Platform_v String

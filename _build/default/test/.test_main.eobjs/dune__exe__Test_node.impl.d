@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Body Cluster Config Core List Message Node Origin String

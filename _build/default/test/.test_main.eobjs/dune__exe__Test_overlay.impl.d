@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Core Dht Hashtbl List Node_id Option Printf QCheck QCheck_alcotest Redirector Ring

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Body Core Esi Hashtbl Ip List Message Nkp Option Pipeline Stage Url Walls

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Core Decision_tree Ip List Message Method_ Option Policy Printf QCheck QCheck_alcotest Script_bridge

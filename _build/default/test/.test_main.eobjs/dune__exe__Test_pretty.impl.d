@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Builtins Core Interp List Pretty QCheck QCheck_alcotest String Value

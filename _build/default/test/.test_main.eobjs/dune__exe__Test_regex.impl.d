@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Core Gen List Option QCheck QCheck_alcotest Regex

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Core List Message_bus Printf QCheck QCheck_alcotest Registration Replication Store String

@@ -1,0 +1,1 @@
+test/test_resource.ml: Accounting Alcotest Core Float Hashtbl List Monitor Option Printf QCheck QCheck_alcotest Resource

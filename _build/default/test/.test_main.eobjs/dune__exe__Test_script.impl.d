@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Builtins Context_pool Core Gen Interp Lexer List Option Parser Printf QCheck QCheck_alcotest Value

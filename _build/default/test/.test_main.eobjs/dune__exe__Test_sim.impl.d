@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Body Core Httpd List Message Net Option Sim Trace Url

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Core Cothread Ewma Heap List Option Prng QCheck QCheck_alcotest Queue Stats Strutil

@@ -1,0 +1,1 @@
+test/test_vocab.ml: Alcotest Bytes Core Eval_v Hashtbl Hostcall Http_v Image Interp List Platform_v QCheck QCheck_alcotest String Value Xml

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Driver Flashcrowd List Logreplay Message Printf Simm Specweb Static_page String Url

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "nakika"
+    [
+      ("util", Test_util.suite);
+      ("crypto", Test_crypto.suite);
+      ("regex", Test_regex.suite);
+      ("http", Test_http.suite);
+      ("script", Test_script.suite);
+      ("policy", Test_policy.suite);
+      ("sim", Test_sim.suite);
+      ("cache", Test_cache.suite);
+      ("overlay", Test_overlay.suite);
+      ("resource", Test_resource.suite);
+      ("replication", Test_replication.suite);
+      ("integrity", Test_integrity.suite);
+      ("vocab", Test_vocab.suite);
+      ("json", Test_json.suite);
+      ("pretty", Test_pretty.suite);
+      ("movie", Test_movie.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("node", Test_node.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+    ]

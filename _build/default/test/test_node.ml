@@ -1,0 +1,590 @@
+(* End-to-end node behaviour on simulated deployments: proxying,
+   caching, cooperative caching through the DHT, stage caching and the
+   negative cache, URL rewriting, resource controls, hard state, and
+   access logs. *)
+
+open Core.Node
+open Core.Http
+
+let fetch_sync cluster ~client ?proxy req =
+  let result = ref None in
+  Cluster.fetch cluster ~client ?proxy req (fun resp -> result := Some resp);
+  Cluster.run cluster;
+  match !result with Some r -> r | None -> Alcotest.fail "no response"
+
+let body (r : Message.response) = Body.to_string r.Message.resp_body
+
+let basic_site cluster =
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/index.html" ~max_age:300 "<html>hello</html>";
+  origin
+
+let test_plain_proxying () =
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp = fetch_sync cluster ~client ~proxy (Message.request "http://www.example.edu/index.html") in
+  Alcotest.(check int) "status" 200 resp.Message.status;
+  Alcotest.(check string) "body" "<html>hello</html>" (body resp);
+  Alcotest.(check int) "origin hit: page + nakika.js probe" 2 (Origin.request_count origin)
+
+let test_nakika_url_rewriting () =
+  let cluster = Cluster.create () in
+  ignore (basic_site cluster);
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp =
+    fetch_sync cluster ~client ~proxy
+      (Message.request "http://www.example.edu.nakika.net/index.html")
+  in
+  Alcotest.(check int) "rewritten and served" 200 resp.Message.status;
+  Alcotest.(check string) "origin content" "<html>hello</html>" (body resp)
+
+let test_cache_hit_avoids_origin () =
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  let before = Origin.request_count origin in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  Alcotest.(check int) "no extra origin fetch" before (Origin.request_count origin);
+  Alcotest.(check bool) "cache hit recorded" true
+    (Core.Cache.Http_cache.hits (Node.cache proxy) > 0)
+
+let test_cache_expiry_refetches () =
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/short.html" ~max_age:10 "v1";
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/short.html" in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  Origin.set_static origin ~path:"/short.html" ~max_age:10 "v2";
+  (* Still fresh: cached v1. *)
+  Alcotest.(check string) "fresh" "v1" (body (fetch_sync cluster ~client ~proxy (req ())));
+  (* Let it expire. *)
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now (Cluster.sim cluster) +. 11.0) (Cluster.sim cluster);
+  Alcotest.(check string) "expired -> refetched" "v2"
+    (body (fetch_sync cluster ~client ~proxy (req ())))
+
+let test_dht_cooperative_caching () =
+  (* Node B should fetch from node A's cache instead of the origin
+     ("one cached copy ... is sufficient for avoiding origin server
+     accesses", §1). The site publishes a trivial nakika.js so the
+     script, too, is served cooperatively. *)
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    "var p = new Policy(); p.onResponse = function() { }; p.register();";
+  let a = Cluster.add_proxy cluster ~name:"nk-a.nakika.net" () in
+  let b = Cluster.add_proxy cluster ~name:"nk-b.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  ignore (fetch_sync cluster ~client ~proxy:a (req ()));
+  let origin_before = Origin.request_count origin in
+  let resp = fetch_sync cluster ~client ~proxy:b (req ()) in
+  Alcotest.(check string) "content served" "<html>hello</html>" (body resp);
+  Alcotest.(check int) "origin fetches unchanged" origin_before (Origin.request_count origin);
+  Alcotest.(check bool) "peer fetch recorded" true
+    (Core.Sim.Trace.count (Node.trace b) "peer-fetches" > 0)
+
+let test_dht_disabled_goes_to_origin () =
+  let config = { Config.default with Config.enable_dht = false } in
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let a = Cluster.add_proxy cluster ~name:"nk-a.nakika.net" ~config () in
+  let b = Cluster.add_proxy cluster ~name:"nk-b.nakika.net" ~config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  ignore (fetch_sync cluster ~client ~proxy:a (req ()));
+  let before = Origin.request_count origin in
+  ignore (fetch_sync cluster ~client ~proxy:b (req ()));
+  Alcotest.(check bool) "origin consulted again" true (Origin.request_count origin > before)
+
+let test_site_script_pipeline () =
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    {|
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  var b = "", c;
+  while ((c = Response.read()) != null) { b += c; }
+  Response.write(b.replace("hello", "edge"));
+}
+p.register();
+|};
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp = fetch_sync cluster ~client ~proxy (Message.request "http://www.example.edu/index.html") in
+  Alcotest.(check string) "transformed" "<html>edge</html>" (body resp);
+  Alcotest.(check bool) "stage cached" true (Node.stage_cache_entries proxy >= 1)
+
+let test_negative_cache_for_missing_site_script () =
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  let probes_after_first = Origin.request_count origin in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  (* nakika.js was probed once, then negative-cached; the page itself is
+     cached too, so no further origin traffic at all. *)
+  Alcotest.(check int) "no repeated nakika.js probes" probes_after_first
+    (Origin.request_count origin)
+
+let test_admin_walls_enforced () =
+  let wall = Core.Pipeline.Walls.deny_urls_wall ~urls:[ "forbidden.org" ] ~status:403 in
+  let cluster = Cluster.create ~client_wall:wall () in
+  let origin = Cluster.add_origin cluster ~name:"forbidden.org" () in
+  Origin.set_static origin ~path:"/secret.html" ~max_age:300 "secret";
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp = fetch_sync cluster ~client ~proxy (Message.request "http://forbidden.org/secret.html") in
+  Alcotest.(check int) "admission denied" 403 resp.Message.status;
+  Alcotest.(check int) "origin untouched" 0 (Origin.request_count origin)
+
+let test_wall_update_via_expiry () =
+  (* §3.2: policy updates ship by publishing new scripts; nodes pick
+     them up when cached copies expire. *)
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  ignore origin;
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  Alcotest.(check int) "open at first" 200 (fetch_sync cluster ~client ~proxy (req ())).Message.status;
+  (* Publish a deny-all client wall. *)
+  Origin.set_static (Cluster.nakika_origin cluster) ~path:"/clientwall.js"
+    ~content_type:"text/javascript" ~max_age:300
+    (Core.Pipeline.Walls.deny_urls_wall ~urls:[ "www.example.edu" ] ~status:403);
+  (* Old wall still cached: *)
+  Alcotest.(check int) "still open" 200 (fetch_sync cluster ~client ~proxy (req ())).Message.status;
+  (* After the wall script expires (max-age 300) the update applies. *)
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now (Cluster.sim cluster) +. 301.0) (Cluster.sim cluster);
+  Alcotest.(check int) "update enforced" 403
+    (fetch_sync cluster ~client ~proxy (req ())).Message.status
+
+let test_plain_proxy_config_runs_no_scripts () =
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    {| var p = new Policy(); p.onResponse = function() { Response.write("SCRIPTED"); }; p.register(); |};
+  let proxy = Cluster.add_proxy cluster ~name:"plain.nakika.net" ~config:Config.plain_proxy () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp = fetch_sync cluster ~client ~proxy (Message.request "http://www.example.edu/index.html") in
+  Alcotest.(check string) "unmodified" "<html>hello</html>" (body resp);
+  Alcotest.(check int) "no stages" 0 (Node.stage_cache_entries proxy)
+
+let test_memory_bomb_terminated_with_controls () =
+  let cluster = Cluster.create () in
+  let bomb_origin = Cluster.add_origin cluster ~name:"bomb.example.org" () in
+  Core.Workload.Flashcrowd.install_bomb_site bomb_origin;
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let sim = Cluster.sim cluster in
+  (* Hammer the bomb site for a few simulated seconds. *)
+  Core.Workload.Driver.closed_loop cluster ~client ~proxy
+    ~until:(Core.Sim.Sim.now sim +. 8.0)
+    ~make_request:(fun _ -> Core.Workload.Flashcrowd.bomb_request ())
+    ~on_response:(fun _ _ _ _ -> ())
+    ();
+  Cluster.run cluster;
+  Alcotest.(check bool) "bomb site terminated" true
+    (List.mem "bomb.example.org" (Node.terminated_sites proxy));
+  Alcotest.(check bool) "monitor recorded kills" true
+    (match Node.monitor proxy with
+     | Some m -> Core.Resource.Monitor.terminations m > 0
+     | None -> false)
+
+let test_no_termination_without_controls () =
+  let config = { Config.default with Config.enable_resource_controls = false } in
+  let cluster = Cluster.create () in
+  let bomb_origin = Cluster.add_origin cluster ~name:"bomb.example.org" () in
+  Core.Workload.Flashcrowd.install_bomb_site bomb_origin;
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let sim = Cluster.sim cluster in
+  Core.Workload.Driver.closed_loop cluster ~client ~proxy
+    ~until:(Core.Sim.Sim.now sim +. 5.0)
+    ~make_request:(fun _ -> Core.Workload.Flashcrowd.bomb_request ())
+    ~on_response:(fun _ _ _ _ -> ())
+    ();
+  Cluster.run cluster;
+  Alcotest.(check (list string)) "nobody terminated" [] (Node.terminated_sites proxy)
+
+let test_hard_state_replicates_between_proxies () =
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.spec99.org" () in
+  Core.Workload.Specweb.install_origin origin;
+  let a = Cluster.add_proxy cluster ~name:"nk-a.nakika.net" () in
+  let b = Cluster.add_proxy cluster ~name:"nk-b.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  (* Warm proxy B so it joins the replication group (a node serving a
+     site subscribes to that site's updates). *)
+  ignore
+    (fetch_sync cluster ~client ~proxy:b
+       (Message.request "http://www.spec99.org/nkp/profile.nkp?user=nobody"));
+  (* Register through proxy A. *)
+  let r1 =
+    fetch_sync cluster ~client ~proxy:a
+      (Message.request "http://www.spec99.org/nkp/register.nkp?user=alice&profile=prof1")
+  in
+  Alcotest.(check bool) "registered" true
+    (Core.Util.Strutil.contains_sub (body r1) ~sub:"registered");
+  (* Look up through proxy B after the update propagates. *)
+  let r2 =
+    fetch_sync cluster ~client ~proxy:b
+      (Message.request "http://www.spec99.org/nkp/profile.nkp?user=alice")
+  in
+  Alcotest.(check bool) "profile visible on other node" true
+    (Core.Util.Strutil.contains_sub (body r2) ~sub:"prof1")
+
+let test_access_log_posted () =
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let received = ref [] in
+  Origin.set_dynamic origin ~prefix:"/log-sink" ~cpu:0.0001 (fun req ->
+      received := Body.to_string req.Message.body :: !received;
+      Message.response ~body:"ok" ());
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    {|
+Log.enable("http://www.example.edu/log-sink");
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() { };
+p.register();
+|};
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  ignore (fetch_sync cluster ~client ~proxy (Message.request "http://www.example.edu/index.html"));
+  (* Give the 30-second log poster a chance to run. *)
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now (Cluster.sim cluster) +. 35.0) (Cluster.sim cluster);
+  Cluster.run cluster;
+  Alcotest.(check bool) "log delivered" true (!received <> []);
+  Alcotest.(check bool) "entry mentions the url" true
+    (List.exists
+       (fun entry -> Core.Util.Strutil.contains_sub entry ~sub:"/index.html")
+       !received)
+
+let test_redirector_integration () =
+  let cluster = Cluster.create () in
+  ignore (basic_site cluster);
+  let near = Cluster.add_proxy cluster ~name:"near.nakika.net" () in
+  let far = Cluster.add_proxy cluster ~name:"far.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  Cluster.connect cluster client (Node.host near) ~latency:0.002 ~bandwidth:1e7;
+  Cluster.connect cluster client (Node.host far) ~latency:0.3 ~bandwidth:1e7;
+  (* No explicit proxy: the redirector picks. *)
+  let resp = fetch_sync cluster ~client (Message.request "http://www.example.edu/index.html") in
+  Alcotest.(check int) "served" 200 resp.Message.status;
+  Alcotest.(check bool) "near proxy took the request" true
+    (Core.Sim.Trace.count (Node.trace near) "requests" > 0);
+  Alcotest.(check int) "far proxy idle" 0 (Core.Sim.Trace.count (Node.trace far) "requests")
+
+
+let test_revalidation_304 () =
+  (* An expired cache entry with an ETag turns the refetch into a
+     conditional GET; the origin's 304 revives the entry without moving
+     the body again. *)
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/page.html" ~max_age:10 "stable content";
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/page.html" in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  let bytes_before = Origin.bytes_served origin in
+  (* Expire the entry, then fetch again: expect a 304 revalidation. *)
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now (Cluster.sim cluster) +. 11.0) (Cluster.sim cluster);
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check string) "content served from revived entry" "stable content" (body resp);
+  Alcotest.(check bool) "revalidation recorded" true
+    (Core.Sim.Trace.count (Node.trace proxy) "revalidations" > 0);
+  (* The 304 carried no body: almost no new bytes from the origin. *)
+  Alcotest.(check bool) "no full body transfer" true
+    (Origin.bytes_served origin - bytes_before < String.length "stable content");
+  (* And the revived entry serves fresh hits again. *)
+  let hits_before = Core.Cache.Http_cache.hits (Node.cache proxy) in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  Alcotest.(check bool) "fresh again" true
+    (Core.Cache.Http_cache.hits (Node.cache proxy) > hits_before)
+
+let test_revalidation_changed_content () =
+  (* When the content changed, the conditional GET returns the new 200
+     and the cache is replaced. *)
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/page.html" ~max_age:10 "version 1";
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/page.html" in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now (Cluster.sim cluster) +. 11.0) (Cluster.sim cluster);
+  Origin.set_static origin ~path:"/page.html" ~max_age:10 "version 2";
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check string) "new content" "version 2" (body resp);
+  Alcotest.(check int) "no 304 this time" 0
+    (Core.Sim.Trace.count (Node.trace proxy) "revalidations")
+
+
+let test_integrity_catches_misbehaving_peer () =
+  (* §6 end to end: the origin signs its content; node B is misbehaving
+     and falsifies what it serves to peers; node A verifies, rejects
+     the falsified copy, and falls back to the origin. *)
+  let key = "publisher-key" in
+  let verify_config = { Config.default with Config.integrity_key = Some key } in
+  let bad_config = { Config.default with Config.misbehaving = true } in
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" ~sign_key:key () in
+  Origin.set_static origin ~path:"/study.html" ~max_age:300 "<html>study content</html>";
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    "var p = new Policy(); p.onResponse = function() { }; p.register();";
+  let bad = Cluster.add_proxy cluster ~name:"nk-bad.nakika.net" ~config:bad_config () in
+  let good = Cluster.add_proxy cluster ~name:"nk-good.nakika.net" ~config:verify_config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/study.html" in
+  (* Warm the misbehaving node's cache (it serves itself honestly). *)
+  ignore (fetch_sync cluster ~client ~proxy:bad (req ()));
+  (* The good node finds bad's announcement, gets a falsified copy,
+     detects it, and retrieves the authoritative version. *)
+  let resp = fetch_sync cluster ~client ~proxy:good (req ()) in
+  Alcotest.(check string) "authoritative content served" "<html>study content</html>"
+    (body resp);
+  Alcotest.(check bool) "violation detected" true
+    (Core.Sim.Trace.count (Node.trace good) "integrity-violations" > 0)
+
+let test_integrity_accepts_honest_peer () =
+  let key = "publisher-key" in
+  let config = { Config.default with Config.integrity_key = Some key } in
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" ~sign_key:key () in
+  Origin.set_static origin ~path:"/study.html" ~max_age:300 "<html>study content</html>";
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    "var p = new Policy(); p.onResponse = function() { }; p.register();";
+  let a = Cluster.add_proxy cluster ~name:"nk-a.nakika.net" ~config () in
+  let b = Cluster.add_proxy cluster ~name:"nk-b.nakika.net" ~config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/study.html" in
+  ignore (fetch_sync cluster ~client ~proxy:a (req ()));
+  let origin_before = Origin.request_count origin in
+  let resp = fetch_sync cluster ~client ~proxy:b (req ()) in
+  Alcotest.(check string) "content" "<html>study content</html>" (body resp);
+  Alcotest.(check int) "peer copy accepted, origin idle" origin_before
+    (Origin.request_count origin);
+  Alcotest.(check int) "no violations" 0
+    (Core.Sim.Trace.count (Node.trace b) "integrity-violations")
+
+
+let test_emission_control_on_script_fetches () =
+  (* §3.2: the server-side wall mediates hosted scripts' access to web
+     resources. A site script that tries to fetch a blocked resource
+     gets the wall's denial, and the blocked origin is never contacted. *)
+  let server_wall =
+    Core.Pipeline.Walls.deny_urls_wall ~urls:[ "internal.example.org" ] ~status:403
+  in
+  let cluster = Cluster.create ~server_wall () in
+  let blocked = Cluster.add_origin cluster ~name:"internal.example.org" () in
+  Origin.set_static blocked ~path:"/secret" ~max_age:300 "secret data";
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/page.html" ~max_age:300 "page";
+  Origin.set_static origin ~path:"/fragment" ~max_age:300 "public fragment";
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    {|
+var p = new Policy();
+p.url = ["www.example.edu/page.html"];
+p.onRequest = function() {
+  var secret = fetchResource("http://internal.example.org/secret");
+  var public_ = fetchResource("http://www.example.edu/fragment");
+  Request.respond(200, "text/plain", "secret=" + secret.status + " public=" + public_.status);
+}
+p.register();
+|};
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp = fetch_sync cluster ~client ~proxy (Message.request "http://www.example.edu/page.html") in
+  Alcotest.(check string) "wall denied the internal fetch only" "secret=403 public=200"
+    (body resp);
+  Alcotest.(check int) "blocked origin untouched" 0 (Origin.request_count blocked);
+  Alcotest.(check bool) "denial recorded" true
+    (Core.Sim.Trace.count (Node.trace proxy) "emission-denials" > 0)
+
+
+let test_dht_reannouncement_outlives_ttl () =
+  (* The announcement's TTL (dht_ttl) is shorter than a long-lived cache
+     entry; the re-announcement daemon keeps the content findable. *)
+  let config = { Config.default with Config.dht_ttl = 30.0 } in
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/longlived.html" ~max_age:3600 "<html>durable content</html>";
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:3600
+    "var p = new Policy(); p.onResponse = function() { }; p.register();";
+  let a = Cluster.add_proxy cluster ~name:"nk-a.nakika.net" ~config () in
+  let b = Cluster.add_proxy cluster ~name:"nk-b.nakika.net" ~config () in
+  ignore a;
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/longlived.html" in
+  ignore (fetch_sync cluster ~client ~proxy:a (req ()));
+  (* Let several announcement TTLs pass. *)
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now (Cluster.sim cluster) +. 100.0) (Cluster.sim cluster);
+  let origin_before = Origin.request_count origin in
+  ignore (fetch_sync cluster ~client ~proxy:b (req ()));
+  Alcotest.(check bool) "peer copy still found" true
+    (Core.Sim.Trace.count (Node.trace b) "peer-fetches" > 0);
+  Alcotest.(check int) "origin idle" origin_before (Origin.request_count origin)
+
+
+let test_range_served_from_full_instance () =
+  (* A Range request is processed on the full instance: the site script
+     sees and transforms the whole body; the client gets the slice of
+     the transformed content as a 206. *)
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/doc.txt" ~content_type:"text/plain" ~max_age:300
+    "aaaaaaaaaabbbbbbbbbb";
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    {|
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  var b = "", c;
+  while ((c = Response.read()) != null) { b += c; }
+  Response.write(b.toUpperCase());
+}
+p.register();
+|};
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let resp =
+    fetch_sync cluster ~client ~proxy
+      (Message.request ~headers:[ ("Range", "bytes=8-11") ] "http://www.example.edu/doc.txt")
+  in
+  Alcotest.(check int) "206" 206 resp.Message.status;
+  Alcotest.(check string) "slice of the transformed instance" "AABB" (body resp);
+  Alcotest.(check (option string)) "content-range" (Some "bytes 8-11/20")
+    (Message.resp_header resp "Content-Range");
+  (* An ordinary request still gets the whole instance. *)
+  let full = fetch_sync cluster ~client ~proxy (Message.request "http://www.example.edu/doc.txt") in
+  Alcotest.(check int) "200" 200 full.Message.status;
+  Alcotest.(check string) "full body" "AAAAAAAAAABBBBBBBBBB" (body full)
+
+
+let test_concurrent_pipelines_do_not_interleave () =
+  (* Two in-flight requests whose handlers suspend on a sub-fetch must
+     not clobber each other's Request/Response globals in the shared
+     stage context (the stage lock serializes them, §4's per-pipeline
+     isolation). *)
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/a.html" ~max_age:0 "page-a";
+  Origin.set_static origin ~path:"/b.html" ~max_age:0 "page-b";
+  Origin.set_static origin ~path:"/frag" ~max_age:0 "x";
+  Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript" ~max_age:300
+    {|
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  if (Request.url.indexOf("frag") >= 0) { return; }
+  var before = Request.url;
+  var body = "", c;
+  while ((c = Response.read()) != null) { body += c; }
+  // Suspend mid-handler: another pipeline would love to sneak in here.
+  fetchResource("http://www.example.edu/frag");
+  var after = Request.url;
+  Response.write(body + "|" + (before == after ? "stable" : "CLOBBERED"));
+}
+p.register();
+|};
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let results = ref [] in
+  (* Issue both before running the simulator: truly concurrent. *)
+  Cluster.fetch cluster ~client ~proxy (Message.request "http://www.example.edu/a.html")
+    (fun r -> results := ("a", body r) :: !results);
+  Cluster.fetch cluster ~client ~proxy (Message.request "http://www.example.edu/b.html")
+    (fun r -> results := ("b", body r) :: !results);
+  Cluster.run cluster;
+  let sorted = List.sort compare !results in
+  Alcotest.(check (list (pair string string))) "both transformed with their own state"
+    [ ("a", "page-a|stable"); ("b", "page-b|stable") ]
+    sorted
+
+
+let test_simulation_is_deterministic () =
+  (* Two runs of the same seeded deployment produce identical traces —
+     the property every experiment in bench/ relies on. *)
+  let run () =
+    let cluster = Cluster.create ~seed:77 () in
+    let origin = Cluster.add_origin cluster ~name:Core.Workload.Simm.host () in
+    Core.Workload.Simm.install_origin origin;
+    let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+    let client = Cluster.add_client cluster ~name:"c1" in
+    let sim = Cluster.sim cluster in
+    let rng = Core.Util.Prng.create 5 in
+    let latencies = ref [] in
+    Core.Workload.Driver.closed_loop cluster ~client ~proxy ~think:0.1
+      ~until:(Core.Sim.Sim.now sim +. 10.0)
+      ~make_request:(fun _ ->
+        Core.Workload.Simm.make_request ~rng ~mode:Core.Workload.Simm.Edge ~student:"s")
+      ~on_response:(fun _ _ resp elapsed ->
+        latencies := (resp.Core.Http.Message.status, elapsed) :: !latencies)
+      ();
+    Cluster.run cluster;
+    ( !latencies,
+      Core.Sim.Trace.count (Node.trace proxy) "requests",
+      Origin.request_count origin )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b);
+  let _, requests, _ = a in
+  Alcotest.(check bool) "did real work" true (requests > 20)
+
+let suite =
+  [
+    Alcotest.test_case "proxying a static page" `Quick test_plain_proxying;
+    Alcotest.test_case ".nakika.net URL rewriting" `Quick test_nakika_url_rewriting;
+    Alcotest.test_case "cache hits avoid the origin" `Quick test_cache_hit_avoids_origin;
+    Alcotest.test_case "expired entries are refetched" `Quick test_cache_expiry_refetches;
+    Alcotest.test_case "304 revalidation revives stale entries" `Quick test_revalidation_304;
+    Alcotest.test_case "revalidation picks up changed content" `Quick
+      test_revalidation_changed_content;
+    Alcotest.test_case "DHT cooperative caching" `Quick test_dht_cooperative_caching;
+    Alcotest.test_case "DHT re-announcement outlives the soft-state TTL" `Quick
+      test_dht_reannouncement_outlives_ttl;
+    Alcotest.test_case "DHT disabled goes to origin" `Quick test_dht_disabled_goes_to_origin;
+    Alcotest.test_case "site script transforms responses" `Quick test_site_script_pipeline;
+    Alcotest.test_case "negative cache for missing nakika.js" `Quick
+      test_negative_cache_for_missing_site_script;
+    Alcotest.test_case "administrative walls enforced" `Quick test_admin_walls_enforced;
+    Alcotest.test_case "policy updates apply on expiry (§3.2)" `Quick
+      test_wall_update_via_expiry;
+    Alcotest.test_case "plain-proxy config runs no scripts" `Quick
+      test_plain_proxy_config_runs_no_scripts;
+    Alcotest.test_case "memory bomb terminated under controls" `Quick
+      test_memory_bomb_terminated_with_controls;
+    Alcotest.test_case "no termination without controls" `Quick
+      test_no_termination_without_controls;
+    Alcotest.test_case "hard state replicates across proxies" `Quick
+      test_hard_state_replicates_between_proxies;
+    Alcotest.test_case "access logs posted to the site" `Quick test_access_log_posted;
+    Alcotest.test_case "redirector sends clients to the near proxy" `Quick
+      test_redirector_integration;
+    Alcotest.test_case "integrity: misbehaving peer detected (§6)" `Quick
+      test_integrity_catches_misbehaving_peer;
+    Alcotest.test_case "integrity: honest peers accepted" `Quick
+      test_integrity_accepts_honest_peer;
+    Alcotest.test_case "emission control mediates script fetches (§3.2)" `Quick
+      test_emission_control_on_script_fetches;
+    Alcotest.test_case "range requests sliced from the full instance (§3.1)" `Quick
+      test_range_served_from_full_instance;
+    Alcotest.test_case "concurrent pipelines are isolated (stage lock)" `Quick
+      test_concurrent_pipelines_do_not_interleave;
+    Alcotest.test_case "simulation runs are deterministic" `Quick
+      test_simulation_is_deterministic;
+  ]

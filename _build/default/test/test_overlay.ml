@@ -1,0 +1,255 @@
+(* The structured overlay: ring membership and routing, TTL'd DHT
+   storage, DNS redirection. *)
+
+open Core.Overlay
+
+let test_node_id_deterministic () =
+  Alcotest.(check bool) "same name same id" true
+    (Node_id.equal (Node_id.of_string "node-a") (Node_id.of_string "node-a"));
+  Alcotest.(check bool) "names differ" false
+    (Node_id.equal (Node_id.of_string "node-a") (Node_id.of_string "node-b"))
+
+let test_node_id_distance () =
+  let a = Node_id.of_int 10 and b = Node_id.of_int 20 in
+  Alcotest.(check int) "forward" 10 (Node_id.distance a b);
+  Alcotest.(check bool) "wraps" true (Node_id.distance b a > 0);
+  Alcotest.(check int) "self" 0 (Node_id.distance a a)
+
+let test_node_id_interval () =
+  let a = Node_id.of_int 10 and b = Node_id.of_int 20 in
+  Alcotest.(check bool) "inside" true (Node_id.in_interval (Node_id.of_int 15) ~left:a ~right:b);
+  Alcotest.(check bool) "right closed" true (Node_id.in_interval b ~left:a ~right:b);
+  Alcotest.(check bool) "left open" false (Node_id.in_interval a ~left:a ~right:b);
+  Alcotest.(check bool) "outside" false (Node_id.in_interval (Node_id.of_int 25) ~left:a ~right:b)
+
+let test_ring_membership () =
+  let r = Ring.create () in
+  let a = Node_id.of_int 100 in
+  Ring.join r a;
+  Ring.join r a;
+  Alcotest.(check int) "idempotent join" 1 (Ring.size r);
+  Ring.leave r a;
+  Alcotest.(check int) "left" 0 (Ring.size r)
+
+let test_ring_successor () =
+  let r = Ring.create () in
+  List.iter (fun i -> Ring.join r (Node_id.of_int i)) [ 10; 20; 30 ];
+  let successor k = Node_id.to_int (Option.get (Ring.successor r (Node_id.of_int k))) in
+  Alcotest.(check int) "between" 20 (successor 15);
+  Alcotest.(check int) "exact" 20 (successor 20);
+  Alcotest.(check int) "wraparound" 10 (successor 31);
+  Alcotest.(check bool) "empty ring" true (Ring.successor (Ring.create ()) (Node_id.of_int 1) = None)
+
+let test_ring_lookup_path_terminates () =
+  let r = Ring.create () in
+  for i = 1 to 50 do
+    Ring.join r (Node_id.of_string (Printf.sprintf "node%d" i))
+  done;
+  let from = Node_id.of_string "node1" in
+  for i = 1 to 100 do
+    let key = Node_id.of_string (Printf.sprintf "key%d" i) in
+    let path = Ring.lookup_path r ~from ~key in
+    Alcotest.(check bool) "bounded path" true (List.length path <= 60);
+    match Ring.successor r key with
+    | Some owner when path <> [] ->
+      Alcotest.(check bool) "ends at owner" true
+        (Node_id.equal owner (List.nth path (List.length path - 1)))
+    | _ -> ()
+  done
+
+let test_ring_lookup_log_hops () =
+  let r = Ring.create () in
+  for i = 1 to 128 do
+    Ring.join r (Node_id.of_string (Printf.sprintf "n%d" i))
+  done;
+  let from = Node_id.of_string "n1" in
+  let total = ref 0 in
+  for i = 1 to 200 do
+    total := !total + List.length (Ring.lookup_path r ~from ~key:(Node_id.of_string (Printf.sprintf "k%d" i)))
+  done;
+  let avg = float_of_int !total /. 200.0 in
+  (* log2(128) = 7; greedy finger routing should stay well under 2x. *)
+  Alcotest.(check bool) (Printf.sprintf "avg hops %.1f <= 14" avg) true (avg <= 14.0)
+
+let test_dht_put_get () =
+  let dht = Dht.create () in
+  ignore (Dht.join dht "alpha");
+  ignore (Dht.join dht "beta");
+  ignore (Dht.put dht ~now:0.0 ~from:"alpha" ~key:"GET http://x.org/p" ~value:"alpha" ~ttl:60.0);
+  let r = Dht.get dht ~now:1.0 ~from:"beta" ~key:"GET http://x.org/p" in
+  Alcotest.(check (list string)) "found" [ "alpha" ] r.Dht.values
+
+let test_dht_ttl_expiry () =
+  let dht = Dht.create () in
+  ignore (Dht.join dht "alpha");
+  ignore (Dht.put dht ~now:0.0 ~from:"alpha" ~key:"k" ~value:"v" ~ttl:10.0);
+  Alcotest.(check (list string)) "live" [ "v" ] (Dht.get dht ~now:9.0 ~from:"alpha" ~key:"k").Dht.values;
+  Alcotest.(check (list string)) "expired" [] (Dht.get dht ~now:10.5 ~from:"alpha" ~key:"k").Dht.values
+
+let test_dht_multiple_values () =
+  let dht = Dht.create () in
+  List.iter (fun n -> ignore (Dht.join dht n)) [ "a"; "b"; "c" ];
+  ignore (Dht.put dht ~now:0.0 ~from:"a" ~key:"k" ~value:"a" ~ttl:60.0);
+  ignore (Dht.put dht ~now:1.0 ~from:"b" ~key:"k" ~value:"b" ~ttl:60.0);
+  let values = (Dht.get dht ~now:2.0 ~from:"c" ~key:"k").Dht.values in
+  Alcotest.(check (list string)) "newest first, both live" [ "b"; "a" ] values
+
+let test_dht_reannounce_dedupes () =
+  let dht = Dht.create () in
+  ignore (Dht.join dht "a");
+  ignore (Dht.put dht ~now:0.0 ~from:"a" ~key:"k" ~value:"a" ~ttl:5.0);
+  ignore (Dht.put dht ~now:3.0 ~from:"a" ~key:"k" ~value:"a" ~ttl:5.0);
+  let values = (Dht.get dht ~now:6.0 ~from:"a" ~key:"k").Dht.values in
+  Alcotest.(check (list string)) "single refreshed entry" [ "a" ] values
+
+let test_dht_value_cap () =
+  let dht = Dht.create ~values_per_key:3 () in
+  ignore (Dht.join dht "n");
+  for i = 1 to 10 do
+    ignore (Dht.put dht ~now:0.0 ~from:"n" ~key:"k" ~value:(string_of_int i) ~ttl:60.0)
+  done;
+  let values = (Dht.get dht ~now:1.0 ~from:"n" ~key:"k").Dht.values in
+  Alcotest.(check (list string)) "newest three" [ "10"; "9"; "8" ] values
+
+let test_dht_leave_drops_state () =
+  let dht = Dht.create () in
+  ignore (Dht.join dht "solo");
+  ignore (Dht.put dht ~now:0.0 ~from:"solo" ~key:"k" ~value:"v" ~ttl:60.0);
+  Alcotest.(check int) "stored" 1 (Dht.stored_keys dht "solo");
+  Dht.leave dht "solo";
+  Alcotest.(check int) "gone" 0 (Dht.stored_keys dht "solo")
+
+let test_dht_unjoined_put_raises () =
+  let dht = Dht.create () in
+  match Dht.put dht ~now:0.0 ~from:"ghost" ~key:"k" ~value:"v" ~ttl:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let dht_soft_state_prop =
+  QCheck.Test.make ~name:"dht: any joined node can read back any announcement" ~count:100
+    QCheck.(pair (int_range 2 12) (small_list (string_of_size (QCheck.Gen.int_range 1 20))))
+    (fun (n_nodes, keys) ->
+      let dht = Dht.create () in
+      let names = List.init n_nodes (fun i -> Printf.sprintf "node%d" i) in
+      List.iter (fun n -> ignore (Dht.join dht n)) names;
+      List.for_all
+        (fun key ->
+          ignore (Dht.put dht ~now:0.0 ~from:(List.hd names) ~key ~value:"owner" ~ttl:60.0);
+          List.for_all
+            (fun reader -> (Dht.get dht ~now:1.0 ~from:reader ~key).Dht.values = [ "owner" ])
+            names)
+        keys)
+
+
+let test_dht_survives_churn () =
+  (* Soft state + re-announcement keep content findable across churn:
+     after nodes join and leave, re-announced keys resolve again. *)
+  let dht = Dht.create () in
+  List.iter (fun n -> ignore (Dht.join dht n)) [ "a"; "b"; "c"; "d" ];
+  ignore (Dht.put dht ~now:0.0 ~from:"a" ~key:"obj" ~value:"a" ~ttl:60.0);
+  (* Churn: a new node may take over the key's region, an old one may
+     leave with its stored state. *)
+  ignore (Dht.join dht "e");
+  Dht.leave dht "b";
+  (* The announcement may have been lost with the owner; soft state is
+     repaired by the owner re-announcing (as caches do periodically). *)
+  ignore (Dht.put dht ~now:1.0 ~from:"a" ~key:"obj" ~value:"a" ~ttl:60.0);
+  List.iter
+    (fun reader ->
+      Alcotest.(check (list string)) (reader ^ " finds it") [ "a" ]
+        (Dht.get dht ~now:2.0 ~from:reader ~key:"obj").Dht.values)
+    [ "a"; "c"; "d"; "e" ]
+
+let test_ring_lookup_consistent_across_nodes () =
+  (* Every node routing to the same key reaches the same owner. *)
+  let r = Ring.create () in
+  let names = List.init 20 (fun i -> Printf.sprintf "n%d" i) in
+  List.iter (fun n -> Ring.join r (Node_id.of_string n)) names;
+  let key = Node_id.of_string "some-object" in
+  let owner = Option.get (Ring.successor r key) in
+  List.iter
+    (fun n ->
+      let from = Node_id.of_string n in
+      let path = Ring.lookup_path r ~from ~key in
+      let arrived = match List.rev path with last :: _ -> last | [] -> from in
+      Alcotest.(check bool) (n ^ " reaches owner") true (Node_id.equal arrived owner))
+    names
+
+let test_redirector_nearest () =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let near = Core.Sim.Net.add_host net ~name:"near" () in
+  let far = Core.Sim.Net.add_host net ~name:"far" () in
+  let client = Core.Sim.Net.add_host net ~name:"client" () in
+  Core.Sim.Net.connect net client near ~latency:0.005 ~bandwidth:1e7;
+  Core.Sim.Net.connect net client far ~latency:0.2 ~bandwidth:1e7;
+  let red = Redirector.create net in
+  Redirector.add_proxy red near;
+  Redirector.add_proxy red far;
+  let rng = Core.Util.Prng.create 1 in
+  for _ = 1 to 10 do
+    match Redirector.pick red ~rng ~client () with
+    | Some h -> Alcotest.(check string) "nearest" "near" (Core.Sim.Net.host_name h)
+    | None -> Alcotest.fail "no proxy"
+  done
+
+let test_redirector_spread () =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  let hosts = List.init 4 (fun i -> Core.Sim.Net.add_host net ~name:(Printf.sprintf "p%d" i) ()) in
+  List.iter (Redirector.add_proxy red) hosts;
+  let client = Core.Sim.Net.add_host net ~name:"c" () in
+  let rng = Core.Util.Prng.create 5 in
+  let seen = Hashtbl.create 4 in
+  for _ = 1 to 60 do
+    match Redirector.pick red ~spread:4 ~rng ~client () with
+    | Some h -> Hashtbl.replace seen (Core.Sim.Net.host_name h) ()
+    | None -> ()
+  done;
+  Alcotest.(check bool) "load spreads over several proxies" true (Hashtbl.length seen >= 2)
+
+let test_redirector_empty () =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  let client = Core.Sim.Net.add_host net ~name:"c" () in
+  Alcotest.(check bool) "none" true
+    (Redirector.pick red ~rng:(Core.Util.Prng.create 1) ~client () = None)
+
+let test_redirector_remove () =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  let p = Core.Sim.Net.add_host net ~name:"p" () in
+  Redirector.add_proxy red p;
+  Redirector.remove_proxy red p;
+  Alcotest.(check (list string)) "empty" []
+    (List.map Core.Sim.Net.host_name (Redirector.proxies red))
+
+let suite =
+  [
+    Alcotest.test_case "node ids are deterministic" `Quick test_node_id_deterministic;
+    Alcotest.test_case "ring distance" `Quick test_node_id_distance;
+    Alcotest.test_case "clockwise intervals" `Quick test_node_id_interval;
+    Alcotest.test_case "ring membership" `Quick test_ring_membership;
+    Alcotest.test_case "ring successor" `Quick test_ring_successor;
+    Alcotest.test_case "lookup paths terminate at the owner" `Quick
+      test_ring_lookup_path_terminates;
+    Alcotest.test_case "greedy routing is O(log n)" `Quick test_ring_lookup_log_hops;
+    Alcotest.test_case "dht: put/get across nodes" `Quick test_dht_put_get;
+    Alcotest.test_case "dht: soft state expires" `Quick test_dht_ttl_expiry;
+    Alcotest.test_case "dht: multiple announcements coexist" `Quick test_dht_multiple_values;
+    Alcotest.test_case "dht: re-announcement refreshes" `Quick test_dht_reannounce_dedupes;
+    Alcotest.test_case "dht: per-key value cap" `Quick test_dht_value_cap;
+    Alcotest.test_case "dht: leave drops stored state" `Quick test_dht_leave_drops_state;
+    Alcotest.test_case "dht: unjoined sender rejected" `Quick test_dht_unjoined_put_raises;
+    Alcotest.test_case "dht: churn with re-announcement" `Quick test_dht_survives_churn;
+    Alcotest.test_case "ring: consistent ownership from all nodes" `Quick
+      test_ring_lookup_consistent_across_nodes;
+    QCheck_alcotest.to_alcotest dht_soft_state_prop;
+    Alcotest.test_case "redirector: picks nearest proxy" `Quick test_redirector_nearest;
+    Alcotest.test_case "redirector: spread balances load" `Quick test_redirector_spread;
+    Alcotest.test_case "redirector: empty pool" `Quick test_redirector_empty;
+    Alcotest.test_case "redirector: remove proxy" `Quick test_redirector_remove;
+  ]

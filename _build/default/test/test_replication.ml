@@ -1,0 +1,308 @@
+(* Hard state (§3.3): per-site stores with quotas, the reliable message
+   bus, and script-style replication with conflict resolution. *)
+
+open Core.Replication
+
+let test_store_basic () =
+  let s = Store.create () in
+  Alcotest.(check bool) "put" true (Store.put s ~site:"a.org" ~key:"k" "v");
+  Alcotest.(check (option string)) "get" (Some "v") (Store.get s ~site:"a.org" ~key:"k");
+  Store.delete s ~site:"a.org" ~key:"k";
+  Alcotest.(check (option string)) "deleted" None (Store.get s ~site:"a.org" ~key:"k")
+
+let test_store_site_partitioning () =
+  let s = Store.create () in
+  ignore (Store.put s ~site:"a.org" ~key:"k" "for-a");
+  ignore (Store.put s ~site:"b.org" ~key:"k" "for-b");
+  Alcotest.(check (option string)) "a sees a" (Some "for-a") (Store.get s ~site:"a.org" ~key:"k");
+  Alcotest.(check (option string)) "b sees b" (Some "for-b") (Store.get s ~site:"b.org" ~key:"k")
+
+let test_store_quota () =
+  let s = Store.create ~quota_bytes:200 () in
+  Alcotest.(check bool) "fits" true (Store.put s ~site:"a" ~key:"k1" (String.make 100 'x'));
+  Alcotest.(check bool) "over quota" false (Store.put s ~site:"a" ~key:"k2" (String.make 100 'x'));
+  Alcotest.(check (option string)) "rejected write absent" None (Store.get s ~site:"a" ~key:"k2");
+  (* Quota is per site. *)
+  Alcotest.(check bool) "other site unaffected" true
+    (Store.put s ~site:"b" ~key:"k" (String.make 100 'x'))
+
+let test_store_overwrite_counts_delta () =
+  let s = Store.create ~quota_bytes:200 () in
+  ignore (Store.put s ~site:"a" ~key:"k" (String.make 100 'x'));
+  Alcotest.(check bool) "same-size overwrite fits" true
+    (Store.put s ~site:"a" ~key:"k" (String.make 100 'y'));
+  Alcotest.(check bool) "shrink then grow elsewhere" true
+    (Store.put s ~site:"a" ~key:"k" "small");
+  Alcotest.(check bool) "freed space reusable" true
+    (Store.put s ~site:"a" ~key:"k2" (String.make 80 'z'))
+
+let test_store_keys_prefix () =
+  let s = Store.create () in
+  ignore (Store.put s ~site:"a" ~key:"user:1" "x");
+  ignore (Store.put s ~site:"a" ~key:"user:2" "y");
+  ignore (Store.put s ~site:"a" ~key:"log:1" "z");
+  Alcotest.(check (list string)) "prefix" [ "user:1"; "user:2" ] (Store.keys s ~site:"a" ~prefix:"user:")
+
+let with_bus n_nodes f =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let bus = Message_bus.create net in
+  let hosts =
+    List.init n_nodes (fun i -> Core.Sim.Net.add_host net ~name:(Printf.sprintf "n%d" i) ())
+  in
+  f sim bus hosts
+
+let test_bus_delivery () =
+  with_bus 3 (fun sim bus hosts ->
+      let received = ref [] in
+      List.iteri
+        (fun i host ->
+          let name = Printf.sprintf "n%d" i in
+          Message_bus.attach bus ~name ~host;
+          Message_bus.subscribe bus ~name ~topic:"t" ~handler:(fun ~payload ~from ->
+              received := (name, from, payload) :: !received))
+        hosts;
+      Message_bus.publish bus ~from:"n0" ~topic:"t" ~payload:"hello";
+      Core.Sim.Sim.run sim;
+      let got = List.sort compare !received in
+      Alcotest.(check (list (triple string string string))) "other two receive"
+        [ ("n1", "n0", "hello"); ("n2", "n0", "hello") ]
+        got;
+      Alcotest.(check int) "delivered count" 2 (Message_bus.delivered bus))
+
+let test_bus_topic_filtering () =
+  with_bus 2 (fun sim bus hosts ->
+      let received = ref 0 in
+      List.iteri
+        (fun i host ->
+          let name = Printf.sprintf "n%d" i in
+          Message_bus.attach bus ~name ~host)
+        hosts;
+      Message_bus.subscribe bus ~name:"n1" ~topic:"interesting"
+        ~handler:(fun ~payload:_ ~from:_ -> incr received);
+      Message_bus.publish bus ~from:"n0" ~topic:"boring" ~payload:"x";
+      Message_bus.publish bus ~from:"n0" ~topic:"interesting" ~payload:"y";
+      Core.Sim.Sim.run sim;
+      Alcotest.(check int) "only subscribed topic" 1 !received)
+
+let test_bus_in_order_per_sender () =
+  with_bus 2 (fun sim bus hosts ->
+      let received = ref [] in
+      List.iteri
+        (fun i host ->
+          let name = Printf.sprintf "n%d" i in
+          Message_bus.attach bus ~name ~host;
+          Message_bus.subscribe bus ~name ~topic:"t" ~handler:(fun ~payload ~from:_ ->
+              received := payload :: !received))
+        hosts;
+      for i = 1 to 20 do
+        Message_bus.publish bus ~from:"n0" ~topic:"t" ~payload:(string_of_int i)
+      done;
+      Core.Sim.Sim.run sim;
+      Alcotest.(check (list string)) "in order"
+        (List.init 20 (fun i -> string_of_int (i + 1)))
+        (List.rev !received))
+
+let test_bus_unattached_publish_raises () =
+  with_bus 1 (fun _sim bus _hosts ->
+      match Message_bus.publish bus ~from:"ghost" ~topic:"t" ~payload:"x" with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+
+let make_replicas ?resolve n =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let bus = Message_bus.create net in
+  let nodes =
+    List.init n (fun i ->
+        let name = Printf.sprintf "edge%d" i in
+        let host = Core.Sim.Net.add_host net ~name () in
+        Replication.attach ~bus ~name ~host ~store:(Store.create ()) ?resolve ~site:"a.org"
+          Replication.Optimistic)
+  in
+  (sim, nodes)
+
+let test_replication_propagates () =
+  let sim, nodes = make_replicas 3 in
+  let n0 = List.nth nodes 0 in
+  Alcotest.(check bool) "accepted" true (Replication.update n0 ~key:"k" ~value:"v1");
+  Core.Sim.Sim.run sim;
+  List.iteri
+    (fun i node ->
+      Alcotest.(check (option string)) (Printf.sprintf "replica %d" i) (Some "v1")
+        (Replication.read node ~key:"k"))
+    nodes
+
+let test_replication_last_writer_wins () =
+  let sim, nodes = make_replicas 2 in
+  let a = List.nth nodes 0 and b = List.nth nodes 1 in
+  ignore (Replication.update a ~key:"k" ~value:"from-a");
+  Core.Sim.Sim.run sim;
+  ignore (Replication.update b ~key:"k" ~value:"from-b");
+  Core.Sim.Sim.run sim;
+  Alcotest.(check (option string)) "a converged" (Some "from-b") (Replication.read a ~key:"k");
+  Alcotest.(check (option string)) "b converged" (Some "from-b") (Replication.read b ~key:"k")
+
+let test_replication_concurrent_updates_converge () =
+  let sim, nodes = make_replicas 2 in
+  let a = List.nth nodes 0 and b = List.nth nodes 1 in
+  (* Concurrent: both update before any delivery. *)
+  ignore (Replication.update a ~key:"k" ~value:"from-a");
+  ignore (Replication.update b ~key:"k" ~value:"from-b");
+  Core.Sim.Sim.run sim;
+  let va = Replication.read a ~key:"k" in
+  let vb = Replication.read b ~key:"k" in
+  Alcotest.(check bool) "converged to one winner" true (va = vb && va <> None)
+
+let test_replication_delete_tombstones () =
+  let sim, nodes = make_replicas 2 in
+  let a = List.nth nodes 0 and b = List.nth nodes 1 in
+  ignore (Replication.update a ~key:"k" ~value:"v");
+  Core.Sim.Sim.run sim;
+  Replication.delete b ~key:"k";
+  Core.Sim.Sim.run sim;
+  Alcotest.(check (option string)) "deleted everywhere" None (Replication.read a ~key:"k");
+  Alcotest.(check (list string)) "keys exclude tombstones" [] (Replication.keys a ~prefix:"")
+
+let test_replication_custom_resolver () =
+  (* Domain-specific conflict resolution (§3.3): take the max. *)
+  let resolve ~key:_ ~current ~proposed =
+    match current with
+    | Some c when int_of_string c > int_of_string proposed -> c
+    | _ -> proposed
+  in
+  let sim, nodes = make_replicas ~resolve 2 in
+  let a = List.nth nodes 0 and b = List.nth nodes 1 in
+  ignore (Replication.update a ~key:"count" ~value:"10");
+  Core.Sim.Sim.run sim;
+  ignore (Replication.update b ~key:"count" ~value:"3");
+  Core.Sim.Sim.run sim;
+  Alcotest.(check (option string)) "resolver keeps max" (Some "10")
+    (Replication.read b ~key:"count")
+
+let test_registration () =
+  let sim, nodes = make_replicas 2 in
+  let reg0 = Registration.create (List.nth nodes 0) in
+  let reg1 = Registration.create (List.nth nodes 1) in
+  Alcotest.(check bool) "register" true (reg0 |> fun r -> Registration.register r ~user:"alice" ~profile:"p1");
+  Core.Sim.Sim.run sim;
+  Alcotest.(check bool) "duplicate rejected remotely" false
+    (Registration.register reg1 ~user:"alice" ~profile:"p2");
+  Alcotest.(check (option string)) "visible remotely" (Some "p1")
+    (Registration.lookup reg1 ~user:"alice");
+  Alcotest.(check bool) "update profile" true
+    (Registration.update_profile reg1 ~user:"alice" ~profile:"p3");
+  Core.Sim.Sim.run sim;
+  Alcotest.(check (option string)) "updated everywhere" (Some "p3")
+    (Registration.lookup reg0 ~user:"alice");
+  Alcotest.(check int) "count" 1 (Registration.user_count reg0);
+  Alcotest.(check bool) "unknown update rejected" false
+    (Registration.update_profile reg0 ~user:"bob" ~profile:"p")
+
+
+let make_primary_group n =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let bus = Message_bus.create net in
+  let nodes =
+    List.init n (fun i ->
+        let name = Printf.sprintf "edge%d" i in
+        let host = Core.Sim.Net.add_host net ~name () in
+        Replication.attach ~bus ~name ~host ~store:(Store.create ()) ~site:"a.org"
+          (Replication.Primary "edge0"))
+  in
+  (sim, nodes)
+
+let test_primary_routes_through_primary () =
+  let sim, nodes = make_primary_group 3 in
+  let replica = List.nth nodes 2 in
+  (* A write at a non-primary replica is forwarded, serialized by the
+     primary, and broadcast back to everyone. *)
+  Alcotest.(check bool) "accepted" true (Replication.update replica ~key:"k" ~value:"v");
+  (* Before delivery the writing replica has not applied it locally. *)
+  Alcotest.(check (option string)) "not yet applied locally" None
+    (Replication.read replica ~key:"k");
+  Core.Sim.Sim.run sim;
+  List.iteri
+    (fun i node ->
+      Alcotest.(check (option string)) (Printf.sprintf "replica %d converged" i) (Some "v")
+        (Replication.read node ~key:"k"))
+    nodes
+
+let test_primary_serializes_concurrent_writes () =
+  (* Two replicas write concurrently; the primary imposes one order and
+     every replica ends with the same winner — no split-brain. *)
+  let sim, nodes = make_primary_group 3 in
+  let r1 = List.nth nodes 1 and r2 = List.nth nodes 2 in
+  ignore (Replication.update r1 ~key:"k" ~value:"from-1");
+  ignore (Replication.update r2 ~key:"k" ~value:"from-2");
+  Core.Sim.Sim.run sim;
+  let views = List.map (fun n -> Replication.read n ~key:"k") nodes in
+  (match views with
+   | first :: rest ->
+     Alcotest.(check bool) "some winner" true (first <> None);
+     List.iter (fun v -> Alcotest.(check bool) "all agree" true (v = first)) rest
+   | [] -> Alcotest.fail "no nodes");
+  (* The order is the primary's arrival order, deterministic in the
+     simulator: the first proposal wins the first version but the
+     second overwrites it — last arrival at the primary is final. *)
+  Alcotest.(check bool) "primary's serialization applied" true
+    (List.hd views = Some "from-2" || List.hd views = Some "from-1")
+
+let test_primary_write_at_primary_is_immediate () =
+  let sim, nodes = make_primary_group 2 in
+  let primary = List.hd nodes in
+  ignore (Replication.update primary ~key:"k" ~value:"direct");
+  Alcotest.(check (option string)) "applied immediately at primary" (Some "direct")
+    (Replication.read primary ~key:"k");
+  Core.Sim.Sim.run sim;
+  Alcotest.(check (option string)) "replicated" (Some "direct")
+    (Replication.read (List.nth nodes 1) ~key:"k")
+
+let replication_convergence_prop =
+  QCheck.Test.make ~name:"replication: all replicas converge after quiescence" ~count:50
+    QCheck.(pair (int_range 2 5) (small_list (pair (int_range 0 4) (int_range 0 100))))
+    (fun (n, writes) ->
+      let sim, nodes = make_replicas n in
+      let arr = Array.of_list nodes in
+      List.iter
+        (fun (who, v) ->
+          ignore
+            (Replication.update arr.(who mod n) ~key:"k" ~value:(string_of_int v)))
+        writes;
+      Core.Sim.Sim.run sim;
+      let views = List.map (fun node -> Replication.read node ~key:"k") nodes in
+      match views with
+      | [] -> true
+      | first :: rest -> List.for_all (fun v -> v = first) rest)
+
+let suite =
+  [
+    Alcotest.test_case "store: basic operations" `Quick test_store_basic;
+    Alcotest.test_case "store: per-site partitioning" `Quick test_store_site_partitioning;
+    Alcotest.test_case "store: quota enforcement" `Quick test_store_quota;
+    Alcotest.test_case "store: overwrites account the delta" `Quick
+      test_store_overwrite_counts_delta;
+    Alcotest.test_case "store: prefix key listing" `Quick test_store_keys_prefix;
+    Alcotest.test_case "bus: delivery to all subscribers" `Quick test_bus_delivery;
+    Alcotest.test_case "bus: topic filtering" `Quick test_bus_topic_filtering;
+    Alcotest.test_case "bus: per-sender ordering" `Quick test_bus_in_order_per_sender;
+    Alcotest.test_case "bus: unattached sender rejected" `Quick
+      test_bus_unattached_publish_raises;
+    Alcotest.test_case "replication: updates propagate" `Quick test_replication_propagates;
+    Alcotest.test_case "replication: last writer wins" `Quick test_replication_last_writer_wins;
+    Alcotest.test_case "replication: concurrent updates converge" `Quick
+      test_replication_concurrent_updates_converge;
+    Alcotest.test_case "replication: deletes replicate" `Quick
+      test_replication_delete_tombstones;
+    Alcotest.test_case "replication: custom conflict resolver" `Quick
+      test_replication_custom_resolver;
+    Alcotest.test_case "registration vocabulary (SPECweb99)" `Quick test_registration;
+    Alcotest.test_case "primary: writes route through the primary" `Quick
+      test_primary_routes_through_primary;
+    Alcotest.test_case "primary: concurrent writes serialize" `Quick
+      test_primary_serializes_concurrent_writes;
+    Alcotest.test_case "primary: primary writes are immediate" `Quick
+      test_primary_write_at_primary_is_immediate;
+    QCheck_alcotest.to_alcotest replication_convergence_prop;
+  ]

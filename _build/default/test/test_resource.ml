@@ -1,0 +1,214 @@
+(* Congestion-based resource control (Fig. 6): accounting semantics,
+   throttling proportional to contribution, top-offender termination. *)
+
+open Core.Resource
+
+let test_renewable_classification () =
+  Alcotest.(check bool) "cpu" true (Resource.is_renewable Resource.Cpu);
+  Alcotest.(check bool) "memory" true (Resource.is_renewable Resource.Memory);
+  Alcotest.(check bool) "bandwidth" true (Resource.is_renewable Resource.Bandwidth);
+  Alcotest.(check bool) "running time" false (Resource.is_renewable Resource.Running_time);
+  Alcotest.(check bool) "bytes" false (Resource.is_renewable Resource.Bytes_transferred)
+
+let test_charge_accumulates () =
+  let a = Accounting.create () in
+  Accounting.charge a ~site:"s" Resource.Cpu 1.0;
+  Accounting.charge a ~site:"s" Resource.Cpu 2.0;
+  Alcotest.(check (float 1e-9)) "interval sum" 3.0
+    (Accounting.interval_consumption a ~site:"s" Resource.Cpu);
+  Alcotest.(check (float 1e-9)) "total" 3.0 (Accounting.total_interval a Resource.Cpu)
+
+let test_renewable_only_counts_under_congestion () =
+  let a = Accounting.create ~alpha:1.0 () in
+  Accounting.charge a ~site:"s" Resource.Cpu 5.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:false;
+  Alcotest.(check (float 1e-9)) "uncongested renewable discarded" 0.0
+    (Accounting.usage a ~site:"s" Resource.Cpu);
+  Accounting.charge a ~site:"s" Resource.Cpu 5.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:true;
+  Alcotest.(check (float 1e-9)) "congested renewable counted" 5.0
+    (Accounting.usage a ~site:"s" Resource.Cpu)
+
+let test_nonrenewable_always_counts () =
+  let a = Accounting.create ~alpha:1.0 () in
+  Accounting.charge a ~site:"s" Resource.Running_time 2.0;
+  Accounting.close_resource_interval a Resource.Running_time ~congested:false;
+  Alcotest.(check (float 1e-9)) "counted without congestion" 2.0
+    (Accounting.usage a ~site:"s" Resource.Running_time)
+
+let test_interval_resets () =
+  let a = Accounting.create () in
+  Accounting.charge a ~site:"s" Resource.Cpu 5.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:true;
+  Alcotest.(check (float 1e-9)) "reset" 0.0
+    (Accounting.interval_consumption a ~site:"s" Resource.Cpu)
+
+let test_usage_is_weighted_average () =
+  let a = Accounting.create ~alpha:0.5 () in
+  Accounting.charge a ~site:"s" Resource.Cpu 10.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:true;
+  Accounting.charge a ~site:"s" Resource.Cpu 20.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:true;
+  Alcotest.(check (float 1e-9)) "ewma" 15.0 (Accounting.usage a ~site:"s" Resource.Cpu)
+
+let test_penalization_decays () =
+  (* §3.2: "allowing scripts to ... recover from past penalization". *)
+  let a = Accounting.create ~alpha:0.5 () in
+  Accounting.charge a ~site:"s" Resource.Cpu 100.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:true;
+  for _ = 1 to 10 do
+    Accounting.close_resource_interval a Resource.Cpu ~congested:false
+  done;
+  Alcotest.(check bool) "decayed" true (Accounting.usage a ~site:"s" Resource.Cpu < 0.2)
+
+let test_contribution_shares () =
+  let a = Accounting.create ~alpha:1.0 () in
+  Accounting.charge a ~site:"big" Resource.Cpu 9.0;
+  Accounting.charge a ~site:"small" Resource.Cpu 1.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:true;
+  Alcotest.(check (float 1e-9)) "big share" 0.9 (Accounting.contribution a ~site:"big" Resource.Cpu);
+  Alcotest.(check (float 1e-9)) "small share" 0.1
+    (Accounting.contribution a ~site:"small" Resource.Cpu);
+  Alcotest.(check (float 1e-9)) "unknown site" 0.0
+    (Accounting.contribution a ~site:"nobody" Resource.Cpu)
+
+let test_active_sites_and_forget () =
+  let a = Accounting.create () in
+  Accounting.charge a ~site:"b" Resource.Cpu 1.0;
+  Accounting.charge a ~site:"a" Resource.Cpu 1.0;
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Accounting.active_sites a);
+  Accounting.forget a ~site:"a";
+  Alcotest.(check (list string)) "forgotten" [ "b" ] (Accounting.active_sites a)
+
+(* --- the CONTROL algorithm -------------------------------------------- *)
+
+type harness = {
+  accounting : Accounting.t;
+  monitor : Monitor.t;
+  congested : (Resource.t, bool) Hashtbl.t;
+  throttled : (string * float) list ref;
+  unthrottled : int ref;
+  killed : string list ref;
+}
+
+let make_harness () =
+  let accounting = Accounting.create ~alpha:1.0 () in
+  let congested = Hashtbl.create 4 in
+  let throttled = ref [] in
+  let unthrottled = ref 0 in
+  let killed = ref [] in
+  let monitor =
+    Monitor.create ~accounting
+      ~is_congested:(fun ~final:_ r -> Option.value (Hashtbl.find_opt congested r) ~default:false)
+      ~throttle:(fun ~site ~fraction ~resource:_ -> throttled := (site, fraction) :: !throttled)
+      ~unthrottle:(fun _ -> incr unthrottled)
+      ~terminate:(fun ~site -> killed := site :: !killed)
+      ()
+  in
+  { accounting; monitor; congested; throttled; unthrottled; killed }
+
+let test_control_idle_when_clear () =
+  let h = make_harness () in
+  Accounting.charge h.accounting ~site:"s" Resource.Cpu 100.0;
+  Alcotest.(check bool) "clear" true (Monitor.begin_control h.monitor Resource.Cpu = `Clear);
+  Alcotest.(check bool) "no throttles" true (!(h.throttled) = []);
+  Alcotest.(check bool) "unthrottled at finish" true
+    (Monitor.finish_control h.monitor Resource.Cpu = `Unthrottled);
+  Alcotest.(check bool) "nobody killed" true (!(h.killed) = [])
+
+let test_control_throttles_proportionally () =
+  let h = make_harness () in
+  Accounting.charge h.accounting ~site:"hog" Resource.Cpu 3.0;
+  Accounting.charge h.accounting ~site:"meek" Resource.Cpu 1.0;
+  Hashtbl.replace h.congested Resource.Cpu true;
+  (match Monitor.begin_control h.monitor Resource.Cpu with
+   | `Congested fractions ->
+     Alcotest.(check (float 1e-9)) "hog fraction" 0.75 (List.assoc "hog" fractions);
+     Alcotest.(check (float 1e-9)) "meek fraction" 0.25 (List.assoc "meek" fractions)
+   | `Clear -> Alcotest.fail "expected congestion");
+  Alcotest.(check int) "both throttled" 2 (List.length !(h.throttled))
+
+let test_control_kills_top_offender_if_congestion_persists () =
+  let h = make_harness () in
+  Accounting.charge h.accounting ~site:"hog" Resource.Cpu 9.0;
+  Accounting.charge h.accounting ~site:"meek" Resource.Cpu 1.0;
+  Hashtbl.replace h.congested Resource.Cpu true;
+  ignore (Monitor.begin_control h.monitor Resource.Cpu);
+  (* congestion persists through the timeout *)
+  (match Monitor.finish_control h.monitor Resource.Cpu with
+   | `Terminated site -> Alcotest.(check string) "largest contributor dies" "hog" site
+   | `Unthrottled -> Alcotest.fail "expected termination");
+  Alcotest.(check (list string)) "kill callback" [ "hog" ] !(h.killed);
+  Alcotest.(check int) "termination counted" 1 (Monitor.terminations h.monitor)
+
+let test_control_unthrottles_if_congestion_clears () =
+  let h = make_harness () in
+  Accounting.charge h.accounting ~site:"s" Resource.Cpu 5.0;
+  Hashtbl.replace h.congested Resource.Cpu true;
+  ignore (Monitor.begin_control h.monitor Resource.Cpu);
+  Hashtbl.replace h.congested Resource.Cpu false (* throttling took effect *);
+  Alcotest.(check bool) "unthrottled" true
+    (Monitor.finish_control h.monitor Resource.Cpu = `Unthrottled);
+  Alcotest.(check bool) "nobody killed" true (!(h.killed) = []);
+  Alcotest.(check bool) "unthrottle callback ran" true (!(h.unthrottled) >= 1)
+
+let test_control_no_ghost_kill () =
+  (* finish_control with no prior begin ranks nobody. *)
+  let h = make_harness () in
+  Hashtbl.replace h.congested Resource.Cpu true;
+  Alcotest.(check bool) "no pending queue" true
+    (Monitor.finish_control h.monitor Resource.Cpu = `Unthrottled)
+
+let test_control_per_resource_isolation () =
+  let h = make_harness () in
+  Accounting.charge h.accounting ~site:"s" Resource.Cpu 1.0;
+  Accounting.charge h.accounting ~site:"s" Resource.Memory 1.0;
+  Hashtbl.replace h.congested Resource.Cpu true;
+  ignore (Monitor.begin_control h.monitor Resource.Cpu);
+  ignore (Monitor.begin_control h.monitor Resource.Memory);
+  (* only cpu was congested; memory usage (renewable) folded as zero *)
+  Alcotest.(check bool) "cpu counted" true (Accounting.usage h.accounting ~site:"s" Resource.Cpu > 0.0);
+  Alcotest.(check (float 1e-9)) "memory not counted" 0.0
+    (Accounting.usage h.accounting ~site:"s" Resource.Memory)
+
+let throttle_fractions_sum_to_one_prop =
+  QCheck.Test.make ~name:"throttle fractions over active sites sum to 1" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) (float_range 0.1 50.0))
+    (fun loads ->
+      let h = make_harness () in
+      List.iteri
+        (fun i load ->
+          Accounting.charge h.accounting ~site:(Printf.sprintf "s%d" i) Resource.Cpu load)
+        loads;
+      Hashtbl.replace h.congested Resource.Cpu true;
+      match Monitor.begin_control h.monitor Resource.Cpu with
+      | `Congested fractions ->
+        let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 fractions in
+        Float.abs (total -. 1.0) < 1e-6
+      | `Clear -> false)
+
+let suite =
+  [
+    Alcotest.test_case "renewable vs nonrenewable" `Quick test_renewable_classification;
+    Alcotest.test_case "charges accumulate per interval" `Quick test_charge_accumulates;
+    Alcotest.test_case "renewable counts only under congestion" `Quick
+      test_renewable_only_counts_under_congestion;
+    Alcotest.test_case "nonrenewable always counts" `Quick test_nonrenewable_always_counts;
+    Alcotest.test_case "closing an interval resets it" `Quick test_interval_resets;
+    Alcotest.test_case "usage is a weighted average" `Quick test_usage_is_weighted_average;
+    Alcotest.test_case "past penalization decays" `Quick test_penalization_decays;
+    Alcotest.test_case "contribution shares" `Quick test_contribution_shares;
+    Alcotest.test_case "active sites and forget" `Quick test_active_sites_and_forget;
+    Alcotest.test_case "CONTROL: idle when uncongested" `Quick test_control_idle_when_clear;
+    Alcotest.test_case "CONTROL: proportional throttling" `Quick
+      test_control_throttles_proportionally;
+    Alcotest.test_case "CONTROL: persistent congestion kills top offender" `Quick
+      test_control_kills_top_offender_if_congestion_persists;
+    Alcotest.test_case "CONTROL: clearing congestion unthrottles" `Quick
+      test_control_unthrottles_if_congestion_clears;
+    Alcotest.test_case "CONTROL: no kill without a ranked queue" `Quick
+      test_control_no_ghost_kill;
+    Alcotest.test_case "CONTROL: resources are independent" `Quick
+      test_control_per_resource_isolation;
+    QCheck_alcotest.to_alcotest throttle_fractions_sum_to_one_prop;
+  ]

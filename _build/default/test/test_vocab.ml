@@ -1,0 +1,372 @@
+(* Vocabularies: the NKI image codec, XML engine, and the script-facing
+   Request/Response, ImageTransformer, Xml, Regex, System, Cache,
+   HardState, Crypto and fetchResource globals. *)
+
+open Core.Vocab
+open Core.Script
+
+let test_image_encode_decode_raw () =
+  let img = Image.synthesize ~width:32 ~height:24 ~seed:1 in
+  match Image.decode (Image.encode img Image.Raw) with
+  | Ok (img', Image.Raw) ->
+    Alcotest.(check int) "width" 32 img'.Image.width;
+    Alcotest.(check int) "height" 24 img'.Image.height;
+    Alcotest.(check bytes) "pixels" img.Image.pixels img'.Image.pixels
+  | _ -> Alcotest.fail "decode failed"
+
+let test_image_encode_decode_rle () =
+  let img = Image.synthesize ~width:64 ~height:48 ~seed:2 in
+  match Image.decode (Image.encode img Image.Rle) with
+  | Ok (img', Image.Rle) -> Alcotest.(check bytes) "lossless" img.Image.pixels img'.Image.pixels
+  | _ -> Alcotest.fail "decode failed"
+
+let test_image_dimensions_peek () =
+  let img = Image.synthesize ~width:352 ~height:416 ~seed:3 in
+  Alcotest.(check (option (pair int int))) "header peek" (Some (352, 416))
+    (Image.dimensions (Image.encode img Image.Rle));
+  Alcotest.(check (option (pair int int))) "garbage" None (Image.dimensions "not an image")
+
+let test_image_scale () =
+  let img = Image.synthesize ~width:100 ~height:60 ~seed:4 in
+  let scaled = Image.scale img ~width:50 ~height:30 in
+  Alcotest.(check int) "width" 50 scaled.Image.width;
+  Alcotest.(check int) "height" 30 scaled.Image.height;
+  Alcotest.(check int) "pixel count" 1500 (Bytes.length scaled.Image.pixels);
+  (* Identity scale preserves the image. *)
+  let same = Image.scale img ~width:100 ~height:60 in
+  Alcotest.(check bytes) "identity" img.Image.pixels same.Image.pixels
+
+let test_image_decode_errors () =
+  List.iter
+    (fun s ->
+      match Image.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected decode error")
+    [ ""; "NKI1"; "XXXX\x00\x10\x00\x10\x00"; "NKI1\x00\x10\x00\x10\x00short" ]
+
+let test_rle_roundtrip () =
+  let cases = [ ""; "a"; "aaaa"; "abab"; String.make 300 'x'; "mixed aaa bbb c" ] in
+  List.iter
+    (fun s ->
+      match Image.rle_decompress (Image.rle_compress s) with
+      | Ok s' -> Alcotest.(check string) "roundtrip" s s'
+      | Error e -> Alcotest.fail e)
+    cases
+
+let rle_roundtrip_prop =
+  QCheck.Test.make ~name:"rle: compress/decompress roundtrip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_bound 500))
+    (fun s -> Image.rle_decompress (Image.rle_compress s) = Ok s)
+
+let test_image_mime () =
+  Alcotest.(check bool) "jpeg is rle" true (Image.format_of_mime "image/jpeg" = Some Image.Rle);
+  Alcotest.(check bool) "nki raw" true (Image.format_of_mime "image/nki" = Some Image.Raw);
+  Alcotest.(check bool) "unknown" true (Image.format_of_mime "text/html" = None)
+
+let test_xml_parse_serialize () =
+  let src = "<a x=\"1\"><b>text</b><c/></a>" in
+  let node = Xml.parse_exn src in
+  Alcotest.(check string) "roundtrip" src (Xml.serialize node)
+
+let test_xml_entities () =
+  let node = Xml.parse_exn "<p>a &lt;b&gt; &amp; c</p>" in
+  Alcotest.(check string) "unescaped text" "a <b> & c" (Xml.text_content node);
+  Alcotest.(check string) "re-escaped" "<p>a &lt;b&gt; &amp; c</p>" (Xml.serialize node)
+
+let test_xml_prolog_and_comments () =
+  let node = Xml.parse_exn "<?xml version=\"1.0\"?><!-- hi --><root><!-- inner -->x</root>" in
+  Alcotest.(check string) "text" "x" (Xml.text_content node)
+
+let test_xml_errors () =
+  List.iter
+    (fun s ->
+      match Xml.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s)
+    [ ""; "<a>"; "<a></b>"; "<a><b></a></b>"; "text only"; "<a></a><b></b>"; "<a x=1></a>" ]
+
+let test_xml_find_all () =
+  let node = Xml.parse_exn "<r><s><p>1</p></s><p>2</p></r>" in
+  Alcotest.(check int) "two paras" 2 (List.length (Xml.find_all node "p"))
+
+let test_xml_transform () =
+  let sheet = [ { Xml.tag = "lecture"; html_tag = "article"; html_class = Some "lec" } ] in
+  let node = Xml.parse_exn "<lecture><unknown>t</unknown></lecture>" in
+  let html = Xml.to_html sheet node in
+  Alcotest.(check bool) "rule applied" true
+    (Core.Util.Strutil.contains_sub html ~sub:"<article class=\"lec\">");
+  Alcotest.(check bool) "default rule" true
+    (Core.Util.Strutil.contains_sub html ~sub:"<div class=\"unknown\">");
+  Alcotest.(check bool) "shell" true (Core.Util.Strutil.starts_with ~prefix:"<html><body>" html)
+
+
+let test_xml_cdata () =
+  let node = Xml.parse_exn "<doc><![CDATA[raw <tags> & ampersands]]></doc>" in
+  Alcotest.(check string) "verbatim text" "raw <tags> & ampersands" (Xml.text_content node);
+  (* Serialization re-escapes it as ordinary text. *)
+  Alcotest.(check string) "re-escaped" "<doc>raw &lt;tags&gt; &amp; ampersands</doc>"
+    (Xml.serialize node);
+  (match Xml.parse "<doc><![CDATA[unterminated</doc>" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unterminated CDATA should fail")
+
+(* --- script-facing vocabularies ---------------------------------------- *)
+
+let make_ctx ?(host = Hostcall.stub ()) () =
+  let ctx = Interp.create () in
+  Platform_v.install_all host ctx;
+  Eval_v.install ctx;
+  ctx
+
+let run ctx src = Interp.run_string ctx src
+
+let test_request_global () =
+  let ctx = make_ctx () in
+  let req =
+    Core.Http.Message.request
+      ~headers:[ ("User-Agent", "TestAgent"); ("Cookie", "sid=xyz") ]
+      ~client:{ Core.Http.Ip.ip = Core.Http.Ip.of_string_exn "10.1.2.3"; hostname = None }
+      "http://a.org/path?k=v"
+  in
+  Http_v.install_request ctx req;
+  Alcotest.(check string) "url" "http://a.org/path?k=v" (Value.to_string (run ctx "Request.url"));
+  Alcotest.(check string) "method" "GET" (Value.to_string (run ctx "Request.method"));
+  Alcotest.(check string) "clientIP" "10.1.2.3" (Value.to_string (run ctx "Request.clientIP"));
+  Alcotest.(check string) "header" "TestAgent"
+    (Value.to_string (run ctx "Request.header(\"user-agent\")"));
+  Alcotest.(check string) "cookie" "xyz" (Value.to_string (run ctx "Request.cookie(\"sid\")"));
+  Alcotest.(check string) "query" "v" (Value.to_string (run ctx "Request.query(\"k\")"));
+  Alcotest.(check bool) "missing header is null" true
+    (run ctx "Request.header(\"nope\")" = Value.Vnull)
+
+let test_request_mutation () =
+  let ctx = make_ctx () in
+  let req = Core.Http.Message.request "http://a.org/old" in
+  Http_v.install_request ctx req;
+  ignore (run ctx "Request.setUrl(\"http://b.org/new\"); Request.setHeader(\"X\", \"1\")");
+  Alcotest.(check string) "url rewritten" "b.org" (Core.Http.Message.host req);
+  Alcotest.(check (option string)) "header set" (Some "1")
+    (Core.Http.Message.req_header req "X");
+  Alcotest.(check string) "script sees new url" "http://b.org/new"
+    (Value.to_string (run ctx "Request.url"))
+
+let test_request_terminate () =
+  let ctx = make_ctx () in
+  Http_v.install_request ctx (Core.Http.Message.request "http://a.org/");
+  match run ctx "Request.terminate(401)" with
+  | exception Http_v.Terminate_request resp ->
+    Alcotest.(check int) "401" 401 resp.Core.Http.Message.status
+  | _ -> Alcotest.fail "expected Terminate_request"
+
+let test_request_redirect () =
+  let ctx = make_ctx () in
+  Http_v.install_request ctx (Core.Http.Message.request "http://a.org/");
+  match run ctx "Request.redirect(\"http://elsewhere.org/\")" with
+  | exception Http_v.Terminate_request resp ->
+    Alcotest.(check int) "302" 302 resp.Core.Http.Message.status;
+    Alcotest.(check (option string)) "location" (Some "http://elsewhere.org/")
+      (Core.Http.Message.resp_header resp "Location")
+  | _ -> Alcotest.fail "expected redirect"
+
+let test_response_read_write () =
+  let ctx = make_ctx () in
+  let resp =
+    Core.Http.Message.response ~headers:[ ("Content-Type", "text/html") ] ~body:"hello world" ()
+  in
+  let sink = Http_v.install_response ctx resp in
+  ignore
+    (run ctx
+       {| var body = "", c;
+          while ((c = Response.read()) != null) { body += c; }
+          Response.write(body.toUpperCase()); |});
+  Http_v.apply_writes sink resp;
+  Alcotest.(check string) "rewritten" "HELLO WORLD"
+    (Core.Http.Body.to_string resp.Core.Http.Message.resp_body);
+  Alcotest.(check (option string)) "content-length updated" (Some "11")
+    (Core.Http.Message.resp_header resp "Content-Length")
+
+let test_response_no_write_keeps_body () =
+  let ctx = make_ctx () in
+  let resp = Core.Http.Message.response ~body:"original" () in
+  let sink = Http_v.install_response ctx resp in
+  ignore (run ctx "var c = Response.read();");
+  Http_v.apply_writes sink resp;
+  Alcotest.(check string) "unchanged" "original"
+    (Core.Http.Body.to_string resp.Core.Http.Message.resp_body)
+
+let test_response_headers_and_status () =
+  let ctx = make_ctx () in
+  let resp = Core.Http.Message.response ~headers:[ ("Content-Type", "image/nki") ] ~body:"x" () in
+  ignore (Http_v.install_response ctx resp);
+  Alcotest.(check string) "contentType" "image/nki" (Value.to_string (run ctx "Response.contentType"));
+  ignore (run ctx "Response.setHeader(\"Content-Type\", \"image/jpeg\"); Response.setStatus(201)");
+  Alcotest.(check (option string)) "header" (Some "image/jpeg")
+    (Core.Http.Message.content_type resp);
+  Alcotest.(check int) "status" 201 resp.Core.Http.Message.status;
+  Alcotest.(check string) "snapshot refreshed" "image/jpeg"
+    (Value.to_string (run ctx "Response.contentType"))
+
+let test_figure2_end_to_end () =
+  (* The full Fig. 2 handler against a real oversized NKI image. *)
+  let ctx = make_ctx () in
+  let img = Image.synthesize ~width:352 ~height:416 ~seed:9 in
+  let body = Image.encode img Image.Rle in
+  let resp =
+    Core.Http.Message.response ~headers:[ ("Content-Type", "image/jpeg") ] ~body ()
+  in
+  Http_v.install_request ctx (Core.Http.Message.request "http://imgs.org/pic.jpg");
+  let sink = Http_v.install_response ctx resp in
+  ignore
+    (run ctx
+       {|
+var buff = null, body = new ByteArray();
+while ((buff = Response.read()) != null) { body.append(buff); }
+var type = ImageTransformer.type(Response.contentType);
+var dim = ImageTransformer.dimensions(body, type);
+if (dim.x > 176 || dim.y > 208) {
+  var img;
+  if (dim.x / 176 > dim.y / 208) {
+    img = ImageTransformer.transform(body, type, "jpeg", 176, dim.y / dim.x * 208);
+  } else {
+    img = ImageTransformer.transform(body, type, "jpeg", dim.x / dim.y * 176, 208);
+  }
+  Response.setHeader("Content-Type", "image/jpeg");
+  Response.setHeader("Content-Length", img.length);
+  Response.write(img);
+}
+|});
+  Http_v.apply_writes sink resp;
+  let out = Core.Http.Body.to_string resp.Core.Http.Message.resp_body in
+  (match Image.dimensions out with
+   | Some (w, h) ->
+     Alcotest.(check bool) "fits phone screen" true (w <= 176 && h <= 208);
+     Alcotest.(check bool) "nontrivial" true (w > 0 && h > 0)
+   | None -> Alcotest.fail "output is not NKI");
+  Alcotest.(check bool) "smaller than input" true (String.length out < String.length body)
+
+let test_system_vocab () =
+  let base = Hostcall.stub () in
+  let host =
+    { base with
+      Hostcall.now = (fun () -> 123.5);
+      is_local = (fun ip -> ip = "10.0.0.1");
+      congestion = (fun r -> if r = "cpu" then 0.75 else 0.0);
+    }
+  in
+  let ctx = make_ctx ~host () in
+  Alcotest.(check (float 1e-9)) "time" 123.5 (Value.to_number (run ctx "System.time()"));
+  Alcotest.(check bool) "local" true (Value.truthy (run ctx "System.isLocal(\"10.0.0.1\")"));
+  Alcotest.(check bool) "not local" false (Value.truthy (run ctx "System.isLocal(\"8.8.8.8\")"));
+  Alcotest.(check (float 1e-9)) "congestion" 0.75 (Value.to_number (run ctx "System.congestion(\"cpu\")"))
+
+let test_hardstate_vocab () =
+  let ctx = make_ctx () in
+  ignore (run ctx "HardState.put(\"user:1\", \"alice\")");
+  Alcotest.(check string) "get" "alice" (Value.to_string (run ctx "HardState.get(\"user:1\")"));
+  Alcotest.(check bool) "missing is null" true (run ctx "HardState.get(\"nope\")" = Value.Vnull);
+  ignore (run ctx "HardState.put(\"user:2\", \"bob\")");
+  Alcotest.(check (float 1e-9)) "keys" 2.0 (Value.to_number (run ctx "HardState.keys(\"user:\").length"));
+  ignore (run ctx "HardState.remove(\"user:1\")");
+  Alcotest.(check bool) "removed" true (run ctx "HardState.get(\"user:1\")" = Value.Vnull)
+
+let test_fetch_vocab () =
+  let fetched = ref [] in
+  let base = Hostcall.stub () in
+  let host =
+    { base with
+      Hostcall.fetch =
+        (fun req ->
+          fetched := Core.Http.Url.to_string req.Core.Http.Message.url :: !fetched;
+          Core.Http.Message.response
+            ~headers:[ ("Content-Type", "text/plain") ]
+            ~body:"fragment" ());
+    }
+  in
+  let ctx = make_ctx ~host () in
+  Alcotest.(check string) "body" "fragment"
+    (Value.to_string (run ctx "fetchResource(\"http://x.org/frag\").body"));
+  Alcotest.(check (float 1e-9)) "status" 200.0
+    (Value.to_number (run ctx "fetchResource(\"http://x.org/frag\").status"));
+  Alcotest.(check bool) "host saw requests" true (List.length !fetched = 2)
+
+let test_crypto_vocab () =
+  let ctx = make_ctx () in
+  Alcotest.(check string) "sha256"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Value.to_string (run ctx "Crypto.sha256(\"abc\")"))
+
+let test_regex_vocab () =
+  let ctx = make_ctx () in
+  Alcotest.(check bool) "test" true (Value.truthy (run ctx "Regex.test(\"\\\\d+\", \"abc123\")"));
+  Alcotest.(check string) "find" "123" (Value.to_string (run ctx "Regex.find(\"\\\\d+\", \"abc123\")"));
+  Alcotest.(check string) "replace" "abcN"
+    (Value.to_string (run ctx "Regex.replace(\"\\\\d+\", \"N\", \"abc123\")"));
+  Alcotest.(check (float 1e-9)) "split" 3.0
+    (Value.to_number (run ctx "Regex.split(\",\", \"a,b,c\").length"))
+
+let test_xml_vocab_script () =
+  let ctx = make_ctx () in
+  Alcotest.(check string) "parse name" "root"
+    (Value.to_string (run ctx "Xml.parse(\"<root><c>t</c></root>\").name"));
+  Alcotest.(check string) "text" "t"
+    (Value.to_string (run ctx "Xml.text(Xml.parse(\"<root><c>t</c></root>\"))"));
+  Alcotest.(check bool) "bad xml is null" true (run ctx "Xml.parse(\"<broken\")" = Value.Vnull);
+  let html = Value.to_string (run ctx "Xml.toHtml(\"<doc><p>x</p></doc>\", { doc: \"main\", p: \"p\" })") in
+  Alcotest.(check bool) "transform" true (Core.Util.Strutil.contains_sub html ~sub:"<main>")
+
+let test_eval_vocab () =
+  let ctx = make_ctx () in
+  Alcotest.(check (float 1e-9)) "eval" 7.0 (Value.to_number (run ctx "evalScript(\"3 + 4\")"));
+  (* evalScript shares the sandbox: globals persist. *)
+  ignore (run ctx "evalScript(\"var shared = 5;\")");
+  Alcotest.(check (float 1e-9)) "shared global" 5.0 (Value.to_number (run ctx "shared"))
+
+let test_cache_vocab () =
+  let table : (string, Core.Http.Message.response) Hashtbl.t = Hashtbl.create 4 in
+  let base = Hostcall.stub () in
+  let host =
+    { base with
+      Hostcall.cache_lookup = (fun key -> Hashtbl.find_opt table key);
+      cache_store = (fun ~key ~ttl:_ resp -> Hashtbl.replace table key resp);
+    }
+  in
+  let ctx = make_ctx ~host () in
+  Alcotest.(check bool) "miss" true (run ctx "Cache.lookup(\"k\")" = Value.Vnull);
+  ignore (run ctx "Cache.store(\"k\", \"text/plain\", \"cached!\", 60)");
+  Alcotest.(check string) "hit" "cached!" (Value.to_string (run ctx "Cache.lookup(\"k\").body"))
+
+let suite =
+  [
+    Alcotest.test_case "image: raw roundtrip" `Quick test_image_encode_decode_raw;
+    Alcotest.test_case "image: rle roundtrip" `Quick test_image_encode_decode_rle;
+    Alcotest.test_case "image: header-only dimensions" `Quick test_image_dimensions_peek;
+    Alcotest.test_case "image: scaling" `Quick test_image_scale;
+    Alcotest.test_case "image: decode errors" `Quick test_image_decode_errors;
+    Alcotest.test_case "image: rle cases" `Quick test_rle_roundtrip;
+    QCheck_alcotest.to_alcotest rle_roundtrip_prop;
+    Alcotest.test_case "image: mime mapping" `Quick test_image_mime;
+    Alcotest.test_case "xml: parse/serialize roundtrip" `Quick test_xml_parse_serialize;
+    Alcotest.test_case "xml: entities" `Quick test_xml_entities;
+    Alcotest.test_case "xml: prolog and comments" `Quick test_xml_prolog_and_comments;
+    Alcotest.test_case "xml: CDATA sections" `Quick test_xml_cdata;
+    Alcotest.test_case "xml: malformed documents" `Quick test_xml_errors;
+    Alcotest.test_case "xml: find_all" `Quick test_xml_find_all;
+    Alcotest.test_case "xml: stylesheet transform" `Quick test_xml_transform;
+    Alcotest.test_case "Request global" `Quick test_request_global;
+    Alcotest.test_case "Request mutation writes through" `Quick test_request_mutation;
+    Alcotest.test_case "Request.terminate (Fig. 5)" `Quick test_request_terminate;
+    Alcotest.test_case "Request.redirect" `Quick test_request_redirect;
+    Alcotest.test_case "Response read/write cycle" `Quick test_response_read_write;
+    Alcotest.test_case "Response without writes keeps body" `Quick
+      test_response_no_write_keeps_body;
+    Alcotest.test_case "Response headers and status" `Quick test_response_headers_and_status;
+    Alcotest.test_case "Fig. 2 transcoding end to end" `Quick test_figure2_end_to_end;
+    Alcotest.test_case "System vocabulary" `Quick test_system_vocab;
+    Alcotest.test_case "HardState vocabulary" `Quick test_hardstate_vocab;
+    Alcotest.test_case "fetchResource" `Quick test_fetch_vocab;
+    Alcotest.test_case "Crypto vocabulary" `Quick test_crypto_vocab;
+    Alcotest.test_case "Regex vocabulary" `Quick test_regex_vocab;
+    Alcotest.test_case "Xml vocabulary" `Quick test_xml_vocab_script;
+    Alcotest.test_case "evalScript" `Quick test_eval_vocab;
+    Alcotest.test_case "Cache vocabulary" `Quick test_cache_vocab;
+  ]
