@@ -107,7 +107,25 @@ let resource_controls () =
       (fraction (Core.Sim.Trace.count trace "dropped-termination") offered)
       (match Core.Node.Node.terminated_sites proxy with
        | [] -> ""
-       | sites -> Printf.sprintf "; terminated: %s" (List.hd sites))
+       | sites -> Printf.sprintf "; terminated: %s" (List.hd sites));
+    (* The monitor's decisions as structured telemetry: site-labeled
+       counters plus the throttle/terminate event stream. *)
+    let metrics = Core.Node.Node.metrics proxy in
+    let throttles = Core.Telemetry.Metrics.counter_total metrics "monitor.throttles" in
+    let terminations = Core.Telemetry.Metrics.counter_total metrics "monitor.terminations" in
+    if throttles > 0 || terminations > 0 then begin
+      Printf.printf "      monitor decisions: %d throttle(s), %d termination(s)\n"
+        throttles terminations;
+      let events = Core.Telemetry.Events.to_list (Core.Node.Node.events proxy) in
+      let tail =
+        let n = List.length events in
+        List.filteri (fun i _ -> i >= n - 3) events
+      in
+      List.iter
+        (fun e ->
+          Printf.printf "        %s\n" (Core.Telemetry.Events.event_to_string e))
+        tail
+    end
   in
   let r1, p1 = run_good_load (make_cluster ~controls:false ~with_bomb:false ()) ~generators:30 in
   report "30 generators, no controls" "294 rps" r1 p1;

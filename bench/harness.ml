@@ -1,7 +1,46 @@
 (* Shared experiment plumbing: synchronous fetches over the simulator,
    table printing, and the paper-vs-measured report format. *)
 
+(* Per-experiment telemetry: [begin_experiment] opens a fresh registry,
+   load phases attach the proxies they drive, and [finish_experiment]
+   merges every attached node's registry (plus the client-side counters
+   recorded during the runs) and dumps it as BENCH_<id>.json — one JSON
+   object per line — so future PRs get a perf trajectory. *)
+type experiment = {
+  id : string;
+  registry : Core.Telemetry.Metrics.t;
+  mutable nodes : Core.Node.Node.t list;
+}
+
+let current_experiment : experiment option ref = ref None
+
+let registry () = Option.map (fun e -> e.registry) !current_experiment
+
+let attach_node node =
+  match !current_experiment with
+  | Some e when not (List.memq node e.nodes) -> e.nodes <- node :: e.nodes
+  | _ -> ()
+
+let begin_experiment id =
+  current_experiment :=
+    Some { id; registry = Core.Telemetry.Metrics.create (); nodes = [] }
+
+let finish_experiment () =
+  match !current_experiment with
+  | None -> ()
+  | Some e ->
+    List.iter
+      (fun node ->
+        Core.Telemetry.Metrics.merge ~into:e.registry (Core.Node.Node.metrics node))
+      e.nodes;
+    let path = Printf.sprintf "BENCH_%s.json" e.id in
+    let oc = open_out path in
+    output_string oc (Core.Telemetry.Metrics.to_json_lines e.registry);
+    close_out oc;
+    current_experiment := None
+
 let fetch_sync cluster ~client ?proxy req =
+  Option.iter attach_node proxy;
   let result = ref None in
   Core.Node.Cluster.fetch cluster ~client ?proxy req (fun resp -> result := Some resp);
   Core.Node.Cluster.run cluster;
@@ -31,6 +70,7 @@ type load_result = {
 let throughput r = float_of_int r.responses /. r.duration
 
 let run_load cluster ~clients ~proxy ~duration ~warmup ~make_request () =
+  attach_node proxy;
   let sim = Core.Node.Cluster.sim cluster in
   let t0 = Core.Sim.Sim.now sim in
   let measure_start = t0 +. warmup in
@@ -43,6 +83,13 @@ let run_load cluster ~clients ~proxy ~duration ~warmup ~make_request () =
         ~make_request:(fun i -> make_request idx i)
         ~on_response:(fun _ _ resp elapsed ->
           if Core.Sim.Sim.now sim >= measure_start then begin
+            (* Client-perceived view, recorded alongside the nodes' own
+               registries in the experiment dump. *)
+            (match registry () with
+             | Some m ->
+               Core.Telemetry.Metrics.incr m "client.responses";
+               Core.Telemetry.Metrics.observe m "client.latency" elapsed
+             | None -> ());
             match resp.Core.Http.Message.status with
             | 200 ->
               incr responses;

@@ -23,19 +23,33 @@ let experiments =
     ("micro", Bench_micro.micro);
   ]
 
+(* Real (process CPU) time per experiment, reported once at the end. *)
+let profile = Core.Telemetry.Profile.create ()
+
+let run_experiment name run =
+  Harness.begin_experiment name;
+  Fun.protect
+    ~finally:(fun () -> Harness.finish_experiment ())
+    (fun () -> Core.Telemetry.Profile.time profile name run)
+
+let print_profile () =
+  Printf.printf "\n=== Bench profile (process CPU seconds) ===\n%s"
+    (Core.Telemetry.Profile.to_table profile)
+
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
-  match requested with
-  | [] ->
-    print_endline "Na Kika reproduction: full benchmark suite";
-    List.iter (fun (_, run) -> run ()) experiments
-  | names ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name experiments with
-        | Some run -> run ()
-        | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 1)
-      names
+  (match requested with
+   | [] ->
+     print_endline "Na Kika reproduction: full benchmark suite";
+     List.iter (fun (name, run) -> run_experiment name run) experiments
+   | names ->
+     List.iter
+       (fun name ->
+         match List.assoc_opt name experiments with
+         | Some run -> run_experiment name run
+         | None ->
+           Printf.eprintf "unknown experiment %S; available: %s\n" name
+             (String.concat " " (List.map fst experiments));
+           exit 1)
+       names);
+  print_profile ()

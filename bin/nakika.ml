@@ -10,6 +10,8 @@
      nakika fmt SCRIPT.js           pretty-print a script in canonical form
      nakika nkp PAGE.nkp            render a Na Kika Page
      nakika demo                    run a small end-to-end deployment
+     nakika stats                   run the demo deployment, dump its metrics
+     nakika trace                   run the demo deployment, show slowest traces
      nakika version                 print the library version *)
 
 open Cmdliner
@@ -165,6 +167,102 @@ p.register();
     (Cmd.info "demo" ~doc:"Run a minimal end-to-end deployment on the simulator.")
     Term.(const run $ const ())
 
+(* The telemetry subcommands observe a slightly richer version of the
+   demo deployment: two sites (one scripted, one plain), with repeated
+   requests so the traces show cache hits next to origin fetches. *)
+let telemetry_scenario () =
+  let cluster = Core.Node.Cluster.create () in
+  let origin = Core.Node.Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Core.Node.Origin.set_static origin ~path:"/index.html" ~max_age:300
+    "<html>hello from the origin</html>";
+  Core.Node.Origin.set_static origin ~path:"/news.html" ~max_age:0
+    "<html>rolling news content</html>";
+  Core.Node.Origin.set_static origin ~path:"/nakika.js" ~content_type:"text/javascript"
+    ~max_age:300
+    {|
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  var b = "", c;
+  while ((c = Response.read()) != null) { b += c; }
+  Response.write(b.replace("origin", "edge"));
+}
+p.register();
+|};
+  let plain = Core.Node.Cluster.add_origin cluster ~name:"static.example.org" () in
+  Core.Node.Origin.set_static plain ~path:"/logo.png" ~content_type:"image/png"
+    ~max_age:300 (String.make 2048 'x');
+  let proxy = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"client" in
+  let get url =
+    Core.Node.Cluster.fetch cluster ~client ~proxy (Core.Http.Message.request url)
+      (fun _ -> ());
+    Core.Node.Cluster.run cluster
+  in
+  List.iter get
+    [
+      "http://www.example.edu.nakika.net/index.html";
+      "http://www.example.edu.nakika.net/index.html";
+      "http://www.example.edu.nakika.net/news.html";
+      "http://www.example.edu.nakika.net/news.html";
+      "http://static.example.org.nakika.net/logo.png";
+      "http://static.example.org.nakika.net/logo.png";
+      "http://www.example.edu.nakika.net/index.html";
+    ];
+  proxy
+
+let stats_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("prom", `Prom) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,table), $(b,json) (one object per instrument per \
+                line), or $(b,prom) (Prometheus text exposition).")
+  in
+  let run format =
+    let proxy = telemetry_scenario () in
+    let metrics = Core.Node.Node.metrics proxy in
+    (match format with
+     | `Table -> print_string (Core.Telemetry.Metrics.to_table metrics)
+     | `Json -> print_string (Core.Telemetry.Metrics.to_json_lines metrics)
+     | `Prom -> print_string (Core.Telemetry.Metrics.to_prometheus metrics));
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the demo deployment and dump the proxy node's metrics registry \
+          (counters, gauges, latency/fuel histograms).")
+    Term.(const run $ format_arg)
+
+let trace_cmd =
+  let slowest_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "slowest" ] ~docv:"N" ~doc:"Show the $(docv) slowest request traces.")
+  in
+  let run n =
+    let proxy = telemetry_scenario () in
+    let tracer = Core.Node.Node.tracer proxy in
+    let slowest = Core.Telemetry.Tracer.slowest tracer n in
+    Printf.printf "%d trace(s) completed on %s; showing the %d slowest\n"
+      (Core.Telemetry.Tracer.completed tracer)
+      (Core.Node.Node.name proxy) (List.length slowest);
+    List.iter
+      (fun trace ->
+        print_newline ();
+        print_string (Core.Telemetry.Tracer.render trace))
+      slowest;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the demo deployment and render the slowest request traces as span trees \
+          (cache lookup, policy match, pipeline stages, origin fetches).")
+    Term.(const run $ slowest_arg)
+
 let version_cmd =
   let run () =
     Printf.printf "nakika %s\n" Core.version;
@@ -177,4 +275,10 @@ let () =
     Cmd.info "nakika" ~version:Core.version
       ~doc:"Development tools for the Na Kika edge-side computing network."
   in
-  exit (Cmd.eval' (Cmd.group info [ exec_cmd; policies_cmd; fmt_cmd; nkp_cmd; demo_cmd; version_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            exec_cmd; policies_cmd; fmt_cmd; nkp_cmd; demo_cmd; stats_cmd; trace_cmd;
+            version_cmd;
+          ]))

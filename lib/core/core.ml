@@ -67,6 +67,9 @@ module Integrity = Nk_integrity
 module Sim = Nk_sim
 (** The deterministic discrete-event network simulator. *)
 
+module Telemetry = Nk_telemetry
+(** Metrics registry, request tracing, structured events, profiling. *)
+
 module Node = Nk_node
 (** The Na Kika node runtime, origin servers, and cluster builder. *)
 

@@ -16,7 +16,20 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable metrics : Nk_telemetry.Metrics.t option;
 }
+
+(* Mirror the internal counters into an attached registry so cache
+   behaviour shows up in [nakika stats] next to everything else. *)
+let meter t name =
+  match t.metrics with Some m -> Nk_telemetry.Metrics.incr m name | None -> ()
+
+let meter_size t =
+  match t.metrics with
+  | Some m ->
+    Nk_telemetry.Metrics.set_gauge m "cache.bytes" (float_of_int t.bytes);
+    Nk_telemetry.Metrics.set_gauge m "cache.entries" (float_of_int (Hashtbl.length t.table))
+  | None -> ()
 
 let create ?(max_bytes = 256 * 1024 * 1024) () =
   {
@@ -28,7 +41,10 @@ let create ?(max_bytes = 256 * 1024 * 1024) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    metrics = None;
   }
+
+let set_metrics t metrics = t.metrics <- Some metrics
 
 let unlink t e =
   (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
@@ -54,17 +70,21 @@ let lookup t ~now ~key =
   match Hashtbl.find_opt t.table key with
   | None ->
     t.misses <- t.misses + 1;
+    meter t "cache.misses";
     None
   | Some e ->
     if e.expiry <= now then begin
       (* Stale: keep the entry for conditional revalidation. *)
       t.misses <- t.misses + 1;
+      meter t "cache.misses";
+      meter t "cache.stale-misses";
       None
     end
     else begin
       unlink t e;
       push_front t e;
       t.hits <- t.hits + 1;
+      meter t "cache.hits";
       Some (Nk_http.Message.copy_response e.response)
     end
 
@@ -94,7 +114,8 @@ let evict_until_fits t =
     match t.tail with
     | Some e ->
       drop t e;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      meter t "cache.evictions"
     | None -> t.bytes <- 0
   done
 
@@ -119,7 +140,9 @@ let insert t ~now ~key ~expiry response =
       Hashtbl.replace t.table key e;
       push_front t e;
       t.bytes <- t.bytes + size;
-      evict_until_fits t
+      meter t "cache.insertions";
+      evict_until_fits t;
+      meter_size t
     end
 
 let clear t =

@@ -9,6 +9,12 @@ type t
 val create : ?max_bytes:int -> unit -> t
 (** [max_bytes] bounds the summed body sizes (default 256 MiB). *)
 
+val set_metrics : t -> Nk_telemetry.Metrics.t -> unit
+(** Mirror hit/miss/insertion/eviction counters and size gauges into
+    the registry (["cache.hits"], ["cache.misses"],
+    ["cache.stale-misses"], ["cache.insertions"], ["cache.evictions"],
+    ["cache.bytes"], ["cache.entries"]). *)
+
 val lookup : t -> now:float -> key:string -> Nk_http.Message.response option
 (** Fresh hit or [None]. The returned response is a private copy.
     Expired entries are retained (until evicted) so they can be

@@ -33,6 +33,8 @@ type t = {
   local_clients : string list;
   integrity_key : string option;
   misbehaving : bool;
+  enable_tracing : bool;
+  trace_capacity : int;
   costs : costs;
   seed : int;
 }
@@ -89,6 +91,8 @@ let default =
     local_clients = [];
     integrity_key = None;
     misbehaving = false;
+    enable_tracing = true;
+    trace_capacity = 256;
     costs = default_costs;
     seed = 7;
   }

@@ -50,6 +50,9 @@ type t = {
                                      key (§6); [None] disables verification *)
   misbehaving : bool; (** a §6 threat model node: falsifies cached content
                           it serves to peers *)
+  enable_tracing : bool; (** record a per-request span tree in the node's
+                             {!Nk_telemetry.Tracer} (on by default) *)
+  trace_capacity : int; (** completed traces retained in the ring buffer *)
   costs : costs;
   seed : int;
 }

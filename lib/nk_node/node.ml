@@ -22,6 +22,14 @@ type t = {
   log_urls : (string, string) Hashtbl.t; (* site -> posting URL *)
   log_entries : (string, string list ref) Hashtbl.t;
   trace : Nk_sim.Trace.t;
+  metrics : Nk_telemetry.Metrics.t; (* shared with [trace] (facade) *)
+  tracer : Nk_telemetry.Tracer.t;
+  events : Nk_telemetry.Events.t;
+  mutable active_span : Nk_telemetry.Tracer.span option;
+  (* The request span of the pipeline currently on the CPU: hosted
+     scripts' own fetches (hostcall closures are per-stage, not
+     per-request) parent their spans here. Best effort: a pipeline
+     suspended on a sub-fetch can interleave with another request. *)
   local_cidrs : Nk_http.Ip.cidr list;
   mutable terminated : string list;
   mutable in_flight : int;
@@ -39,6 +47,12 @@ let config t = t.cfg
 
 let trace t = t.trace
 
+let metrics t = t.metrics
+
+let tracer t = t.tracer
+
+let events t = t.events
+
 let cache t = t.cache
 
 let accounting t = t.accounting
@@ -52,6 +66,34 @@ let stage_cache_entries t = Nk_cache.Memo_cache.size t.stage_cache
 let now t = Nk_sim.Sim.now t.sim
 
 let peer_header = "X-NK-Peer"
+
+(* --- tracing helpers ------------------------------------------------ *)
+
+(* Spans are threaded as [span option]: [None] (tracing disabled, or a
+   path with no request context) makes every helper a no-op. *)
+
+let in_span t ?parent name attrs f =
+  match parent with
+  | None -> f None
+  | Some p ->
+    Nk_telemetry.Tracer.with_span t.tracer ~parent:p ~attrs name (fun s -> f (Some s))
+
+let set_attr span key value =
+  match span with Some s -> Nk_telemetry.Tracer.set_attr s key value | None -> ()
+
+let start_request_span t name (req : Nk_http.Message.request) =
+  if not t.cfg.Config.enable_tracing then None
+  else
+    Some
+      (Nk_telemetry.Tracer.start_trace t.tracer name
+         ~attrs:
+           [
+             ("url", Nk_http.Url.to_string req.Nk_http.Message.url);
+             ("site", Nk_http.Url.site req.Nk_http.Message.url);
+           ])
+
+let finish_span t span =
+  match span with Some s -> Nk_telemetry.Tracer.finish t.tracer s | None -> ()
 
 (* --- CPU charging (suspends the current cothread) ------------------ *)
 
@@ -93,57 +135,87 @@ let insert_if_cacheable t req resp =
   end
 
 (* Fetch content for [req]: proxy cache, then cooperative cache, then
-   origin. Runs inside a cothread. *)
-let content_fetch t ?(allow_peers = true) (req : Nk_http.Message.request) =
+   origin. Runs inside a cothread. [span] is the request span child
+   spans attach to. *)
+let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) =
   let key = cache_key req in
-  match Nk_cache.Http_cache.lookup t.cache ~now:(now t) ~key with
-  | Some resp ->
-    charge_cpu t t.cfg.Config.costs.Config.cache_hit;
-    resp
+  let cached =
+    in_span t ?parent:span "cache-lookup" [] (fun sp ->
+        let hit = Nk_cache.Http_cache.lookup t.cache ~now:(now t) ~key in
+        set_attr sp "hit" (string_of_bool (hit <> None));
+        (match hit with
+         | Some _ -> charge_cpu t t.cfg.Config.costs.Config.cache_hit
+         | None -> ());
+        hit)
+  in
+  match cached with
+  | Some resp -> resp
   | None -> (
     let from_origin () =
-      (* A stale copy with a validator turns the refetch into a
-         conditional GET; a 304 refreshes the entry without moving the
-         body again (RFC 2616 revalidation under the web's
-         expiration-based consistency model). *)
-      let stale = Nk_cache.Http_cache.lookup_stale t.cache ~key in
-      let validator =
-        match stale with
-        | Some old -> (
-          match Nk_http.Message.resp_header old "ETag" with
-          | Some etag -> Some (("If-None-Match", etag), old)
-          | None -> (
-            match Nk_http.Message.resp_header old "Last-Modified" with
-            | Some lm -> Some (("If-Modified-Since", lm), old)
-            | None -> None))
-        | None -> None
-      in
-      let req, validator =
-        match validator with
-        | Some ((name, value), old) ->
-          let creq = Nk_http.Message.copy_request req in
-          Nk_http.Message.set_req_header creq name value;
-          (creq, Some old)
-        | None -> (req, None)
-      in
-      let resp = await_fetch t ~via:None req in
-      Nk_sim.Trace.incr t.trace "origin-fetches";
-      match (resp.Nk_http.Message.status, validator) with
-      | 304, Some old ->
-        Nk_sim.Trace.incr t.trace "revalidations";
-        (match Nk_http.Message.response_expiry ~now:(now t) resp with
-         | Some expiry -> Nk_cache.Http_cache.refresh t.cache ~key ~expiry
-         | None -> Nk_cache.Http_cache.remove t.cache ~key);
-        old
-      | _ ->
-        insert_if_cacheable t req resp;
-        resp
+      in_span t ?parent:span "origin-fetch" [] (fun osp ->
+          (* A stale copy with a validator turns the refetch into a
+             conditional GET; a 304 refreshes the entry without moving the
+             body again (RFC 2616 revalidation under the web's
+             expiration-based consistency model). *)
+          let stale = Nk_cache.Http_cache.lookup_stale t.cache ~key in
+          let validator =
+            match stale with
+            | Some old -> (
+              match Nk_http.Message.resp_header old "ETag" with
+              | Some etag -> Some (("If-None-Match", etag), old)
+              | None -> (
+                match Nk_http.Message.resp_header old "Last-Modified" with
+                | Some lm -> Some (("If-Modified-Since", lm), old)
+                | None -> None))
+            | None -> None
+          in
+          let req, validator =
+            match validator with
+            | Some ((name, value), old) ->
+              let creq = Nk_http.Message.copy_request req in
+              Nk_http.Message.set_req_header creq name value;
+              (creq, Some old)
+            | None -> (req, None)
+          in
+          let do_fetch sp =
+            let resp = await_fetch t ~via:None req in
+            Nk_sim.Trace.incr t.trace "origin-fetches";
+            set_attr sp "status" (string_of_int resp.Nk_http.Message.status);
+            resp
+          in
+          let resp =
+            match validator with
+            | None -> do_fetch osp
+            | Some _ ->
+              in_span t ?parent:osp "revalidation" [] (fun rsp ->
+                  let resp = do_fetch rsp in
+                  set_attr rsp "not-modified"
+                    (string_of_bool (resp.Nk_http.Message.status = 304));
+                  resp)
+          in
+          match (resp.Nk_http.Message.status, validator) with
+          | 304, Some old ->
+            Nk_sim.Trace.incr t.trace "revalidations";
+            (match Nk_http.Message.response_expiry ~now:(now t) resp with
+             | Some expiry -> Nk_cache.Http_cache.refresh t.cache ~key ~expiry
+             | None -> Nk_cache.Http_cache.remove t.cache ~key);
+            old
+          | _ ->
+            insert_if_cacheable t req resp;
+            resp)
     in
     match t.dht with
     | Some dht when t.cfg.Config.enable_dht && allow_peers ->
-      let result = Nk_overlay.Dht.get dht ~now:(now t) ~from:(name t) ~key in
-      charge_cpu t
-        (float_of_int (max 1 result.Nk_overlay.Dht.hops) *. t.cfg.Config.costs.Config.dht_per_hop);
+      let result =
+        in_span t ?parent:span "dht-lookup" [] (fun sp ->
+            let result = Nk_overlay.Dht.get dht ~now:(now t) ~from:(name t) ~key in
+            charge_cpu t
+              (float_of_int (max 1 result.Nk_overlay.Dht.hops)
+              *. t.cfg.Config.costs.Config.dht_per_hop);
+            set_attr sp "hops" (string_of_int result.Nk_overlay.Dht.hops);
+            set_attr sp "values" (string_of_int (List.length result.Nk_overlay.Dht.values));
+            result)
+      in
       let peers =
         List.filter (fun peer -> peer <> name t) result.Nk_overlay.Dht.values
       in
@@ -154,37 +226,49 @@ let content_fetch t ?(allow_peers = true) (req : Nk_http.Message.request) =
          | None -> from_origin ()
          | Some peer_host ->
            Nk_sim.Trace.incr t.trace "dht-hits";
-           let peer_req = Nk_http.Message.copy_request req in
-           Nk_http.Message.set_req_header peer_req peer_header "1";
-           let resp = await_fetch t ~via:(Some peer_host) peer_req in
-           let verified =
-             match t.cfg.Config.integrity_key with
-             | None -> true
-             | Some key -> (
-               (* Peer-served content comes from an untrusted node:
-                  check the §6 integrity headers and fall back to the
-                  origin on any violation. Content that never carried
-                  integrity headers is unprotected (a producer opt-in);
-                  stripping attacks are the probabilistic verifier's
-                  job, not this check's. *)
-               match Nk_integrity.Integrity.verify ~key ~now:(now t) resp with
-               | Ok () -> true
-               | Error Nk_integrity.Integrity.Missing_headers ->
-                 Nk_sim.Trace.incr t.trace "integrity-unverified";
-                 true
-               | Error violation ->
-                 Nk_sim.Trace.incr t.trace "integrity-violations";
-                 Logs.warn (fun m ->
-                     m "[%s] integrity violation from %s: %s" (name t) peer
-                       (Nk_integrity.Integrity.violation_to_string violation));
-                 false)
+           let peer_resp =
+             in_span t ?parent:span "peer-fetch" [ ("peer", peer) ] (fun psp ->
+                 let peer_req = Nk_http.Message.copy_request req in
+                 Nk_http.Message.set_req_header peer_req peer_header "1";
+                 let resp = await_fetch t ~via:(Some peer_host) peer_req in
+                 let verified =
+                   match t.cfg.Config.integrity_key with
+                   | None -> true
+                   | Some key ->
+                     (* Peer-served content comes from an untrusted node:
+                        check the §6 integrity headers and fall back to the
+                        origin on any violation. Content that never carried
+                        integrity headers is unprotected (a producer opt-in);
+                        stripping attacks are the probabilistic verifier's
+                        job, not this check's. *)
+                     in_span t ?parent:psp "integrity-verify" [] (fun vsp ->
+                         match Nk_integrity.Integrity.verify ~key ~now:(now t) resp with
+                         | Ok () ->
+                           set_attr vsp "result" "ok";
+                           true
+                         | Error Nk_integrity.Integrity.Missing_headers ->
+                           Nk_sim.Trace.incr t.trace "integrity-unverified";
+                           set_attr vsp "result" "unverified";
+                           true
+                         | Error violation ->
+                           Nk_sim.Trace.incr t.trace "integrity-violations";
+                           set_attr vsp "result" "violation";
+                           Logs.warn (fun m ->
+                               m "[%s] integrity violation from %s: %s" (name t) peer
+                                 (Nk_integrity.Integrity.violation_to_string violation));
+                           false)
+                 in
+                 set_attr psp "verified" (string_of_bool verified);
+                 if verified && Nk_http.Status.is_success resp.Nk_http.Message.status then
+                   Some resp
+                 else None)
            in
-           if verified && Nk_http.Status.is_success resp.Nk_http.Message.status then begin
-             Nk_sim.Trace.incr t.trace "peer-fetches";
-             insert_if_cacheable t req resp;
-             resp
-           end
-           else from_origin ()))
+           (match peer_resp with
+            | Some resp ->
+              Nk_sim.Trace.incr t.trace "peer-fetches";
+              insert_if_cacheable t req resp;
+              resp
+            | None -> from_origin ())))
     | _ -> from_origin ())
 
 (* --- host capabilities handed to vocabularies ----------------------- *)
@@ -231,10 +315,16 @@ let hostcall t ~site ~load_wall : Nk_vocab.Hostcall.t =
     site;
     fetch =
       (fun req ->
+        (* Hostcall closures are per-stage, not per-request: parent the
+           script's own fetch at whatever request span currently owns
+           the CPU (best effort under cothread interleaving). *)
         let resp =
-          match emission_check t req ~load_wall with
-          | Some denial -> denial
-          | None -> content_fetch t req
+          in_span t ?parent:t.active_span "script-fetch" [ ("site", site) ] (fun sp ->
+              match emission_check t req ~load_wall with
+              | Some denial ->
+                set_attr sp "denied" "true";
+                denial
+              | None -> content_fetch t ?span:sp req)
         in
         let bytes = float_of_int (Nk_http.Message.content_length resp) in
         Nk_resource.Accounting.charge t.accounting ~site Nk_resource.Resource.Bandwidth bytes;
@@ -310,10 +400,24 @@ let rec build_stage t ~url ~source =
     else load_stage t Nk_pipeline.Pipeline.well_known_server_wall
   in
   let host = hostcall t ~site ~load_wall in
-  Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
-    ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed ~source ()
+  match
+    Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
+      ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed ~source ()
+  with
+  | Ok stage ->
+    (* Context reuse reports the previous pipeline's consumption: fold
+       it into the per-site fuel/heap histograms. *)
+    Nk_script.Interp.set_usage_observer (Nk_pipeline.Stage.context stage)
+      (fun ~fuel ~heap ->
+        let labels = [ ("site", site) ] in
+        if fuel > 0 then
+          Nk_telemetry.Metrics.observe t.metrics ~labels "script.fuel" (float_of_int fuel);
+        if heap > 0 then
+          Nk_telemetry.Metrics.observe t.metrics ~labels "script.heap" (float_of_int heap));
+    Ok stage
+  | Error _ as e -> e
 
-and load_stage t url =
+and load_stage t ?span url =
   match Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url with
   | Some entry ->
     charge_cpu t
@@ -329,9 +433,10 @@ and load_stage t url =
     | None -> (
       match Nk_http.Url.parse url with
       | Error _ -> None
-      | Ok _ -> (
+      | Ok _ ->
+        in_span t ?parent:span "load-stage" [ ("stage", url) ] (fun sp ->
         let req = Nk_http.Message.request url in
-        let resp = content_fetch t req in
+        let resp = content_fetch t ?span:sp req in
         if not (Nk_http.Status.is_success resp.Nk_http.Message.status) then begin
           (* Remember that this site publishes no script (§4). *)
           Nk_cache.Memo_cache.put t.negative ~key:url
@@ -411,36 +516,52 @@ let account t ~site ~cpu ~heap ~bytes ~elapsed =
   t.bw_window <- t.bw_window +. bytes
 
 (* Process one client request inside a cothread; returns the response. *)
-let process t (req : Nk_http.Message.request) =
+let process t ?span (req : Nk_http.Message.request) =
   let started = now t in
   let site = Nk_http.Url.site req.Nk_http.Message.url in
   let costs = t.cfg.Config.costs in
   t.in_flight <- t.in_flight + 1;
   let concurrency = float_of_int t.in_flight *. costs.Config.concurrency_cpu in
+  (* Expose this request's span to the hostcall closures while the
+     pipeline runs (best effort: restored even on exceptions, but a
+     suspended pipeline's sub-fetches may interleave). *)
+  let saved = t.active_span in
+  t.active_span <- span;
   let response, fuel, heap, handlers =
-    if not t.cfg.Config.enable_pipeline then (content_fetch t req, 0, 0, 0)
-    else begin
-      let outcome =
-        Nk_pipeline.Pipeline.execute
-          ~load_stage:(fun url ->
-            let stage = load_stage t url in
-            (match stage with
-             | Some _ -> charge_cpu t costs.Config.predicate_eval
-             | None -> ());
-            stage)
-          ~fetch:(fun req -> content_fetch t req)
-          req
-      in
-      (match outcome.Nk_pipeline.Pipeline.source with
-       | Nk_pipeline.Pipeline.From_failure Nk_pipeline.Pipeline.Killed ->
-         Nk_sim.Trace.incr t.trace "dropped-termination"
-       | Nk_pipeline.Pipeline.From_failure _ -> Nk_sim.Trace.incr t.trace "script-errors"
-       | _ -> ());
-      ( outcome.Nk_pipeline.Pipeline.response,
-        outcome.Nk_pipeline.Pipeline.fuel,
-        outcome.Nk_pipeline.Pipeline.heap,
-        outcome.Nk_pipeline.Pipeline.handlers_run )
-    end
+    Fun.protect
+      ~finally:(fun () -> t.active_span <- saved)
+      (fun () ->
+        if not t.cfg.Config.enable_pipeline then (content_fetch t ?span req, 0, 0, 0)
+        else begin
+          let telemetry =
+            match span with Some s -> Some (t.tracer, s) | None -> None
+          in
+          let outcome =
+            Nk_pipeline.Pipeline.execute
+              ~load_stage:(fun url ->
+                let stage = load_stage t ?span url in
+                (match stage with
+                 | Some _ -> charge_cpu t costs.Config.predicate_eval
+                 | None -> ());
+                stage)
+              ~fetch:(fun req -> content_fetch t ?span req)
+              ?telemetry req
+          in
+          (match outcome.Nk_pipeline.Pipeline.source with
+           | Nk_pipeline.Pipeline.From_failure Nk_pipeline.Pipeline.Killed ->
+             Nk_sim.Trace.incr t.trace "dropped-termination";
+             set_attr span "source" "killed"
+           | Nk_pipeline.Pipeline.From_failure _ ->
+             Nk_sim.Trace.incr t.trace "script-errors";
+             set_attr span "source" "failure"
+           | Nk_pipeline.Pipeline.From_script stage_url ->
+             set_attr span "source" ("script:" ^ stage_url)
+           | Nk_pipeline.Pipeline.From_origin -> set_attr span "source" "origin");
+          ( outcome.Nk_pipeline.Pipeline.response,
+            outcome.Nk_pipeline.Pipeline.fuel,
+            outcome.Nk_pipeline.Pipeline.heap,
+            outcome.Nk_pipeline.Pipeline.handlers_run )
+        end)
   in
   (* Handler CPU: engine crossings, interpreter fuel, and allocation
      (GC/paging) pressure. *)
@@ -462,15 +583,19 @@ let process t (req : Nk_http.Message.request) =
     ~heap:(float_of_int heap) ~bytes ~elapsed;
   access_log t ~site ~req ~resp:response;
   Nk_sim.Trace.add t.trace "latency" elapsed;
+  let labels = [ ("site", site) ] in
+  Nk_telemetry.Metrics.incr t.metrics ~labels "site.requests";
+  Nk_telemetry.Metrics.observe t.metrics ~labels "site.latency" elapsed;
   response
 
 let handle t (req : Nk_http.Message.request) k =
   Nk_sim.Trace.incr t.trace "requests";
   (* Peer requests serve straight from cache/origin: no pipeline, no
      further DHT consultation (avoids routing loops). *)
-  if Nk_http.Message.req_header req peer_header <> None then
+  if Nk_http.Message.req_header req peer_header <> None then begin
+    let span = start_request_span t "peer-request" req in
     Nk_util.Cothread.spawn
-      (fun () -> content_fetch t ~allow_peers:false req)
+      (fun () -> content_fetch t ~allow_peers:false ?span req)
       ~on_done:(fun resp ->
         Nk_sim.Trace.incr t.trace "responses";
         if t.cfg.Config.misbehaving then
@@ -480,8 +605,14 @@ let handle t (req : Nk_http.Message.request) k =
             (Nk_util.Strutil.replace_all
                (Nk_http.Body.to_string resp.Nk_http.Message.resp_body)
                ~sub:"content" ~by:"FALSIFIED");
+        set_attr span "status" (string_of_int resp.Nk_http.Message.status);
+        finish_span t span;
         k resp)
-      ~on_error:(fun _ -> k (Nk_http.Message.error_response 500))
+      ~on_error:(fun _ ->
+        set_attr span "error" "true";
+        finish_span t span;
+        k (Nk_http.Message.error_response 500))
+  end
   else begin
     (* Strip the .nakika.net suffix clients use to reach us (§3). *)
     (match Nk_http.Url.of_nakika req.Nk_http.Message.url with
@@ -497,16 +628,25 @@ let handle t (req : Nk_http.Message.request) k =
       | None -> false
     in
     let fraction = throttle_fraction t site in
+    (* A rejected request still gets a (one-span) trace: admission
+       decisions are part of "where did this request's time go?". *)
+    let reject outcome =
+      let span = start_request_span t "request" req in
+      set_attr span "outcome" outcome;
+      set_attr span "status" "503";
+      finish_span t span;
+      k (Nk_http.Message.error_response 503)
+    in
     if banned then begin
       Nk_sim.Trace.incr t.trace "dropped-termination";
-      k (Nk_http.Message.error_response 503)
+      reject "banned-site"
     end
     else if
       t.cfg.Config.enable_resource_controls && fraction > 0.0
       && Nk_util.Prng.float t.rng 1.0 < fraction
     then begin
       Nk_sim.Trace.incr t.trace "rejected-throttle";
-      k (Nk_http.Message.error_response 503)
+      reject "rejected-throttle"
     end
     else
       (* §3.1: a Range request is processed on the entire instance (the
@@ -515,17 +655,22 @@ let handle t (req : Nk_http.Message.request) k =
       let range =
         Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
       in
+      let span = start_request_span t "request" req in
       Nk_util.Cothread.spawn
-        (fun () -> process t req)
+        (fun () -> process t ?span req)
         ~on_done:(fun resp ->
           Nk_sim.Trace.incr t.trace "responses";
           (match range with
            | Some r -> if Nk_http.Range.apply r resp then Nk_sim.Trace.incr t.trace "range-responses"
            | None -> ());
+          set_attr span "status" (string_of_int resp.Nk_http.Message.status);
+          finish_span t span;
           k resp)
         ~on_error:(fun exn ->
           Nk_sim.Trace.incr t.trace "script-errors";
           Logs.warn (fun m -> m "[%s] pipeline error: %s" (name t) (Printexc.to_string exn));
+          set_attr span "error" (Printexc.to_string exn);
+          finish_span t span;
           k (Nk_http.Message.error_response 500))
   end
 
@@ -598,7 +743,7 @@ let start_monitor t =
         Hashtbl.replace table site (Float.max existing (fraction *. severity)))
       ~unthrottle:(fun resource -> Hashtbl.reset (resource_throttles t resource))
       ~terminate:(fun ~site -> terminate_site t ~site)
-      ()
+      ~events:t.events ~metrics:t.metrics ()
   in
   t.monitor <- Some monitor;
   let rec cycle () =
@@ -653,6 +798,8 @@ let start_log_poster t =
 let create ~web ~host ?dht ?bus ?(config = Config.default) () =
   let net = Nk_sim.Httpd.net web in
   let sim = Nk_sim.Net.sim net in
+  let clock () = Nk_sim.Sim.now sim in
+  let metrics = Nk_telemetry.Metrics.create () in
   let t =
     {
       web;
@@ -674,7 +821,11 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
       replicas = Hashtbl.create 4;
       log_urls = Hashtbl.create 4;
       log_entries = Hashtbl.create 4;
-      trace = Nk_sim.Trace.create ();
+      trace = Nk_sim.Trace.create ~registry:metrics ();
+      metrics;
+      tracer = Nk_telemetry.Tracer.create ~capacity:config.Config.trace_capacity ~clock ();
+      events = Nk_telemetry.Events.create ~clock ();
+      active_span = None;
       local_cidrs =
         List.filter_map
           (fun s -> Result.to_option (Nk_http.Ip.cidr_of_string s))
@@ -686,6 +837,7 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
       window_start = Nk_sim.Sim.now sim;
     }
   in
+  Nk_cache.Http_cache.set_metrics t.cache metrics;
   Nk_sim.Httpd.serve web ~host ~hostnames:[ Nk_sim.Net.host_name host ] (fun req k ->
       handle t req k);
   (match dht with

@@ -35,6 +35,21 @@ val trace : t -> Nk_sim.Trace.t
     ["peer-fetches"], ["dht-hits"]; samples: ["latency"] (per-request
     service time at this node). *)
 
+val metrics : t -> Nk_telemetry.Metrics.t
+(** The node's registry. Shared with {!trace} (the facade feeds it), the
+    proxy cache, and the resource monitor; per-site instruments carry a
+    [("site", _)] label ("site.requests", "site.latency", "script.fuel",
+    "script.heap", "monitor.throttles", "monitor.terminations"). *)
+
+val tracer : t -> Nk_telemetry.Tracer.t
+(** Per-request span trees (ring buffer of [Config.trace_capacity]
+    completed traces; disabled when [Config.enable_tracing] is false). *)
+
+val events : t -> Nk_telemetry.Events.t
+(** Structured resource-control decisions: one ["throttle"] /
+    ["terminate"] event per monitor action, with site and resource
+    attributes. *)
+
 val cache : t -> Nk_cache.Http_cache.t
 
 val accounting : t -> Nk_resource.Accounting.t

@@ -7,12 +7,16 @@ type t = {
   stores : (int, node_store) Hashtbl.t; (* keyed by ring id *)
   ids : (string, Node_id.t) Hashtbl.t; (* node name -> id *)
   values_per_key : int;
+  metrics : Nk_telemetry.Metrics.t;
 }
 
 let create ?(values_per_key = 16) () =
-  { ring = Ring.create (); stores = Hashtbl.create 16; ids = Hashtbl.create 16; values_per_key }
+  { ring = Ring.create (); stores = Hashtbl.create 16; ids = Hashtbl.create 16; values_per_key;
+    metrics = Nk_telemetry.Metrics.create () }
 
 let ring t = t.ring
+
+let metrics t = t.metrics
 
 let join t name =
   match Hashtbl.find_opt t.ids name with
@@ -69,6 +73,8 @@ let put t ~now ~from ~key ~value ~ttl =
          else entries
        in
        Hashtbl.replace store key entries));
+  Nk_telemetry.Metrics.incr t.metrics "dht.puts";
+  Nk_telemetry.Metrics.observe t.metrics "dht.hops" (float_of_int hops);
   hops
 
 let get t ~now ~from ~key =
@@ -87,6 +93,9 @@ let get t ~now ~from ~key =
           Hashtbl.replace store key live;
           List.map (fun e -> e.value) live))
   in
+  Nk_telemetry.Metrics.incr t.metrics "dht.gets";
+  if values <> [] then Nk_telemetry.Metrics.incr t.metrics "dht.get-hits";
+  Nk_telemetry.Metrics.observe t.metrics "dht.hops" (float_of_int hops);
   { values; hops; owner }
 
 let stored_keys t name =

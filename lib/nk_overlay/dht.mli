@@ -15,6 +15,11 @@ val create : ?values_per_key:int -> unit -> t
 
 val ring : t -> Ring.t
 
+val metrics : t -> Nk_telemetry.Metrics.t
+(** The overlay's own registry: ["dht.puts"], ["dht.gets"],
+    ["dht.get-hits"] counters and the ["dht.hops"] routing-path-length
+    histogram. The bench harness merges it into per-experiment dumps. *)
+
 val join : t -> string -> Node_id.t
 (** Add a node by name; returns its ring id. *)
 

@@ -75,13 +75,55 @@ let failure_response = function
   | Resources _ -> Nk_http.Message.error_response 503
   | Killed -> Nk_http.Message.error_response 503
 
-let execute ~load_stage ~fetch ?initial_stages ?(max_stages = 64) req =
+let execute ~load_stage ~fetch ?initial_stages ?(max_stages = 64) ?telemetry req =
   let initial = match initial_stages with Some s -> s | None -> default_stages req in
   let fuel = ref 0 and heap = ref 0 and matched = ref 0 and handlers = ref 0 in
   let charge_stage stage before_fuel before_heap =
     let ctx = Stage.context stage in
     fuel := !fuel + (Nk_script.Interp.fuel_used ctx - before_fuel);
     heap := !heap + max 0 (Nk_script.Interp.heap_used ctx - before_heap)
+  in
+  (* Optional causal tracing: one "policy-match" span per stage
+     selection and, per handler invocation, a "stage" span with an
+     "interp" child carrying the fuel/heap the script consumed. *)
+  let in_span ?parent name attrs f =
+    match telemetry with
+    | None -> f None
+    | Some (tracer, root) ->
+      let parent = match parent with Some p -> p | None -> root in
+      Nk_telemetry.Tracer.with_span tracer ~parent ~attrs name (fun s -> f (Some s))
+  in
+  let set_attr span key value =
+    match span with Some s -> Nk_telemetry.Tracer.set_attr s key value | None -> ()
+  in
+  let select stage =
+    in_span "policy-match" [ ("stage", Stage.url stage) ] (fun span ->
+        let policy = Stage.select stage req in
+        set_attr span "matched" (string_of_bool (policy <> None));
+        policy)
+  in
+  let invoke stage ~phase ~response handler =
+    incr handlers;
+    let ctx = Stage.context stage in
+    let f0 = Nk_script.Interp.fuel_used ctx and h0 = Nk_script.Interp.heap_used ctx in
+    let result =
+      in_span "stage" [ ("stage", Stage.url stage); ("phase", phase) ] (fun stage_span ->
+          let result =
+            in_span ?parent:stage_span "interp" [] (fun interp_span ->
+                let r = run_handler stage ~this_request:req ~response handler in
+                set_attr interp_span "fuel"
+                  (string_of_int (Nk_script.Interp.fuel_used ctx - f0));
+                set_attr interp_span "heap"
+                  (string_of_int (max 0 (Nk_script.Interp.heap_used ctx - h0)));
+                r)
+          in
+          (match result with
+           | Error _ -> set_attr stage_span "error" "true"
+           | Ok _ -> ());
+          result)
+    in
+    charge_stage stage f0 h0;
+    result
   in
   let finish response source =
     {
@@ -103,7 +145,7 @@ let execute ~load_stage ~fetch ?initial_stages ?(max_stages = 64) req =
       match load_stage stage_url with
       | None -> forward rest budget (* missing script: stage is skipped *)
       | Some stage -> (
-        match Stage.select stage req with
+        match select stage with
         | None -> forward rest budget
         | Some policy -> (
           incr matched;
@@ -113,12 +155,7 @@ let execute ~load_stage ~fetch ?initial_stages ?(max_stages = 64) req =
           match policy.Nk_policy.Policy.on_request with
           | None -> continue ()
           | Some handler -> (
-            incr handlers;
-            let ctx = Stage.context stage in
-            let f0 = Nk_script.Interp.fuel_used ctx and h0 = Nk_script.Interp.heap_used ctx in
-            let result = run_handler stage ~this_request:req ~response:None handler in
-            charge_stage stage f0 h0;
-            match result with
+            match invoke stage ~phase:"onRequest" ~response:None handler with
             | Ok (Some response) -> `Respond (response, Stage.url stage)
             | Ok None -> continue ()
             | Error failure -> `Fail failure))))
@@ -138,12 +175,7 @@ let execute ~load_stage ~fetch ?initial_stages ?(max_stages = 64) req =
         match policy.Nk_policy.Policy.on_response with
         | None -> backward_pass rest
         | Some handler -> (
-          incr handlers;
-          let ctx = Stage.context stage in
-          let f0 = Nk_script.Interp.fuel_used ctx and h0 = Nk_script.Interp.heap_used ctx in
-          let result = run_handler stage ~this_request:req ~response:(Some response) handler in
-          charge_stage stage f0 h0;
-          match result with
+          match invoke stage ~phase:"onResponse" ~response:(Some response) handler with
           | Ok _ -> backward_pass rest
           | Error failure -> finish (failure_response failure) (From_failure failure)))
     in

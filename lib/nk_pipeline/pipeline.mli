@@ -45,12 +45,19 @@ val execute :
   fetch:(Nk_http.Message.request -> Nk_http.Message.response) ->
   ?initial_stages:string list ->
   ?max_stages:int ->
+  ?telemetry:Nk_telemetry.Tracer.t * Nk_telemetry.Tracer.span ->
   Nk_http.Message.request ->
   outcome
 (** [load_stage] returns [None] for sites that publish no script (the
     stage is skipped); [fetch] is the content handler (proxy cache +
     origin). [max_stages] (default 64) bounds dynamic scheduling so a
-    misbehaving script cannot loop the scheduler forever. *)
+    misbehaving script cannot loop the scheduler forever.
+
+    With [telemetry = (tracer, request_span)], the pipeline records
+    child spans under the request: ["policy-match"] per stage
+    selection, and per handler invocation a ["stage"] span with an
+    ["interp"] child whose attributes carry the fuel and heap the
+    script consumed. *)
 
 val run_handler :
   Stage.t ->

@@ -9,10 +9,14 @@ type t = {
   retained : (string, (string * string) list ref) Hashtbl.t;
   (* topic -> (from, payload), newest first: durable-subscription backlog *)
   mutable delivered : int;
+  metrics : Nk_telemetry.Metrics.t;
 }
 
 let create net =
-  { net; members = Hashtbl.create 8; retained = Hashtbl.create 8; delivered = 0 }
+  { net; members = Hashtbl.create 8; retained = Hashtbl.create 8; delivered = 0;
+    metrics = Nk_telemetry.Metrics.create () }
+
+let metrics t = t.metrics
 
 let attach t ~name ~host =
   if not (Hashtbl.mem t.members name) then
@@ -24,6 +28,7 @@ let deliver t m ~from ~topic ~payload =
     let size = String.length payload + 64 in
     Nk_sim.Net.send t.net ~src:sender.host ~dst:m.host ~size (fun () ->
         t.delivered <- t.delivered + 1;
+        Nk_telemetry.Metrics.incr t.metrics "bus.delivered";
         handler ~payload ~from)
   | _ -> ()
 
@@ -48,6 +53,9 @@ let publish t ~from ~topic ~payload =
   match Hashtbl.find_opt t.members from with
   | None -> invalid_arg (Printf.sprintf "Message_bus.publish: %s is not attached" from)
   | Some _ ->
+    Nk_telemetry.Metrics.incr t.metrics "bus.published";
+    Nk_telemetry.Metrics.observe t.metrics "bus.payload-bytes"
+      (float_of_int (String.length payload));
     (match Hashtbl.find_opt t.retained topic with
      | Some backlog -> backlog := (from, payload) :: !backlog
      | None -> Hashtbl.add t.retained topic (ref [ (from, payload) ]));

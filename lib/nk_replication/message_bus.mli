@@ -31,3 +31,7 @@ val publish : t -> from:string -> topic:string -> payload:string -> unit
 
 val delivered : t -> int
 (** Total messages delivered so far (for tests and benches). *)
+
+val metrics : t -> Nk_telemetry.Metrics.t
+(** The bus's own registry: ["bus.published"] / ["bus.delivered"]
+    counters and the ["bus.payload-bytes"] histogram. *)

@@ -8,9 +8,11 @@ type t = {
   (* usage-ranked sites from the begin phase, largest first *)
   mutable terminations : int;
   mutable throttle_events : int;
+  events : Nk_telemetry.Events.t option;
+  metrics : Nk_telemetry.Metrics.t option;
 }
 
-let create ~accounting ~is_congested ~throttle ~unthrottle ~terminate () =
+let create ~accounting ~is_congested ~throttle ~unthrottle ~terminate ?events ?metrics () =
   {
     accounting;
     is_congested;
@@ -20,7 +22,20 @@ let create ~accounting ~is_congested ~throttle ~unthrottle ~terminate () =
     pending = Hashtbl.create 8;
     terminations = 0;
     throttle_events = 0;
+    events;
+    metrics;
   }
+
+(* Every enforcement decision leaves a structured event (and a labeled
+   counter) naming the offending site, so a bench or operator can audit
+   exactly why traffic was refused. *)
+let emit t ~counter ~event ~site ~attrs =
+  (match t.metrics with
+   | Some m -> Nk_telemetry.Metrics.incr m ~labels:[ ("site", site) ] counter
+   | None -> ());
+  match t.events with
+  | Some e -> Nk_telemetry.Events.record e ~attrs:(("site", site) :: attrs) event
+  | None -> ()
 
 let begin_control t resource =
   let congested = t.is_congested ~final:false resource in
@@ -40,6 +55,12 @@ let begin_control t resource =
           let fraction = if total > 0.0 then u /. total else 0.0 in
           t.throttle ~site ~fraction ~resource;
           t.throttle_events <- t.throttle_events + 1;
+          emit t ~counter:"monitor.throttles" ~event:"throttle" ~site
+            ~attrs:
+              [
+                ("resource", Resource.to_string resource);
+                ("fraction", Printf.sprintf "%.3f" fraction);
+              ];
           (site, fraction))
         ranked
     in
@@ -62,6 +83,8 @@ let finish_control t resource =
     | (site, _) :: _ ->
       t.terminate ~site;
       t.terminations <- t.terminations + 1;
+      emit t ~counter:"monitor.terminations" ~event:"terminate" ~site
+        ~attrs:[ ("resource", Resource.to_string resource) ];
       `Terminated site
     | [] ->
       t.unthrottle resource;

@@ -22,8 +22,15 @@ val create :
   throttle:(site:string -> fraction:float -> resource:Resource.t -> unit) ->
   unthrottle:(Resource.t -> unit) ->
   terminate:(site:string -> unit) ->
+  ?events:Nk_telemetry.Events.t ->
+  ?metrics:Nk_telemetry.Metrics.t ->
   unit ->
   t
+(** With [events]/[metrics], every throttle and termination decision is
+    recorded as a structured ["throttle"]/["terminate"] event carrying
+    the offending site, the congested resource, and (for throttles) the
+    fraction — plus site-labeled ["monitor.throttles"] /
+    ["monitor.terminations"] counters. *)
 
 val begin_control : t -> Resource.t -> [ `Congested of (string * float) list | `Clear ]
 (** The list pairs each throttled site with its throttle fraction. *)

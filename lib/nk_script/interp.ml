@@ -7,6 +7,7 @@ type ctx = {
   mutable fuel_used : int;
   mutable heap_used : int;
   mutable killed : bool;
+  mutable usage_observer : (fuel:int -> heap:int -> unit) option;
 }
 
 exception Resource_exhausted of string
@@ -33,6 +34,7 @@ let create ?(max_fuel = 5_000_000) ?(max_heap_bytes = 64 * 1024 * 1024) () =
     fuel_used = 0;
     heap_used = 0;
     killed = false;
+    usage_observer = None;
   }
 
 let define_global ctx name v = Hashtbl.replace ctx.globals name (ref v)
@@ -45,7 +47,15 @@ let fuel_used ctx = ctx.fuel_used
 
 let heap_used ctx = ctx.heap_used
 
+let set_usage_observer ctx f = ctx.usage_observer <- Some f
+
 let reset_usage ctx =
+  (* The counters are zeroed between requests, so this is the natural
+     place to publish "what the last pipeline consumed" to telemetry. *)
+  (match ctx.usage_observer with
+   | Some f when ctx.fuel_used > 0 || ctx.heap_used > 0 ->
+     f ~fuel:ctx.fuel_used ~heap:ctx.heap_used
+   | _ -> ());
   ctx.fuel_used <- 0;
   ctx.heap_used <- 0
 

@@ -47,7 +47,13 @@ val heap_used : ctx -> int
 
 val reset_usage : ctx -> unit
 (** Zero the fuel/heap counters (called between requests when a context
-    is reused from the pool). *)
+    is reused from the pool). When a usage observer is installed, it is
+    invoked with the outgoing non-zero counters first. *)
+
+val set_usage_observer : ctx -> (fuel:int -> heap:int -> unit) -> unit
+(** Publish per-pipeline fuel/heap consumption to telemetry: the
+    observer fires on every {!reset_usage} that discards non-zero
+    usage. *)
 
 val kill : ctx -> unit
 (** Make the next evaluation step raise [Terminated]. *)

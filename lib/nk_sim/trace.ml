@@ -1,9 +1,21 @@
+(* Compatibility facade: the original flat sample/counter API now
+   records into an [Nk_telemetry.Metrics] registry (counters and
+   log-bucketed histograms), while keeping exact [Nk_util.Stats]
+   collections alongside so existing percentile-based reports are
+   bit-identical to the seed. *)
+
 type t = {
+  registry : Nk_telemetry.Metrics.t;
   samples : (string, Nk_util.Stats.t) Hashtbl.t;
-  counters : (string, int ref) Hashtbl.t;
 }
 
-let create () = { samples = Hashtbl.create 16; counters = Hashtbl.create 16 }
+let create ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Nk_telemetry.Metrics.create ()
+  in
+  { registry; samples = Hashtbl.create 16 }
+
+let registry t = t.registry
 
 let stats t name =
   match Hashtbl.find_opt t.samples name with
@@ -13,15 +25,14 @@ let stats t name =
     Hashtbl.add t.samples name s;
     s
 
-let add t name x = Nk_util.Stats.add (stats t name) x
+let add t name x =
+  Nk_util.Stats.add (stats t name) x;
+  Nk_telemetry.Metrics.observe t.registry name x
 
-let incr ?(by = 1) t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters name (ref by)
+let incr ?(by = 1) t name = Nk_telemetry.Metrics.incr t.registry ~by name
 
-let count t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let count t name = Nk_telemetry.Metrics.counter t.registry name
 
 let stat_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.samples [] |> List.sort compare
 
-let counter_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.counters [] |> List.sort compare
+let counter_names t = Nk_telemetry.Metrics.counter_names t.registry

@@ -2,11 +2,23 @@
 
     Experiments record client-perceived latency, achieved bandwidth,
     rejects, drops, etc., under well-known keys; the bench harness then
-    prints paper-style tables from the same trace. *)
+    prints paper-style tables from the same trace.
+
+    This module is a thin compatibility facade over
+    {!Nk_telemetry.Metrics}: counters live in the registry directly and
+    [add] feeds both the registry's log-bucketed histogram and an exact
+    {!Nk_util.Stats} collection (the latter keeps percentile reports
+    bit-identical to the original implementation). New code should
+    record into the registry. *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Nk_telemetry.Metrics.t -> unit -> t
+(** Without [registry], a private one is created. A node passes its own
+    registry so facade-recorded counters and the node's native metrics
+    share one namespace. *)
+
+val registry : t -> Nk_telemetry.Metrics.t
 
 val stats : t -> string -> Nk_util.Stats.t
 (** Get-or-create the named sample collection. *)

@@ -1,0 +1,41 @@
+type event = { time : float; name : string; attrs : (string * string) list }
+
+type t = {
+  clock : unit -> float;
+  ring : event option array;
+  mutable next_slot : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 1024) ?(clock = fun () -> 0.0) () =
+  { clock; ring = Array.make (max 1 capacity) None; next_slot = 0; count = 0 }
+
+let record t ?time ?(attrs = []) name =
+  let time = match time with Some time -> time | None -> t.clock () in
+  t.ring.(t.next_slot) <- Some { time; name; attrs };
+  t.next_slot <- (t.next_slot + 1) mod Array.length t.ring;
+  t.count <- t.count + 1
+
+let count t = t.count
+
+let to_list t =
+  let n = Array.length t.ring in
+  List.filter_map (fun i -> t.ring.((t.next_slot + i) mod n)) (List.init n (fun i -> i))
+
+let event_to_string e =
+  Printf.sprintf "%10.3f %-12s %s" e.time e.name
+    (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) e.attrs))
+
+let event_json e =
+  Printf.sprintf "{\"type\":\"event\",\"time\":%.6f,\"name\":\"%s\",\"attrs\":{%s}}" e.time
+    (Metrics.json_escape e.name)
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k) (Metrics.json_escape v))
+          e.attrs))
+
+let to_json_lines t =
+  match to_list t with
+  | [] -> ""
+  | events -> String.concat "\n" (List.map event_json events) ^ "\n"

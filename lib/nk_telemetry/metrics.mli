@@ -1,0 +1,111 @@
+(** The metrics registry: labeled counters, gauges and log-bucketed
+    histograms, with exporters.
+
+    One registry per node (or per experiment); every instrument is
+    keyed by a metric name plus an optional label set, so per-site
+    resource-control decisions stay auditable ("how much latency did
+    site X see?"). Histograms are sparse logarithmic-bucket sketches:
+    cheap to record into, mergeable across nodes, and their quantile
+    estimates are within one bucket's relative error
+    ({!Histogram.growth}) of the exact sample percentiles. *)
+
+type t
+
+type labels = (string * string) list
+(** Label pairs; order does not matter (they are normalized). *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> ?labels:labels -> ?by:int -> string -> unit
+
+val counter : t -> ?labels:labels -> string -> int
+(** 0 when never incremented. *)
+
+val counter_total : t -> string -> int
+(** Sum over every label set of the named counter. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> ?labels:labels -> string -> float -> unit
+
+val gauge : t -> ?labels:labels -> string -> float
+(** 0 when never set. *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type h
+
+  val growth : float
+  (** Geometric bucket growth factor (2{^1/4} ≈ 1.19): quantile
+      estimates carry at most this relative error. *)
+
+  val create : unit -> h
+
+  val observe : h -> float -> unit
+  (** Samples [<= 0] land in a dedicated underflow bucket. *)
+
+  val count : h -> int
+
+  val sum : h -> float
+
+  val min_value : h -> float
+
+  val max_value : h -> float
+
+  val quantile : h -> float -> float
+  (** [quantile h p] with [p] in [\[0,100\]]: nearest-rank over the
+      buckets (same rank convention as {!Nk_util.Stats.percentile});
+      returns the containing bucket's upper bound clamped to the
+      observed maximum, so the estimate is an upper bound within one
+      bucket of the exact percentile. 0 when empty. *)
+
+  val merge : h -> h -> h
+  (** Pure merge: the result is indistinguishable from the histogram of
+      the concatenated sample streams. *)
+
+  val buckets : h -> (float * float * int) list
+  (** Non-empty buckets as [(lower, upper, count)], ascending. The
+      underflow bucket reports as [(neg_infinity, 0., n)]. *)
+end
+
+val observe : t -> ?labels:labels -> string -> float -> unit
+
+val histogram : t -> ?labels:labels -> string -> Histogram.h option
+
+(** {1 Registry-level operations} *)
+
+val merge : into:t -> t -> unit
+(** Fold a registry (e.g. another node's) into [into]: counters and
+    histogram buckets add; gauges take the source's latest value. *)
+
+val counter_names : t -> string list
+(** Distinct counter metric names, sorted. *)
+
+val counters : t -> (string * labels * int) list
+val gauges : t -> (string * labels * float) list
+val histograms : t -> (string * labels * Histogram.h) list
+(** All instruments, sorted by name then labels. *)
+
+(** {1 Exporters} *)
+
+val to_table : t -> string
+(** Human-readable aligned table (counters, gauges, then histograms
+    with count/mean/p50/p90/p99/max). *)
+
+val to_json : t -> string
+(** One JSON object: [{"counters":[...],"gauges":[...],"histograms":[...]}]. *)
+
+val to_json_lines : t -> string
+(** One JSON object per instrument per line, each with a ["type"] field
+    — the format the bench harness appends to BENCH_<id>.json. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format (counters, gauges, and histograms
+    with cumulative [le] buckets, [_sum] and [_count]). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (exposed for
+    the exporters' callers: event dumps, bench files). *)

@@ -1,0 +1,21 @@
+(** Scoped wall/CPU timers for hot paths.
+
+    Unlike {!Tracer} spans (simulated time, per request), a profile
+    accumulates *real* time per code region across many calls — the
+    tool for "which part of the bench burned the CPU". *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to [Sys.time] (process CPU seconds). *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, charging its elapsed clock time to the named region
+    (exception-safe). Nested and repeated regions accumulate. *)
+
+type entry = { region : string; calls : int; total : float; max : float }
+
+val report : t -> entry list
+(** Regions sorted by total time, largest first. *)
+
+val to_table : t -> string

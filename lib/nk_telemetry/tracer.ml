@@ -1,0 +1,124 @@
+type span = {
+  span_id : int;
+  trace_id : int;
+  parent_id : int option;
+  name : string;
+  started : float;
+  mutable ended : float option;
+  mutable attrs : (string * string) list;
+}
+
+type trace = { id : int; root : span; spans : span list }
+
+type t = {
+  clock : unit -> float;
+  ring : trace option array;
+  mutable next_slot : int;
+  mutable completed : int;
+  mutable next_id : int;
+  live : (int, span list ref) Hashtbl.t; (* trace id -> spans, newest first *)
+}
+
+let create ?(capacity = 256) ~clock () =
+  {
+    clock;
+    ring = Array.make (max 1 capacity) None;
+    next_slot = 0;
+    completed = 0;
+    next_id = 1;
+    live = Hashtbl.create 16;
+  }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let record_live t span =
+  match Hashtbl.find_opt t.live span.trace_id with
+  | Some spans -> spans := span :: !spans
+  | None -> Hashtbl.add t.live span.trace_id (ref [ span ])
+
+let start_trace t ?(attrs = []) name =
+  let id = fresh_id t in
+  let span =
+    { span_id = id; trace_id = id; parent_id = None; name; started = t.clock ();
+      ended = None; attrs }
+  in
+  record_live t span;
+  span
+
+let start_span t ~parent ?(attrs = []) name =
+  let span =
+    { span_id = fresh_id t; trace_id = parent.trace_id; parent_id = Some parent.span_id;
+      name; started = t.clock (); ended = None; attrs }
+  in
+  record_live t span;
+  span
+
+let set_attr span key value = span.attrs <- span.attrs @ [ (key, value) ]
+
+let finish t span =
+  if span.ended = None then begin
+    span.ended <- Some (t.clock ());
+    if span.parent_id = None then begin
+      (* Root closed: the trace is complete; move it into the ring. *)
+      let spans =
+        match Hashtbl.find_opt t.live span.trace_id with
+        | Some spans -> List.rev !spans
+        | None -> [ span ]
+      in
+      Hashtbl.remove t.live span.trace_id;
+      t.ring.(t.next_slot) <- Some { id = span.trace_id; root = span; spans };
+      t.next_slot <- (t.next_slot + 1) mod Array.length t.ring;
+      t.completed <- t.completed + 1
+    end
+  end
+
+let with_span t ~parent ?attrs name f =
+  let span = start_span t ~parent ?attrs name in
+  Fun.protect ~finally:(fun () -> finish t span) (fun () -> f span)
+
+let duration span = Option.map (fun e -> e -. span.started) span.ended
+
+let completed t = t.completed
+
+let traces t =
+  (* Oldest first: the slot about to be overwritten holds the oldest. *)
+  let n = Array.length t.ring in
+  List.filter_map
+    (fun i -> t.ring.((t.next_slot + i) mod n))
+    (List.init n (fun i -> i))
+
+let slowest t n =
+  traces t
+  |> List.sort (fun a b ->
+         compare
+           (Option.value ~default:0.0 (duration b.root))
+           (Option.value ~default:0.0 (duration a.root)))
+  |> List.filteri (fun i _ -> i < n)
+
+let render trace =
+  let buf = Buffer.create 256 in
+  let attrs_str span =
+    match span.attrs with
+    | [] -> ""
+    | attrs -> "  " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+  in
+  let dur_str span =
+    match duration span with
+    | Some d -> Printf.sprintf "%8.2f ms" (1000.0 *. d)
+    | None -> "      open"
+  in
+  let children parent =
+    List.filter (fun s -> s.parent_id = Some parent.span_id) trace.spans
+  in
+  let rec emit depth span =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s%s\n" (String.make (2 * depth) ' ') (dur_str span) span.name
+         (attrs_str span));
+    List.iter (emit (depth + 1)) (children span)
+  in
+  Buffer.add_string buf (Printf.sprintf "trace %d · started %.3f\n" trace.id trace.root.started);
+  emit 0 trace.root;
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Causal request tracing on the simulated clock.
+
+    A request acquires a trace id at node admission ({!start_trace});
+    the work it causes — cache lookup, policy match, pipeline stages,
+    script interpretation, DHT hops, origin fetch, revalidation,
+    integrity verification — runs under child spans. Completed traces
+    land in a fixed-capacity ring buffer, and {!slowest} answers "where
+    did this request's time go?" for the worst offenders. *)
+
+type span = {
+  span_id : int;
+  trace_id : int;
+  parent_id : int option;
+  name : string;
+  started : float;
+  mutable ended : float option;
+  mutable attrs : (string * string) list;
+}
+
+type trace = {
+  id : int;
+  root : span;
+  spans : span list;  (** every span of the trace (root included), in start order *)
+}
+
+type t
+
+val create : ?capacity:int -> clock:(unit -> float) -> unit -> t
+(** [capacity] bounds the completed-trace ring buffer (default 256;
+    oldest traces are overwritten). [clock] is typically
+    [fun () -> Nk_sim.Sim.now sim]. *)
+
+val start_trace : t -> ?attrs:(string * string) list -> string -> span
+(** Open a new trace; the returned span is its root. *)
+
+val start_span : t -> parent:span -> ?attrs:(string * string) list -> string -> span
+
+val set_attr : span -> string -> string -> unit
+
+val finish : t -> span -> unit
+(** Close a span (idempotent). Closing a root span completes its trace
+    and moves it into the ring buffer. *)
+
+val with_span :
+  t -> parent:span -> ?attrs:(string * string) list -> string -> (span -> 'a) -> 'a
+(** Run a thunk under a fresh child span, finishing it even on
+    exceptions. *)
+
+val duration : span -> float option
+(** [ended - started]; [None] while the span is open. *)
+
+val completed : t -> int
+(** Total traces completed so far (not capped by the ring capacity). *)
+
+val traces : t -> trace list
+(** The retained traces, oldest first. *)
+
+val slowest : t -> int -> trace list
+(** The [n] retained traces with the longest root durations,
+    slowest first. *)
+
+val render : trace -> string
+(** An indented span tree with durations (ms) and attributes, for the
+    [nakika trace] subcommand. *)

@@ -19,6 +19,7 @@ let () =
       ("movie", Test_movie.suite);
       ("pipeline", Test_pipeline.suite);
       ("node", Test_node.suite);
+      ("telemetry", Test_telemetry.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
     ]

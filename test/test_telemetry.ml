@@ -1,0 +1,286 @@
+(* The nk_telemetry subsystem: metrics registry (counters, gauges,
+   log-bucketed histograms with their quantile-accuracy and merge
+   guarantees), span tracing, structured events, profiling, and the
+   end-to-end wiring through a simulated node. *)
+
+open Core.Telemetry
+
+(* --- histogram properties --------------------------------------------- *)
+
+(* The quantile estimate returns the containing bucket's upper bound
+   (clamped to the observed max), and buckets grow geometrically by
+   [Histogram.growth]: the estimate stays within one bucket's relative
+   error of the exact nearest-rank percentile. The lower side also gets
+   a growth factor of slack for samples that sit exactly on a bucket
+   boundary (log rounding may place them either side). *)
+let quantile_close ~exact ~estimate =
+  let g = Metrics.Histogram.growth in
+  estimate >= exact /. g *. (1.0 -. 1e-9) && estimate <= exact *. g *. (1.0 +. 1e-9)
+
+let positive_samples = QCheck.(list_of_size Gen.(int_range 1 300) (float_range 1e-6 1e6))
+
+let quantiles_match_stats_prop =
+  QCheck.Test.make ~name:"histogram quantiles track Stats percentiles" ~count:200
+    positive_samples (fun samples ->
+      let h = Metrics.Histogram.create () in
+      let stats = Core.Util.Stats.create () in
+      List.iter
+        (fun x ->
+          Metrics.Histogram.observe h x;
+          Core.Util.Stats.add stats x)
+        samples;
+      List.for_all
+        (fun p ->
+          quantile_close
+            ~exact:(Core.Util.Stats.percentile stats p)
+            ~estimate:(Metrics.Histogram.quantile h p))
+        [ 1.0; 25.0; 50.0; 90.0; 99.0; 100.0 ])
+
+let merge_equals_concat_prop =
+  QCheck.Test.make ~name:"merged histograms = histogram of concatenated samples"
+    ~count:200
+    QCheck.(pair positive_samples positive_samples)
+    (fun (xs, ys) ->
+      let observe_all samples =
+        let h = Metrics.Histogram.create () in
+        List.iter (Metrics.Histogram.observe h) samples;
+        h
+      in
+      let merged = Metrics.Histogram.merge (observe_all xs) (observe_all ys) in
+      let concat = observe_all (xs @ ys) in
+      Metrics.Histogram.count merged = Metrics.Histogram.count concat
+      && Metrics.Histogram.buckets merged = Metrics.Histogram.buckets concat
+      && Metrics.Histogram.min_value merged = Metrics.Histogram.min_value concat
+      && Metrics.Histogram.max_value merged = Metrics.Histogram.max_value concat
+      && Float.abs (Metrics.Histogram.sum merged -. Metrics.Histogram.sum concat)
+         <= 1e-6 *. Float.max 1.0 (Float.abs (Metrics.Histogram.sum concat)))
+
+(* --- registry units ---------------------------------------------------- *)
+
+let test_counters_and_labels () =
+  let m = Metrics.create () in
+  Metrics.incr m "hits";
+  Metrics.incr m ~by:2 "hits";
+  Metrics.incr m ~labels:[ ("site", "a.org") ] "hits";
+  Metrics.incr m ~labels:[ ("site", "b.org"); ("kind", "x") ] "hits";
+  (* Label order must not matter. *)
+  Metrics.incr m ~labels:[ ("kind", "x"); ("site", "b.org") ] "hits";
+  Alcotest.(check int) "unlabeled" 3 (Metrics.counter m "hits");
+  Alcotest.(check int) "labeled" 1 (Metrics.counter m ~labels:[ ("site", "a.org") ] "hits");
+  Alcotest.(check int) "normalized labels" 2
+    (Metrics.counter m ~labels:[ ("site", "b.org"); ("kind", "x") ] "hits");
+  Alcotest.(check int) "total over label sets" 6 (Metrics.counter_total m "hits");
+  Alcotest.(check int) "absent counter" 0 (Metrics.counter m "nope");
+  Alcotest.(check (list string)) "names" [ "hits" ] (Metrics.counter_names m)
+
+let test_gauges () =
+  let m = Metrics.create () in
+  Metrics.set_gauge m "bytes" 10.0;
+  Metrics.set_gauge m "bytes" 42.0;
+  Alcotest.(check (float 0.0)) "latest wins" 42.0 (Metrics.gauge m "bytes");
+  Alcotest.(check (float 0.0)) "absent gauge" 0.0 (Metrics.gauge m "nope")
+
+let test_registry_merge () =
+  let a = Metrics.create () in
+  let b = Metrics.create () in
+  Metrics.incr a ~by:3 "reqs";
+  Metrics.incr b ~by:4 "reqs";
+  Metrics.set_gauge b "entries" 7.0;
+  Metrics.observe a "lat" 1.0;
+  Metrics.observe b "lat" 2.0;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Metrics.counter a "reqs");
+  Alcotest.(check (float 0.0)) "gauges take source" 7.0 (Metrics.gauge a "entries");
+  match Metrics.histogram a "lat" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h -> Alcotest.(check int) "histogram counts add" 2 (Metrics.Histogram.count h)
+
+let test_exporters_smoke () =
+  let m = Metrics.create () in
+  Metrics.incr m ~labels:[ ("site", "a.org") ] "site.requests";
+  Metrics.set_gauge m "cache.bytes" 123.0;
+  Metrics.observe m "latency" 0.25;
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let table = Metrics.to_table m in
+  Alcotest.(check bool) "table has labeled counter" true
+    (contains table {|site.requests{site="a.org"}|});
+  let prom = Metrics.to_prometheus m in
+  Alcotest.(check bool) "prometheus types" true (contains prom "# TYPE latency histogram");
+  Alcotest.(check bool) "prometheus sanitizes names" true
+    (contains prom "cache_bytes 123");
+  let lines = Metrics.to_json_lines m in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains lines needle))
+    [
+      {|"type":"counter"|};
+      {|"type":"gauge"|};
+      {|"type":"histogram"|};
+      {|"labels":{"site":"a.org"}|};
+    ];
+  Alcotest.(check string) "json escaping" {|a\"b\\c|} (Metrics.json_escape {|a"b\c|})
+
+(* --- tracer ------------------------------------------------------------ *)
+
+let test_tracer_span_tree () =
+  let now = ref 0.0 in
+  let tracer = Tracer.create ~clock:(fun () -> !now) () in
+  let root = Tracer.start_trace tracer ~attrs:[ ("url", "http://x/") ] "request" in
+  now := 0.010;
+  let child = Tracer.start_span tracer ~parent:root "cache-lookup" in
+  Tracer.set_attr child "hit" "false";
+  now := 0.015;
+  Tracer.finish tracer child;
+  Alcotest.(check (option (float 1e-9))) "child duration" (Some 0.005)
+    (Tracer.duration child);
+  now := 0.040;
+  Tracer.finish tracer root;
+  Alcotest.(check int) "one trace completed" 1 (Tracer.completed tracer);
+  match Tracer.traces tracer with
+  | [ tr ] ->
+    Alcotest.(check int) "both spans retained" 2 (List.length tr.Tracer.spans);
+    let rendered = Tracer.render tr in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) needle true
+          (let lh = String.length rendered and ln = String.length needle in
+           let rec go i = i + ln <= lh && (String.sub rendered i ln = needle || go (i + 1)) in
+           go 0))
+      [ "request"; "cache-lookup"; "hit=false"; "url=http://x/" ]
+  | traces -> Alcotest.fail (Printf.sprintf "expected 1 trace, got %d" (List.length traces))
+
+let test_tracer_ring_and_slowest () =
+  let now = ref 0.0 in
+  let tracer = Tracer.create ~capacity:2 ~clock:(fun () -> !now) () in
+  List.iter
+    (fun d ->
+      let root = Tracer.start_trace tracer (Printf.sprintf "r%.0f" (d *. 1000.0)) in
+      now := !now +. d;
+      Tracer.finish tracer root)
+    [ 0.030; 0.010; 0.020 ];
+  Alcotest.(check int) "completed counts past capacity" 3 (Tracer.completed tracer);
+  Alcotest.(check int) "ring keeps capacity" 2 (List.length (Tracer.traces tracer));
+  (* The 30 ms trace was overwritten; slowest of the retained two is 20 ms. *)
+  match Tracer.slowest tracer 5 with
+  | first :: _ ->
+    Alcotest.(check string) "slowest retained trace" "r20" first.Tracer.root.Tracer.name
+  | [] -> Alcotest.fail "no traces retained"
+
+(* --- events and profile ------------------------------------------------ *)
+
+let test_events_ring () =
+  let now = ref 1.0 in
+  let events = Events.create ~capacity:2 ~clock:(fun () -> !now) () in
+  Events.record events ~attrs:[ ("site", "a.org") ] "throttle";
+  now := 2.0;
+  Events.record events "terminate";
+  now := 3.0;
+  Events.record events "throttle";
+  Alcotest.(check int) "count is total" 3 (Events.count events);
+  match Events.to_list events with
+  | [ e1; e2 ] ->
+    Alcotest.(check string) "oldest retained" "terminate" e1.Events.name;
+    Alcotest.(check (float 0.0)) "clocked" 3.0 e2.Events.time
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length l))
+
+let test_profile_accumulates () =
+  let now = ref 0.0 in
+  let p = Profile.create ~clock:(fun () -> !now) () in
+  let tick d = now := !now +. d in
+  ignore (Profile.time p "parse" (fun () -> tick 0.5; 1));
+  ignore (Profile.time p "parse" (fun () -> tick 0.25; 2));
+  ignore (Profile.time p "exec" (fun () -> tick 0.1; 3));
+  (try Profile.time p "exec" (fun () -> tick 0.4; failwith "boom") with Failure _ -> 0)
+  |> ignore;
+  match Profile.report p with
+  | [ a; b ] ->
+    Alcotest.(check string) "largest first" "parse" a.Profile.region;
+    Alcotest.(check int) "calls" 2 a.Profile.calls;
+    Alcotest.(check (float 1e-9)) "total" 0.75 a.Profile.total;
+    Alcotest.(check (float 1e-9)) "max" 0.5 a.Profile.max;
+    Alcotest.(check (float 1e-9)) "exception still charged" 0.5 b.Profile.total
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 regions, got %d" (List.length l))
+
+(* --- end-to-end: a node's registry and traces -------------------------- *)
+
+let test_node_wiring () =
+  let open Core.Node in
+  let cluster = Cluster.create () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/index.html" ~max_age:300 "<html>hello</html>";
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let get () =
+    Cluster.fetch cluster ~client ~proxy
+      (Core.Http.Message.request "http://www.example.edu/index.html")
+      (fun _ -> ());
+    Cluster.run cluster
+  in
+  get ();
+  get ();
+  let m = Node.metrics proxy in
+  Alcotest.(check int) "requests counted" 2 (Metrics.counter m "requests");
+  Alcotest.(check int) "per-site label" 2
+    (Metrics.counter m ~labels:[ ("site", "www.example.edu") ] "site.requests");
+  Alcotest.(check bool) "cache hit metered" true (Metrics.counter m "cache.hits" >= 1);
+  (* The facade keeps the exact samples and the registry histogram in
+     lockstep. *)
+  (match Metrics.histogram m "latency" with
+   | None -> Alcotest.fail "latency histogram missing"
+   | Some h ->
+     Alcotest.(check int) "latency observations" 2 (Metrics.Histogram.count h));
+  let tracer = Node.tracer proxy in
+  Alcotest.(check int) "one trace per request" 2 (Tracer.completed tracer);
+  (match Tracer.slowest tracer 1 with
+   | [ tr ] ->
+     let span_names = List.map (fun s -> s.Tracer.name) tr.Tracer.spans in
+     List.iter
+       (fun expected ->
+         Alcotest.(check bool) expected true (List.mem expected span_names))
+       [ "request"; "cache-lookup"; "policy-match"; "origin-fetch" ];
+     (* Child spans nest inside the root: their simulated time is
+        accounted within the request's duration. *)
+     (match Tracer.duration tr.Tracer.root with
+      | None -> Alcotest.fail "root not finished"
+      | Some root_d ->
+        List.iter
+          (fun s ->
+            match Tracer.duration s with
+            | Some d -> Alcotest.(check bool) "child within root" true (d <= root_d +. 1e-9)
+            | None -> Alcotest.fail "unfinished child span")
+          tr.Tracer.spans)
+   | _ -> Alcotest.fail "no slowest trace");
+  (* Disabling tracing stops trace collection but not metrics. *)
+  let cluster2 = Cluster.create () in
+  let origin2 = Cluster.add_origin cluster2 ~name:"www.example.edu" () in
+  Origin.set_static origin2 ~path:"/index.html" ~max_age:300 "x";
+  let quiet =
+    Cluster.add_proxy cluster2 ~name:"nk2.nakika.net"
+      ~config:{ Config.default with Config.enable_tracing = false }
+      ()
+  in
+  let client2 = Cluster.add_client cluster2 ~name:"c2" in
+  Cluster.fetch cluster2 ~client:client2 ~proxy:quiet
+    (Core.Http.Message.request "http://www.example.edu/index.html")
+    (fun _ -> ());
+  Cluster.run cluster2;
+  Alcotest.(check int) "no traces when disabled" 0 (Tracer.completed (Node.tracer quiet));
+  Alcotest.(check int) "metrics still flow" 1 (Metrics.counter (Node.metrics quiet) "requests")
+
+let suite =
+  [
+    Alcotest.test_case "counters and labels" `Quick test_counters_and_labels;
+    Alcotest.test_case "gauges" `Quick test_gauges;
+    Alcotest.test_case "registry merge" `Quick test_registry_merge;
+    Alcotest.test_case "exporters" `Quick test_exporters_smoke;
+    Alcotest.test_case "tracer: span tree" `Quick test_tracer_span_tree;
+    Alcotest.test_case "tracer: ring buffer and slowest" `Quick test_tracer_ring_and_slowest;
+    Alcotest.test_case "events ring" `Quick test_events_ring;
+    Alcotest.test_case "profile accumulates" `Quick test_profile_accumulates;
+    Alcotest.test_case "node wiring end-to-end" `Quick test_node_wiring;
+    QCheck_alcotest.to_alcotest quantiles_match_stats_prop;
+    QCheck_alcotest.to_alcotest merge_equals_concat_prop;
+  ]
