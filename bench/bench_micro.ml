@@ -64,6 +64,36 @@ let () =
 
 let regex_ua = Core.Regex.Regex.compile "Nokia|SonyEricsson|Samsung"
 
+(* C1: the NKScript execution pipeline — parse, closure-compile, and the
+   two execution modes — on a standard handler-style workload (string
+   building + arithmetic, the shape of the M1 onResponse handler). The
+   tree-walk row is the pre-compiler baseline; the cached-execute row is
+   what a warm stage pays per invocation. *)
+let workload_script =
+  {|
+function handler() {
+  var s = "";
+  for (var i = 0; i < 60; i++) { s += "x"; }
+  var n = 0;
+  for (var i = 0; i < 40; i++) { n += i * i; }
+  return s.length + n;
+}
+handler();
+|}
+
+let workload_ast = Core.Script.Parser.parse workload_script
+
+let workload_prog = Core.Script.Compile.compile workload_ast
+
+let fresh_ctx () =
+  let ctx = Core.Script.Interp.create () in
+  Core.Script.Builtins.install ctx;
+  ctx
+
+let tw_ctx = fresh_ctx ()
+
+let cp_ctx = fresh_ctx ()
+
 let tests =
   Test.make_grouped ~name:"nakika"
     [
@@ -77,6 +107,23 @@ let tests =
       Test.make ~name:"T2: parse Match-1 site script"
         (Staged.stage (fun () -> Core.Script.Parser.parse match1_script));
       Test.make ~name:"M1: run onResponse handler (2KB body)" (Staged.stage run_handler);
+      Test.make ~name:"C1: parse handler script"
+        (Staged.stage (fun () -> Core.Script.Parser.parse workload_script));
+      Test.make ~name:"C1: compile parsed script"
+        (Staged.stage (fun () -> Core.Script.Compile.compile workload_ast));
+      Test.make ~name:"C1: tree-walk execute"
+        (Staged.stage (fun () ->
+             Core.Script.Interp.reset_usage tw_ctx;
+             ignore (Core.Script.Interp.run tw_ctx workload_ast)));
+      Test.make ~name:"C1: cached execute (compiled)"
+        (Staged.stage (fun () ->
+             Core.Script.Interp.reset_usage cp_ctx;
+             ignore (Core.Script.Compile.run cp_ctx workload_prog)));
+      Test.make ~name:"C1: first execute (parse+compile+run)"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Script.Compile.run (fresh_ctx ())
+                  (Core.Script.Compile.compile (Core.Script.Parser.parse workload_script)))));
       Test.make ~name:"T2: proxy cache hit"
         (Staged.stage (fun () -> Core.Cache.Http_cache.lookup cache_for_bench ~now:1.0 ~key:"bench"));
       Test.make ~name:"F7: parse+render lecture XML"
@@ -125,4 +172,34 @@ let micro () =
         else Printf.sprintf "%8.0f ns" ns
       in
       Printf.printf "  %-44s %s/op\n" name pretty)
-    rows
+    rows;
+  (* Persist the rows (and the headline compiler speedup) into the
+     experiment registry so BENCH_micro.json carries the interpreter
+     baseline forward. *)
+  let find_row sub =
+    List.find_opt (fun (name, _) -> Core.Util.Strutil.contains_sub name ~sub) rows
+  in
+  let speedup =
+    match (find_row "C1: tree-walk execute", find_row "C1: cached execute") with
+    | Some (_, tw), Some (_, cp) when cp > 0.0 -> Some (tw /. cp)
+    | _ -> None
+  in
+  (match speedup with
+   | Some s -> Printf.printf "  %-44s %8.2f x\n" "C1: compiled speedup over tree-walk" s
+   | None -> ());
+  let stats = Core.Script.Compile.cache_stats () in
+  Printf.printf "  %-44s %d hits / %d misses / %d entries\n" "C1: compiled-program cache" stats.Core.Script.Compile.hits
+    stats.Core.Script.Compile.misses stats.Core.Script.Compile.entries;
+  match Harness.registry () with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun (name, ns) ->
+        Core.Telemetry.Metrics.set_gauge m ~labels:[ ("test", name) ] "micro.ns_per_op" ns)
+      rows;
+    (match speedup with
+     | Some s -> Core.Telemetry.Metrics.set_gauge m "micro.compiled_speedup" s
+     | None -> ());
+    Core.Telemetry.Metrics.set_gauge m "micro.compile_cache.hits" (float_of_int stats.Core.Script.Compile.hits);
+    Core.Telemetry.Metrics.set_gauge m "micro.compile_cache.misses"
+      (float_of_int stats.Core.Script.Compile.misses)

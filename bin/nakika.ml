@@ -57,7 +57,7 @@ let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 let exec_cmd =
   let run fuel heap path =
     let ctx = make_ctx ~fuel ~heap in
-    match Core.Script.Interp.run_string ctx (read_file path) with
+    match Core.Script.Compile.run_string ctx (read_file path) with
     | value ->
       print_endline (Core.Script.Value.to_string value);
       Printf.eprintf "(fuel used: %d, heap used: %d bytes)\n"
@@ -75,7 +75,7 @@ let policies_cmd =
     let ctx = make_ctx ~fuel ~heap in
     let registry = Core.Policy.Script_bridge.create_registry () in
     Core.Policy.Script_bridge.install registry ctx;
-    match Core.Script.Interp.run_string ctx (read_file path) with
+    match Core.Script.Compile.run_string ctx (read_file path) with
     | exception exn -> report_script_error exn
     | _ ->
       let policies = Core.Policy.Script_bridge.policies registry in

@@ -387,7 +387,7 @@ let site_of_stage_url url =
   | Ok u -> Nk_http.Url.site u
   | Error _ -> "unknown"
 
-let rec build_stage t ~url ~source =
+let rec build_stage t ?span ~url ~source () =
   let site = site_of_stage_url url in
   (* Join the site's replication group up front so updates published
      before this node's first hard-state access still arrive. *)
@@ -400,9 +400,19 @@ let rec build_stage t ~url ~source =
     else load_stage t Nk_pipeline.Pipeline.well_known_server_wall
   in
   let host = hostcall t ~site ~load_wall in
+  (* Whether this script body was already compiled (by this or any other
+     simulated node in the process) or cost a fresh parse+compile. *)
+  let on_compile_cache outcome =
+    let labels = [ ("site", site) ] in
+    match outcome with
+    | `Hit -> Nk_telemetry.Metrics.incr t.metrics ~labels "script.compile_cache.hits"
+    | `Miss -> Nk_telemetry.Metrics.incr t.metrics ~labels "script.compile_cache.misses"
+  in
   match
-    Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
-      ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed ~source ()
+    in_span t ?parent:span "script.compile" [ ("stage", url) ] (fun _ ->
+        Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
+          ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed
+          ~on_compile_cache ~source ())
   with
   | Ok stage ->
     (* Context reuse reports the previous pipeline's consumption: fold
@@ -449,7 +459,7 @@ and load_stage t ?span url =
           charge_cpu t
             (costs.Config.context_create +. costs.Config.parse_base
             +. (costs.Config.parse_per_byte *. float_of_int (String.length source)));
-          match build_stage t ~url ~source with
+          match build_stage t ?span:sp ~url ~source () with
           | Ok stage ->
             let expiry =
               match Nk_http.Message.response_expiry ~now:(now t) resp with
@@ -468,7 +478,7 @@ and load_stage t ?span url =
         end)))
 
 let warm_stage t ~url ~site ~source =
-  match build_stage t ~url ~source with
+  match build_stage t ~url ~source () with
   | Ok stage ->
     Nk_cache.Memo_cache.put t.stage_cache ~key:url ~expiry:(now t +. t.cfg.Config.script_ttl)
       { stage; site }

@@ -38,7 +38,7 @@ let render ctx source =
       | None -> ()
       | Some stop ->
         let code = String.sub source (start + 5) (stop - start - 5) in
-        (match Nk_script.Interp.run_string ctx code with
+        (match Nk_script.Compile.run_string ctx code with
          | Nk_script.Value.Vundefined | Nk_script.Value.Vnull -> ()
          | v -> Buffer.add_string buf (Nk_script.Value.to_string v));
         go (stop + 2))

@@ -40,9 +40,24 @@ let value_to_response v =
         | Nk_script.Value.Vundefined -> ""
         | v -> Nk_script.Value.to_string v
       in
+      (* A [headers] sub-object carries arbitrary response headers;
+         [contentType] stays authoritative for Content-Type. *)
+      let extra_headers =
+        match Nk_script.Value.obj_get o "headers" with
+        | Nk_script.Value.Vobj h ->
+          List.filter_map
+            (fun name ->
+              if String.lowercase_ascii name = "content-type" then None
+              else
+                match Nk_script.Value.obj_get h name with
+                | Nk_script.Value.Vundefined | Nk_script.Value.Vnull -> None
+                | v -> Some (name, Nk_script.Value.to_string v))
+            (Nk_script.Value.obj_keys h)
+        | _ -> []
+      in
       Some
         (Nk_http.Message.response ~status:(int_of_float status)
-           ~headers:[ ("Content-Type", content_type) ]
+           ~headers:(("Content-Type", content_type) :: extra_headers)
            ~body ())
     | _ -> None)
   | _ -> None

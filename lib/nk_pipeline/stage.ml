@@ -30,13 +30,16 @@ let of_policies ~url ~ctx policies =
     waiters = Queue.create ();
   }
 
-let of_script ~url ~host ?max_fuel ?max_heap_bytes ?seed ~source () =
+let of_script ~url ~host ?max_fuel ?max_heap_bytes ?seed ?on_compile_cache ~source () =
   let ctx = Nk_script.Interp.create ?max_fuel ?max_heap_bytes () in
   Nk_vocab.Platform_v.install_all host ?seed ctx;
   Nk_vocab.Eval_v.install ctx;
   let registry = Nk_policy.Script_bridge.create_registry () in
   Nk_policy.Script_bridge.install registry ctx;
-  match Nk_script.Interp.run_string ctx source with
+  (* Compiled path: the program is fetched from (or compiled into) the
+     process-wide SHA-256-keyed cache, so many stages loading the same
+     wall/site script share one compilation. *)
+  match Nk_script.Compile.run_string ?on_cache:on_compile_cache ctx source with
   | _ -> Ok (of_policies ~url ~ctx (Nk_policy.Script_bridge.policies registry))
   | exception Nk_script.Value.Script_error msg -> Error (Printf.sprintf "%s: %s" url msg)
   | exception Nk_script.Parser.Parse_error (msg, pos) ->

@@ -22,11 +22,14 @@ val of_script :
   ?max_fuel:int ->
   ?max_heap_bytes:int ->
   ?seed:int ->
+  ?on_compile_cache:([ `Hit | `Miss ] -> unit) ->
   source:string ->
   unit ->
   (t, string) result
 (** Build a fresh context, install the platform vocabularies and the
-    [Policy] constructor, evaluate the script, and compile the decision
+    [Policy] constructor, evaluate the script (through
+    {!Nk_script.Compile}'s program cache; [on_compile_cache] reports
+    whether this source was already compiled), and compile the decision
     tree. Returns [Error] on parse or runtime failure (such a script
     publishes no policies). *)
 

@@ -1,0 +1,789 @@
+(* Closure compilation of NKScript.
+
+   The tree-walking evaluator in [Interp] re-dispatches on AST
+   constructors and resolves every variable with a Hashtbl probe down a
+   scope-chain list on every execution — the hottest path in the proxy,
+   paid per handler per stage per request. This pass lowers each AST
+   node exactly once into an OCaml closure and resolves variables to
+   lexical slot addresses (frame arrays indexed at compile time), so
+   handler invocation runs pre-compiled code.
+
+   Two invariants shape everything below:
+
+   1. Observable equivalence with [Interp], including *bit-identical
+      fuel and heap accounting*: the resource monitor's congestion
+      numbers, termination points, and every seed bench figure depend
+      on the charges, so each compiled closure performs the same
+      [charge_fuel]/[charge_alloc] calls, in the same order, as the
+      tree-walker visiting the same nodes. Constant folding keeps this
+      by recording the charge trace the tree-walker would have emitted
+      and replaying it (unit fuel steps, so even exhaustion mid-fold
+      raises at the identical counter value).
+
+   2. Compiled programs are context-independent: the same [program] can
+      execute in any number of scripting contexts, which is what lets
+      the SHA-256-keyed cache share one compilation across every stage
+      and node that loads the same script body. Context state (fuel,
+      heap, globals) only enters at run time through [rt].
+
+   Variable semantics note: NKScript scoping is function-level and
+   *temporal* — [var x] shadows an outer [x] only from the moment the
+   declaration executes (the tree-walker's Hashtbl entry appears then).
+   Slots therefore start as a sentinel; a reference probes its static
+   candidate slots innermost-first and falls through to the enclosing
+   bindings — in practice a single array load and one physical-equality
+   check — with true globals resolved in the defining context's table. *)
+
+open Value
+module I = Interp
+
+(* --- runtime environment -------------------------------------------- *)
+
+type rt = {
+  ctx : Value.ctx; (* the *calling* context: fuel/heap are charged here *)
+  globals : Value.scope; (* lexical globals: the defining context's table *)
+  frames : Value.t array list; (* innermost first *)
+  this : Value.t;
+}
+
+type cexpr = rt -> Value.t
+
+type cstmt = rt -> unit
+
+(* Marks a slot whose declaration has not executed yet; compared with
+   physical equality and never visible to scripts. *)
+let undeclared : Value.t = Vstr "<nk-undeclared-slot>"
+
+let rec frame_at frames d =
+  match frames with
+  | f :: rest -> if d = 0 then f else frame_at rest (d - 1)
+  | [] -> assert false
+
+(* --- compile-time scope table ---------------------------------------- *)
+
+type scope_info = { slots : (string, int) Hashtbl.t; mutable nslots : int }
+
+type cenv = scope_info list
+(* Innermost first; [] at toplevel, where every name is a global. *)
+
+let slot_of si name =
+  match Hashtbl.find_opt si.slots name with
+  | Some s -> s
+  | None ->
+    let s = si.nslots in
+    si.nslots <- s + 1;
+    Hashtbl.add si.slots name s;
+    s
+
+(* Function-level declarations: params, [var]s, hoisted functions,
+   for-in and catch variables — everywhere in the body except inside
+   nested function literals (those get their own frame). *)
+let rec collect_stmt si (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Svar bindings -> List.iter (fun (n, _) -> ignore (slot_of si n)) bindings
+  | Ast.Sfunc (name, _, _) -> ignore (slot_of si name)
+  | Ast.Sif (_, a, b) ->
+    List.iter (collect_stmt si) a;
+    List.iter (collect_stmt si) b
+  | Ast.Swhile (_, b) | Ast.Sdo_while (b, _) -> List.iter (collect_stmt si) b
+  | Ast.Sfor (init, _, _, b) ->
+    Option.iter (collect_stmt si) init;
+    List.iter (collect_stmt si) b
+  | Ast.Sfor_in (n, _, b) ->
+    ignore (slot_of si n);
+    List.iter (collect_stmt si) b
+  | Ast.Stry (b, n, h) ->
+    List.iter (collect_stmt si) b;
+    ignore (slot_of si n);
+    List.iter (collect_stmt si) h
+  | Ast.Sblock b -> List.iter (collect_stmt si) b
+  | Ast.Sexpr _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Sthrow _ -> ()
+
+(* Static candidates for a reference: every enclosing function scope
+   that declares [name], innermost first, as (depth, slot). *)
+let resolve (cenv : cenv) name =
+  let rec go depth = function
+    | [] -> []
+    | si :: rest -> (
+      match Hashtbl.find_opt si.slots name with
+      | Some s -> (depth, s) :: go (depth + 1) rest
+      | None -> go (depth + 1) rest)
+  in
+  go 0 cenv
+
+let global_ref rt name = Hashtbl.find_opt rt.globals name
+
+let compile_var_read cenv name ~(on_missing : rt -> Value.t) : rt -> Value.t =
+  match resolve cenv name with
+  | [] -> fun rt -> ( match global_ref rt name with Some r -> !r | None -> on_missing rt)
+  | [ (0, s) ] ->
+    fun rt ->
+      let v = (List.hd rt.frames).(s) in
+      if v != undeclared then v
+      else ( match global_ref rt name with Some r -> !r | None -> on_missing rt)
+  | cands ->
+    let cands = Array.of_list cands in
+    let n = Array.length cands in
+    fun rt ->
+      let rec go i =
+        if i >= n then
+          match global_ref rt name with Some r -> !r | None -> on_missing rt
+        else begin
+          let d, s = cands.(i) in
+          let v = (frame_at rt.frames d).(s) in
+          if v != undeclared then v else go (i + 1)
+        end
+      in
+      go 0
+
+(* Assignment: first live binding wins; otherwise an existing global's
+   ref is mutated in place; otherwise the name springs into existence
+   in the *calling* context's globals — exactly the tree-walker's
+   [write_lvalue] (which looks up through the closure but creates new
+   globals in [ctx.globals]). *)
+let compile_var_write cenv name : rt -> Value.t -> unit =
+  let cands = Array.of_list (resolve cenv name) in
+  let n = Array.length cands in
+  fun rt v ->
+    let rec go i =
+      if i >= n then
+        match global_ref rt name with
+        | Some r -> r := v
+        | None -> Hashtbl.replace rt.ctx.globals name (ref v)
+      else begin
+        let d, s = cands.(i) in
+        let f = frame_at rt.frames d in
+        if f.(s) != undeclared then f.(s) <- v else go (i + 1)
+      end
+    in
+    go 0
+
+(* The for-in loop variable rebind: like a write, but a miss everywhere
+   is silently dropped (mirrors [Sfor_in]'s [bind]). *)
+let compile_var_bind cenv name : rt -> Value.t -> unit =
+  let cands = Array.of_list (resolve cenv name) in
+  let n = Array.length cands in
+  fun rt v ->
+    let rec go i =
+      if i >= n then ( match global_ref rt name with Some r -> r := v | None -> ())
+      else begin
+        let d, s = cands.(i) in
+        let f = frame_at rt.frames d in
+        if f.(s) != undeclared then f.(s) <- v else go (i + 1)
+      end
+    in
+    go 0
+
+(* Declarations always target the innermost scope. *)
+type decl = Dslot of int | Dglobal of string
+
+let compile_decl (cenv : cenv) name =
+  match cenv with si :: _ -> Dslot (slot_of si name) | [] -> Dglobal name
+
+let run_decl decl rt v =
+  match decl with
+  | Dslot s -> (List.hd rt.frames).(s) <- v
+  | Dglobal n -> Hashtbl.replace rt.globals n (ref v)
+
+(* --- constant folding ------------------------------------------------ *)
+
+(* A folded subtree must still charge what the tree-walker charges. The
+   fold therefore records the exact trace — one [Cfuel] per node visit,
+   one [Calloc] per allocating operation, in evaluation order — and the
+   compiled closure replays it. Fuel replays as unit steps so a limit
+   crossed mid-subtree raises at the identical [fuel_used]. *)
+type charge = Cfuel | Calloc of Value.t
+
+let pure_unop op v =
+  match op with
+  | Ast.Not -> Vbool (not (truthy v))
+  | Ast.Neg -> Vnum (-.to_number v)
+  | Ast.Bnot -> Vnum (float_of_int (lnot (to_int v)))
+  | Ast.Typeof -> Vstr (type_name v)
+
+let pure_compare a b test =
+  match (a, b) with
+  | Vstr x, Vstr y -> Vbool (test (compare x y))
+  | _ ->
+    let x = to_number a and y = to_number b in
+    if Float.is_nan x || Float.is_nan y then Vbool false else Vbool (test (compare x y))
+
+(* Mirrors [Interp.eval_binop] on primitive operands, reporting the
+   allocation charge instead of performing it. *)
+let pure_binop op a b : Value.t * charge list =
+  match op with
+  | Ast.Add -> (
+    match (a, b) with
+    | Vstr _, _ | _, Vstr _ ->
+      let v = Vstr (to_string a ^ to_string b) in
+      (v, [ Calloc v ])
+    | _ -> (Vnum (to_number a +. to_number b), []))
+  | Ast.Sub -> (Vnum (to_number a -. to_number b), [])
+  | Ast.Mul -> (Vnum (to_number a *. to_number b), [])
+  | Ast.Div -> (Vnum (to_number a /. to_number b), [])
+  | Ast.Mod -> (Vnum (Float.rem (to_number a) (to_number b)), [])
+  | Ast.Eq -> (Vbool (equal a b), [])
+  | Ast.Neq -> (Vbool (not (equal a b)), [])
+  | Ast.Lt -> (pure_compare a b (fun c -> c < 0), [])
+  | Ast.Le -> (pure_compare a b (fun c -> c <= 0), [])
+  | Ast.Gt -> (pure_compare a b (fun c -> c > 0), [])
+  | Ast.Ge -> (pure_compare a b (fun c -> c >= 0), [])
+  | Ast.Band -> (Vnum (float_of_int (to_int a land to_int b)), [])
+  | Ast.Bor -> (Vnum (float_of_int (to_int a lor to_int b)), [])
+  | Ast.Bxor -> (Vnum (float_of_int (to_int a lxor to_int b)), [])
+  | Ast.Shl -> (Vnum (float_of_int (to_int a lsl (to_int b land 31))), [])
+  | Ast.Shr -> (Vnum (float_of_int (to_int a asr (to_int b land 31))), [])
+
+let rec fold (e : Ast.expr) : (Value.t * charge list) option =
+  let lit v = Some (v, [ Cfuel ]) in
+  match e.Ast.desc with
+  | Ast.Undefined -> lit Vundefined
+  | Ast.Null -> lit Vnull
+  | Ast.Bool b -> lit (Vbool b)
+  | Ast.Number n -> lit (Vnum n)
+  | Ast.String s -> lit (Vstr s)
+  | Ast.Unop (op, a) -> Option.map (fun (va, ca) -> (pure_unop op va, Cfuel :: ca)) (fold a)
+  | Ast.Binop (op, a, b) -> (
+    match (fold a, fold b) with
+    | Some (va, ca), Some (vb, cb) ->
+      let v, extra = pure_binop op va vb in
+      Some (v, (Cfuel :: ca) @ cb @ extra)
+    | _ -> None)
+  | Ast.Logical (Ast.And, a, b) -> (
+    match fold a with
+    | Some (va, ca) when truthy va ->
+      Option.map (fun (vb, cb) -> (vb, (Cfuel :: ca) @ cb)) (fold b)
+    | Some (va, ca) -> Some (va, Cfuel :: ca)
+    | None -> None)
+  | Ast.Logical (Ast.Or, a, b) -> (
+    match fold a with
+    | Some (va, ca) when truthy va -> Some (va, Cfuel :: ca)
+    | Some (_, ca) -> Option.map (fun (vb, cb) -> (vb, (Cfuel :: ca) @ cb)) (fold b)
+    | None -> None)
+  | Ast.Cond (c, t, f) -> (
+    match fold c with
+    | Some (vc, cc) ->
+      Option.map
+        (fun (vb, cb) -> (vb, (Cfuel :: cc) @ cb))
+        (fold (if truthy vc then t else f))
+    | None -> None)
+  | _ -> None
+
+let replay_charges ctx charges =
+  List.iter
+    (function Cfuel -> I.charge_fuel ctx 1 | Calloc v -> I.charge_alloc ctx v)
+    charges
+
+(* --- expression compilation ------------------------------------------ *)
+
+type clval = { lread : rt -> Value.t; lwrite : rt -> Value.t -> unit }
+
+let rec eval_list rt = function
+  | [] -> []
+  | ce :: tl ->
+    let v = ce rt in
+    v :: eval_list rt tl
+
+let rec compile_expr cenv (e : Ast.expr) : cexpr =
+  match fold e with
+  | Some (v, [ Cfuel ]) ->
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      v
+  | Some (v, charges) ->
+    fun rt ->
+      replay_charges rt.ctx charges;
+      v
+  | None -> compile_node cenv e
+
+and compile_node cenv (e : Ast.expr) : cexpr =
+  match e.Ast.desc with
+  (* Literals are handled by [fold]; kept for exhaustiveness. *)
+  | Ast.Undefined ->
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      Vundefined
+  | Ast.Null ->
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      Vnull
+  | Ast.Bool b ->
+    let v = Vbool b in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      v
+  | Ast.Number n ->
+    let v = Vnum n in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      v
+  | Ast.String s ->
+    let v = Vstr s in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      v
+  | Ast.This ->
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      rt.this
+  | Ast.Ident name ->
+    let read =
+      compile_var_read cenv name ~on_missing:(fun _ -> error "'%s' is not defined" name)
+    in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      read rt
+  | Ast.Array_lit items ->
+    let citems = List.map (compile_expr cenv) items in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let v = Varr (new_arr (eval_list rt citems)) in
+      I.charge_alloc rt.ctx v;
+      v
+  | Ast.Object_lit fields ->
+    let cfields = List.map (fun (k, fe) -> (k, compile_expr cenv fe)) fields in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let o = new_obj () in
+      List.iter (fun (k, ce) -> obj_set o k (ce rt)) cfields;
+      let v = Vobj o in
+      I.charge_alloc rt.ctx v;
+      v
+  | Ast.Func (params, body) ->
+    let code = compile_function cenv ~fname:"<anonymous>" params body in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let v = Vfun (Compiled_fn { code; captured = rt.frames; cglobals = rt.globals }) in
+      I.charge_alloc rt.ctx v;
+      v
+  | Ast.Member (obj_e, name) ->
+    let cobj = compile_expr cenv obj_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      I.member_get rt.ctx (cobj rt) name
+  | Ast.Index (obj_e, idx_e) ->
+    let cobj = compile_expr cenv obj_e and cidx = compile_expr cenv idx_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let obj = cobj rt in
+      let idx = cidx rt in
+      I.index_get rt.ctx obj idx
+  | Ast.Call (f_e, arg_es) -> (
+    let cargs = List.map (compile_expr cenv) arg_es in
+    match f_e.Ast.desc with
+    | Ast.Member (obj_e, name) ->
+      (* Method call: the member node itself is not evaluated (and so,
+         as in the tree-walker, charges no fuel of its own). *)
+      let cobj = compile_expr cenv obj_e in
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        let obj = cobj rt in
+        let args = eval_list rt cargs in
+        I.invoke_method rt.ctx obj name args
+    | _ ->
+      let cf = compile_expr cenv f_e in
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        let f = cf rt in
+        let args = eval_list rt cargs in
+        I.apply rt.ctx f args)
+  | Ast.New (ctor_e, arg_es) ->
+    let cctor = compile_expr cenv ctor_e in
+    let cargs = List.map (compile_expr cenv) arg_es in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let ctor = cctor rt in
+      let args = eval_list rt cargs in
+      I.construct rt.ctx ctor args
+  | Ast.Assign (lv, op, rhs_e) -> (
+    let clv = compile_lvalue cenv lv in
+    let crhs = compile_expr cenv rhs_e in
+    match op with
+    | None ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        let v = crhs rt in
+        clv.lwrite rt v;
+        v
+    | Some binop ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        let rhs = crhs rt in
+        let old = clv.lread rt in
+        let v = I.eval_binop rt.ctx binop old rhs in
+        clv.lwrite rt v;
+        v)
+  | Ast.Unop (op, a_e) -> (
+    let ca = compile_expr cenv a_e in
+    match op with
+    | Ast.Not ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        Vbool (not (truthy (ca rt)))
+    | Ast.Neg ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        Vnum (-.to_number (ca rt))
+    | Ast.Bnot ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        Vnum (float_of_int (lnot (to_int (ca rt))))
+    | Ast.Typeof ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        Vstr (type_name (ca rt)))
+  | Ast.Binop (op, a_e, b_e) ->
+    let ca = compile_expr cenv a_e and cb = compile_expr cenv b_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let a = ca rt in
+      let b = cb rt in
+      I.eval_binop rt.ctx op a b
+  | Ast.Logical (Ast.And, a_e, b_e) ->
+    let ca = compile_expr cenv a_e and cb = compile_expr cenv b_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let a = ca rt in
+      if truthy a then cb rt else a
+  | Ast.Logical (Ast.Or, a_e, b_e) ->
+    let ca = compile_expr cenv a_e and cb = compile_expr cenv b_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let a = ca rt in
+      if truthy a then a else cb rt
+  | Ast.Cond (c_e, t_e, f_e) ->
+    let cc = compile_expr cenv c_e in
+    let ct = compile_expr cenv t_e and cf = compile_expr cenv f_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      if truthy (cc rt) then ct rt else cf rt
+  | Ast.Incr (prefix, lv) -> compile_step cenv lv 1.0 prefix
+  | Ast.Decr (prefix, lv) -> compile_step cenv lv (-1.0) prefix
+  | Ast.Delete (obj_e, field) -> (
+    let cobj = compile_expr cenv obj_e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      match cobj rt with
+      | Vobj o ->
+        Hashtbl.remove o.props field;
+        Vbool true
+      | v -> error "cannot delete property '%s' of a %s" field (type_name v))
+
+and compile_step cenv lv delta prefix : cexpr =
+  let clv = compile_lvalue cenv lv in
+  fun rt ->
+    I.charge_fuel rt.ctx 1;
+    let old = to_number (clv.lread rt) in
+    let updated = old +. delta in
+    clv.lwrite rt (Vnum updated);
+    Vnum (if prefix then updated else old)
+
+and compile_lvalue cenv (lv : Ast.lvalue) : clval =
+  match lv with
+  | Ast.Lident name ->
+    {
+      lread = compile_var_read cenv name ~on_missing:(fun _ -> Vundefined);
+      lwrite = compile_var_write cenv name;
+    }
+  | Ast.Lmember (obj_e, name) ->
+    let cobj = compile_expr cenv obj_e in
+    {
+      lread = (fun rt -> I.member_get rt.ctx (cobj rt) name);
+      lwrite = (fun rt v -> I.member_set (cobj rt) name v);
+    }
+  | Ast.Lindex (obj_e, idx_e) ->
+    let cobj = compile_expr cenv obj_e and cidx = compile_expr cenv idx_e in
+    {
+      lread =
+        (fun rt ->
+          let obj = cobj rt in
+          let idx = cidx rt in
+          I.index_get rt.ctx obj idx);
+      lwrite =
+        (fun rt v ->
+          let obj = cobj rt in
+          let idx = cidx rt in
+          I.index_set obj idx v);
+    }
+
+(* --- statement compilation ------------------------------------------- *)
+
+and compile_stmt cenv (s : Ast.stmt) : cstmt =
+  match s.Ast.sdesc with
+  | Ast.Sexpr e ->
+    let ce = compile_expr cenv e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      ignore (ce rt)
+  | Ast.Svar bindings ->
+    let cbindings =
+      List.map
+        (fun (name, init) -> (compile_decl cenv name, Option.map (compile_expr cenv) init))
+        bindings
+    in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      List.iter
+        (fun (d, init) ->
+          let v = match init with Some ce -> ce rt | None -> Vundefined in
+          run_decl d rt v)
+        cbindings
+  | Ast.Sif (cond, then_b, else_b) ->
+    let cc = compile_expr cenv cond in
+    let ct = compile_body cenv then_b and ce = compile_body cenv else_b in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      if truthy (cc rt) then ct rt else ce rt
+  | Ast.Swhile (cond, body) ->
+    let cc = compile_expr cenv cond and cb = compile_body cenv body in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      (try
+         while truthy (cc rt) do
+           try cb rt with I.Continue_exc -> ()
+         done
+       with I.Break_exc -> ())
+  | Ast.Sdo_while (body, cond) ->
+    let cb = compile_body cenv body and cc = compile_expr cenv cond in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      (try
+         let continue = ref true in
+         while !continue do
+           (try cb rt with I.Continue_exc -> ());
+           continue := truthy (cc rt)
+         done
+       with I.Break_exc -> ())
+  | Ast.Sfor (init, cond, step, body) ->
+    let cinit = Option.map (compile_stmt cenv) init in
+    let ccond = Option.map (compile_expr cenv) cond in
+    let cstep = Option.map (compile_expr cenv) step in
+    let cb = compile_body cenv body in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      (match cinit with Some ci -> ci rt | None -> ());
+      (try
+         let check () = match ccond with None -> true | Some c -> truthy (c rt) in
+         while check () do
+           (try cb rt with I.Continue_exc -> ());
+           match cstep with Some ce -> ignore (ce rt) | None -> ()
+         done
+       with I.Break_exc -> ())
+  | Ast.Sfor_in (name, subject_e, body) ->
+    let csubj = compile_expr cenv subject_e in
+    let decl = compile_decl cenv name in
+    let bind = compile_var_bind cenv name in
+    let cb = compile_body cenv body in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      let subject = csubj rt in
+      run_decl decl rt Vundefined;
+      (try
+         match subject with
+         | Vobj o ->
+           List.iter
+             (fun key ->
+               bind rt (Vstr key);
+               try cb rt with I.Continue_exc -> ())
+             (obj_keys o)
+         | Varr a ->
+           for i = 0 to a.len - 1 do
+             bind rt (Vnum (float_of_int i));
+             try cb rt with I.Continue_exc -> ()
+           done
+         | Vnull | Vundefined -> ()
+         | v -> error "cannot enumerate a %s" (type_name v)
+       with I.Break_exc -> ())
+  | Ast.Sreturn e -> (
+    match e with
+    | Some e ->
+      let ce = compile_expr cenv e in
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        raise (I.Return_exc (ce rt))
+    | None ->
+      fun rt ->
+        I.charge_fuel rt.ctx 1;
+        raise (I.Return_exc Vundefined))
+  | Ast.Sbreak ->
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      raise I.Break_exc
+  | Ast.Scontinue ->
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      raise I.Continue_exc
+  | Ast.Sfunc _ ->
+    (* Hoisted by [compile_body]; execution is a charged no-op. *)
+    fun rt -> I.charge_fuel rt.ctx 1
+  | Ast.Sblock stmts ->
+    let cb = compile_body cenv stmts in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      cb rt
+  | Ast.Sthrow e ->
+    let ce = compile_expr cenv e in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      raise (I.Throw_exc (ce rt))
+  | Ast.Stry (body, name, handler) ->
+    let cb = compile_body cenv body in
+    let decl = compile_decl cenv name in
+    let ch = compile_body cenv handler in
+    fun rt ->
+      I.charge_fuel rt.ctx 1;
+      (try cb rt with
+      | I.Throw_exc v ->
+        run_decl decl rt v;
+        ch rt
+      | Script_error msg ->
+        run_decl decl rt (Vstr msg);
+        ch rt)
+
+(* Statement lists re-hoist their function declarations on every entry,
+   like [Interp.exec_body] (fresh closure values each time, no fuel or
+   alloc charge). *)
+and compile_body cenv (stmts : Ast.stmt list) : cstmt =
+  let hoisted =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.Sfunc (name, params, body) ->
+          Some (compile_decl cenv name, compile_function cenv ~fname:name params body)
+        | _ -> None)
+      stmts
+  in
+  let cstmts = Array.of_list (List.map (compile_stmt cenv) stmts) in
+  match hoisted with
+  | [] -> fun rt -> Array.iter (fun cs -> cs rt) cstmts
+  | hoisted ->
+    let hoisted = Array.of_list hoisted in
+    fun rt ->
+      Array.iter
+        (fun (decl, code) ->
+          run_decl decl rt
+            (Vfun (Compiled_fn { code; captured = rt.frames; cglobals = rt.globals })))
+        hoisted;
+      Array.iter (fun cs -> cs rt) cstmts
+
+and compile_function cenv ~fname params body : Value.compiled_code =
+  let si = { slots = Hashtbl.create 16; nslots = 0 } in
+  let param_slots = Array.of_list (List.map (slot_of si) params) in
+  List.iter (collect_stmt si) body;
+  let cbody = compile_body (si :: cenv) body in
+  let nslots = si.nslots in
+  let nparams = Array.length param_slots in
+  let ccall ctx ~this ~globals captured args =
+    (* The caller ([Interp.apply_fn]) has already charged the 4-unit
+       invocation fuel, for script and compiled functions alike. *)
+    let frame = Array.make nslots undeclared in
+    let argv = Array.of_list args in
+    let nargs = Array.length argv in
+    for i = 0 to nparams - 1 do
+      frame.(param_slots.(i)) <- (if i < nargs then argv.(i) else Vundefined)
+    done;
+    let rt = { ctx; globals; frames = frame :: captured; this } in
+    try
+      cbody rt;
+      Vundefined
+    with
+    | I.Return_exc v -> v
+    (* break/continue must not cross a function boundary *)
+    | I.Break_exc -> error "'break' outside of a loop"
+    | I.Continue_exc -> error "'continue' outside of a loop"
+  in
+  { cfname = fname; ccall }
+
+(* --- whole programs --------------------------------------------------- *)
+
+type citem = Cexpr of cexpr | Cstmt of cstmt
+
+type program = { hoisted : (string * Value.compiled_code) array; items : citem array }
+
+let compile (prog : Ast.program) : program =
+  let cenv : cenv = [] in
+  let hoisted =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.Sfunc (name, params, body) ->
+          Some (name, compile_function cenv ~fname:name params body)
+        | _ -> None)
+      prog
+  in
+  let items =
+    List.map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.Sexpr e -> Cexpr (compile_expr cenv e)
+        | _ -> Cstmt (compile_stmt cenv s))
+      prog
+  in
+  { hoisted = Array.of_list hoisted; items = Array.of_list items }
+
+let run ctx (p : program) : Value.t =
+  let rt = { ctx; globals = ctx.globals; frames = []; this = Vundefined } in
+  (* Toplevel: hoist functions, then run; remember last expression
+     value — mirroring [Interp.run], including its quirk of evaluating
+     toplevel expression statements without the per-statement fuel
+     charge. *)
+  Array.iter
+    (fun (name, code) ->
+      I.define_global ctx name
+        (Vfun (Compiled_fn { code; captured = []; cglobals = ctx.globals })))
+    p.hoisted;
+  let last = ref Vundefined in
+  (try
+     Array.iter
+       (function Cexpr ce -> last := ce rt | Cstmt cs -> cs rt)
+       p.items
+   with
+  | I.Return_exc v -> last := v
+  | I.Throw_exc v -> error "uncaught exception: %s" (to_string v)
+  | I.Break_exc -> error "'break' outside of a loop"
+  | I.Continue_exc -> error "'continue' outside of a loop");
+  !last
+
+(* --- the compiled-program cache --------------------------------------- *)
+
+(* Keyed by SHA-256 of the script body: the client wall, a site script
+   and the server wall are each parsed and compiled once per process,
+   no matter how many stages or simulated nodes load them (§4's context
+   amortization taken one step further). Only successful compilations
+   are cached — failing scripts are negative-cached upstream by the
+   node. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache : (string, program) Hashtbl.t = Hashtbl.create 64
+
+let cache_hits = ref 0
+
+let cache_misses = ref 0
+
+let max_cache_entries = 1024
+
+let cache_stats () =
+  { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache }
+
+let cache_clear () = Hashtbl.reset cache
+
+let get_program ?on_cache source =
+  let key = Nk_crypto.Sha256.digest source in
+  match Hashtbl.find_opt cache key with
+  | Some p ->
+    incr cache_hits;
+    (match on_cache with Some f -> f `Hit | None -> ());
+    p
+  | None ->
+    incr cache_misses;
+    (match on_cache with Some f -> f `Miss | None -> ());
+    let p = compile (Parser.parse source) in
+    (* Crude but sufficient bound: the working set is a handful of wall
+       and site scripts; a pathological flood of distinct bodies just
+       flushes the table. *)
+    if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+    Hashtbl.replace cache key p;
+    p
+
+let run_string ?on_cache ctx source = run ctx (get_program ?on_cache source)

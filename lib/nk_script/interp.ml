@@ -1,6 +1,6 @@
 open Value
 
-type ctx = {
+type ctx = Value.ctx = {
   globals : Value.scope;
   max_fuel : int;
   max_heap : int;
@@ -10,9 +10,9 @@ type ctx = {
   mutable usage_observer : (fuel:int -> heap:int -> unit) option;
 }
 
-exception Resource_exhausted of string
+exception Resource_exhausted = Value.Resource_exhausted
 
-exception Terminated
+exception Terminated = Value.Terminated
 
 (* Non-local control flow inside the evaluator. *)
 exception Return_exc of Value.t
@@ -91,7 +91,11 @@ let declare env name v =
 let str_index s i = if i >= 0 && i < String.length s then Vstr (String.make 1 s.[i]) else Vundefined
 
 let string_method ctx s name args =
-  let arg i = match List.nth_opt args i with Some v -> v | None -> Vundefined in
+  (* One-shot array view: indexed argument access is O(1) instead of a
+     List.nth walk per access. *)
+  let argv = Array.of_list args in
+  let nargs = Array.length argv in
+  let arg i = if i < nargs then argv.(i) else Vundefined in
   let iarg i = to_int (arg i) in
   let sarg i = to_string (arg i) in
   let ret v =
@@ -111,7 +115,7 @@ let string_method ctx s name args =
     let len = String.length s in
     let clamp i = if i < 0 then max 0 (len + i) else min i len in
     let a = clamp (iarg 0) in
-    let b = if List.length args > 1 then clamp (iarg 1) else len in
+    let b = if nargs > 1 then clamp (iarg 1) else len in
     let a, b = if a <= b then (a, b) else (b, a) in
     ret (Vstr (String.sub s a (b - a)))
   | "split" ->
@@ -149,7 +153,9 @@ let string_method ctx s name args =
   | _ -> error "string has no method '%s'" name
 
 let bytes_method ctx b name args =
-  let arg i = match List.nth_opt args i with Some v -> v | None -> Vundefined in
+  let argv = Array.of_list args in
+  let nargs = Array.length argv in
+  let arg i = if i < nargs then argv.(i) else Vundefined in
   match name with
   | "append" ->
     let s =
@@ -169,7 +175,7 @@ let bytes_method ctx b name args =
     let len = b.blen in
     let clamp i = if i < 0 then max 0 (len + i) else min i len in
     let a = clamp (to_int (arg 0)) in
-    let e = if List.length args > 1 then clamp (to_int (arg 1)) else len in
+    let e = if nargs > 1 then clamp (to_int (arg 1)) else len in
     let a, e = if a <= e then (a, e) else (e, a) in
     let v = Vbytes (bytes_of_string (Bytes.sub_string b.data a (e - a))) in
     charge_alloc ctx v;
@@ -208,11 +214,11 @@ let rec eval ctx env (e : Ast.expr) : Value.t =
     let v = Vfun (Script_fn { params; body; closure = env.scopes; fname = "<anonymous>" }) in
     charge_alloc ctx v;
     v
-  | Ast.Member (obj_e, name) -> member_get ctx env (eval ctx env obj_e) name
+  | Ast.Member (obj_e, name) -> member_get ctx (eval ctx env obj_e) name
   | Ast.Index (obj_e, idx_e) ->
     let obj = eval ctx env obj_e in
     let idx = eval ctx env idx_e in
-    index_get ctx env obj idx
+    index_get ctx obj idx
   | Ast.Call (f_e, arg_es) -> eval_call ctx env f_e arg_es
   | Ast.New (ctor_e, arg_es) ->
     let ctor = eval ctx env ctor_e in
@@ -296,7 +302,7 @@ and compare_values a b test =
     let x = to_number a and y = to_number b in
     if Float.is_nan x || Float.is_nan y then Vbool false else Vbool (test (compare x y))
 
-and member_get ctx env obj name =
+and member_get ctx obj name =
   match obj with
   | Vobj o -> obj_get o name
   | Vstr s -> (
@@ -310,12 +316,14 @@ and member_get ctx env obj name =
   | Varr a -> (
     match name with
     | "length" -> Vnum (float_of_int a.len)
-    | _ -> native name (fun _ args -> array_method ctx env a name args))
+    | _ -> native name (fun _ args -> array_method ctx a name args))
   | Vnull | Vundefined -> error "cannot read property '%s' of %s" name (to_string obj)
   | Vnum _ | Vbool _ | Vfun _ -> Vundefined
 
-and array_method ctx env a name args =
-  let arg i = match List.nth_opt args i with Some v -> v | None -> Vundefined in
+and array_method ctx a name args =
+  let argv = Array.of_list args in
+  let nargs = Array.length argv in
+  let arg i = if i < nargs then argv.(i) else Vundefined in
   let ret v =
     charge_alloc ctx v;
     v
@@ -356,7 +364,7 @@ and array_method ctx env a name args =
   | "slice" ->
     let clamp i = if i < 0 then max 0 (a.len + i) else min i a.len in
     let s = clamp (to_int (arg 0)) in
-    let e = if List.length args > 1 then clamp (to_int (arg 1)) else a.len in
+    let e = if nargs > 1 then clamp (to_int (arg 1)) else a.len in
     let e = max s e in
     ret (Varr (new_arr (Array.to_list (Array.sub a.items s (e - s)))))
   | "concat" ->
@@ -403,38 +411,57 @@ and array_method ctx env a name args =
     Array.sort cmp items;
     Array.blit items 0 a.items 0 a.len;
     Varr a
-  | _ ->
-    ignore env;
-    error "array has no method '%s'" name
+  | _ -> error "array has no method '%s'" name
 
-and index_get ctx env obj idx =
+and index_get ctx obj idx =
   match obj with
   | Varr a -> (
     match idx with
     | Vnum n when Float.is_integer n -> arr_get a (int_of_float n)
-    | _ -> member_get ctx env obj (to_string idx))
+    | _ -> member_get ctx obj (to_string idx))
   | Vstr s -> (
     match idx with
     | Vnum n when Float.is_integer n -> str_index s (int_of_float n)
-    | _ -> member_get ctx env obj (to_string idx))
+    | _ -> member_get ctx obj (to_string idx))
   | Vbytes b -> (
     match idx with
     | Vnum n when Float.is_integer n ->
       let i = int_of_float n in
       if i >= 0 && i < b.blen then Vnum (float_of_int (Char.code (Bytes.get b.data i)))
       else Vundefined
-    | _ -> member_get ctx env obj (to_string idx))
+    | _ -> member_get ctx obj (to_string idx))
   | Vobj o -> obj_get o (to_string idx)
   | _ -> error "cannot index a %s" (type_name obj)
+
+and member_set obj name value =
+  match obj with
+  | Vobj o -> obj_set o name value
+  | v -> error "cannot set property '%s' on a %s" name (type_name v)
+
+and index_set obj idx value =
+  match obj with
+  | Varr a -> (
+    match idx with
+    | Vnum n when Float.is_integer n && n >= 0.0 -> arr_set a (int_of_float n) value
+    | _ -> error "bad array index %s" (to_string idx))
+  | Vobj o -> obj_set o (to_string idx) value
+  | Vbytes b -> (
+    match idx with
+    | Vnum n when Float.is_integer n ->
+      let i = int_of_float n in
+      if i < 0 || i >= b.blen then error "bytearray index %d out of bounds" i;
+      Bytes.set b.data i (Char.chr (to_int value land 0xFF))
+    | _ -> error "bad bytearray index %s" (to_string idx))
+  | v -> error "cannot index-assign a %s" (type_name v)
 
 and read_lvalue ctx env = function
   | Ast.Lident name -> (
     match lookup env name with Some r -> !r | None -> Vundefined)
-  | Ast.Lmember (obj_e, name) -> member_get ctx env (eval ctx env obj_e) name
+  | Ast.Lmember (obj_e, name) -> member_get ctx (eval ctx env obj_e) name
   | Ast.Lindex (obj_e, idx_e) ->
     let obj = eval ctx env obj_e in
     let idx = eval ctx env idx_e in
-    index_get ctx env obj idx
+    index_get ctx obj idx
 
 and write_lvalue ctx env lv value =
   match lv with
@@ -444,44 +471,31 @@ and write_lvalue ctx env lv value =
     | None ->
       (* Assignment to an undeclared name creates a global, as in JS. *)
       Hashtbl.replace ctx.globals name (ref value))
-  | Ast.Lmember (obj_e, name) -> (
-    match eval ctx env obj_e with
-    | Vobj o -> obj_set o name value
-    | v -> error "cannot set property '%s' on a %s" name (type_name v))
-  | Ast.Lindex (obj_e, idx_e) -> (
+  | Ast.Lmember (obj_e, name) -> member_set (eval ctx env obj_e) name value
+  | Ast.Lindex (obj_e, idx_e) ->
     let obj = eval ctx env obj_e in
     let idx = eval ctx env idx_e in
-    match obj with
-    | Varr a -> (
-      match idx with
-      | Vnum n when Float.is_integer n && n >= 0.0 -> arr_set a (int_of_float n) value
-      | _ -> error "bad array index %s" (to_string idx))
-    | Vobj o -> obj_set o (to_string idx) value
-    | Vbytes b -> (
-      match idx with
-      | Vnum n when Float.is_integer n ->
-        let i = int_of_float n in
-        if i < 0 || i >= b.blen then error "bytearray index %d out of bounds" i;
-        Bytes.set b.data i (Char.chr (to_int value land 0xFF))
-      | _ -> error "bad bytearray index %s" (to_string idx))
-    | v -> error "cannot index-assign a %s" (type_name v))
+    index_set obj idx value
+
+and invoke_method ctx obj name args =
+  (* Method call: bind [this] and route primitive builtins. *)
+  match obj with
+  | Vobj o -> (
+    match obj_get o name with
+    | Vfun _ as f -> apply_fn ctx ~this:obj f args
+    | Vundefined -> error "object has no method '%s'" name
+    | v -> error "property '%s' is not a function (%s)" name (type_name v))
+  | Vstr s -> string_method ctx s name args
+  | Vbytes b -> bytes_method ctx b name args
+  | Varr a -> array_method ctx a name args
+  | v -> error "cannot call method '%s' on a %s" name (type_name v)
 
 and eval_call ctx env f_e arg_es =
   match f_e.Ast.desc with
-  | Ast.Member (obj_e, name) -> (
-    (* Method call: bind [this] and route primitive builtins. *)
+  | Ast.Member (obj_e, name) ->
     let obj = eval ctx env obj_e in
     let args = List.map (eval ctx env) arg_es in
-    match obj with
-    | Vobj o -> (
-      match obj_get o name with
-      | Vfun _ as f -> apply_fn ctx ~this:obj f args
-      | Vundefined -> error "object has no method '%s'" name
-      | v -> error "property '%s' is not a function (%s)" name (type_name v))
-    | Vstr s -> string_method ctx s name args
-    | Vbytes b -> bytes_method ctx b name args
-    | Varr a -> array_method ctx env a name args
-    | v -> error "cannot call method '%s' on a %s" name (type_name v))
+    invoke_method ctx obj name args
   | _ ->
     let f = eval ctx env f_e in
     let args = List.map (eval ctx env) arg_es in
@@ -491,11 +505,14 @@ and apply_fn ctx ~this f args =
   charge_fuel ctx 4;
   match f with
   | Vfun (Native_fn nf) -> nf.call (if this = Vundefined then None else Some this) args
+  | Vfun (Compiled_fn cf) -> cf.code.ccall ctx ~this ~globals:cf.cglobals cf.captured args
   | Vfun (Script_fn sf) ->
     let frame : Value.scope = Hashtbl.create 8 in
+    let argv = Array.of_list args in
+    let nargs = Array.length argv in
     List.iteri
       (fun i param ->
-        let v = match List.nth_opt args i with Some v -> v | None -> Vundefined in
+        let v = if i < nargs then argv.(i) else Vundefined in
         Hashtbl.replace frame param (ref v))
       sf.params;
     let env = { scopes = frame :: sf.closure; this } in
@@ -595,7 +612,7 @@ and exec_stmt ctx env (s : Ast.stmt) =
 and eval_new ctx ctor args =
   match ctor with
   | Vfun (Native_fn nf) -> nf.call None args
-  | Vfun (Script_fn _) -> (
+  | Vfun (Script_fn _ | Compiled_fn _) -> (
     let o = new_obj () in
     charge_alloc ctx (Vobj o);
     match apply_fn ctx ~this:(Vobj o) ctor args with
@@ -632,3 +649,5 @@ let run ctx program =
 let run_string ctx src = run ctx (Parser.parse src)
 
 let apply ctx ?(this = Vundefined) f args = apply_fn ctx ~this f args
+
+let construct = eval_new

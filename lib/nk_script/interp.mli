@@ -6,7 +6,11 @@
     [heap_used] for congestion accounting and calls [kill] to terminate
     a pipeline mid-execution. *)
 
-type ctx
+type ctx = Value.ctx
+(** The concrete record lives in {!Value} so that compiled closures
+    ({!Value.compiled_fn}, produced by {!Compile}) can reference the
+    context without a dependency cycle. Treat it as abstract: use the
+    accessors below. *)
 
 exception Resource_exhausted of string
 (** Fuel or heap limit exceeded. *)
@@ -24,9 +28,16 @@ val get_global : ctx -> string -> Value.t option
 val remove_global : ctx -> string -> unit
 
 val run : ctx -> Ast.program -> Value.t
-(** Execute a program; returns the value of the final expression
-    statement ([Vundefined] when none). Raises [Value.Script_error] for
-    runtime errors and the sandbox exceptions above. *)
+(** Execute a program with the reference tree-walking evaluator;
+    returns the value of the final expression statement ([Vundefined]
+    when none). Raises [Value.Script_error] for runtime errors and the
+    sandbox exceptions above.
+
+    Production paths (stages, [evalScript], NKP) run scripts through
+    {!Compile} instead, which executes pre-compiled closures with
+    identical semantics and identical fuel/heap accounting; the
+    tree-walker remains the executable specification the differential
+    tests compare against. *)
 
 val run_string : ctx -> string -> Value.t
 (** Parse then [run]. Also raises [Parser.Parse_error] /
@@ -59,3 +70,45 @@ val kill : ctx -> unit
 (** Make the next evaluation step raise [Terminated]. *)
 
 val revive : ctx -> unit
+
+(** {1 Shared runtime surface}
+
+    The value-level operations of the evaluator, exposed so that
+    {!Compile}'s generated closures execute the very same code (and
+    therefore charge the very same fuel and heap) as the tree-walker.
+    Not intended for general use. *)
+
+exception Return_exc of Value.t
+(** Non-local control flow inside the evaluator; shared with compiled
+    code so [return] / [break] / [continue] / [throw] cross between
+    compiled and interpreted frames transparently. *)
+
+exception Break_exc
+
+exception Continue_exc
+
+exception Throw_exc of Value.t
+
+val charge_fuel : ctx -> int -> unit
+(** [consume_fuel] without the non-negativity clamp: one unit per AST
+    node, exactly as the tree-walker charges. *)
+
+val charge_alloc : ctx -> Value.t -> unit
+(** Charge [Value.alloc_size v] against the heap limit. *)
+
+val eval_binop : ctx -> Ast.binop -> Value.t -> Value.t -> Value.t
+
+val member_get : ctx -> Value.t -> string -> Value.t
+
+val member_set : Value.t -> string -> Value.t -> unit
+
+val index_get : ctx -> Value.t -> Value.t -> Value.t
+
+val index_set : Value.t -> Value.t -> Value.t -> unit
+
+val invoke_method : ctx -> Value.t -> string -> Value.t list -> Value.t
+(** Method-call dispatch: [o.m(args)] on objects, strings, byte arrays
+    and arrays, with [this] bound for script functions. *)
+
+val construct : ctx -> Value.t -> Value.t list -> Value.t
+(** The [new] protocol. *)

@@ -19,7 +19,7 @@ and arr = { mutable items : t array; mutable len : int }
 
 and bytebuf = { mutable data : Bytes.t; mutable blen : int }
 
-and func = Script_fn of script_fn | Native_fn of native_fn
+and func = Script_fn of script_fn | Native_fn of native_fn | Compiled_fn of compiled_fn
 
 and script_fn = {
   params : string list;
@@ -31,9 +31,40 @@ and script_fn = {
 and native_fn = { nname : string; call : t option -> t list -> t }
 (* [call this args]; raises Script_error on misuse. *)
 
+and compiled_fn = { code : compiled_code; captured : t array list; cglobals : scope }
+(* A closure produced by [Compile]: static code shared by every closure
+   over the same function body, plus the enclosing frames (innermost
+   first) and the *defining* context's globals — the tree-walker's
+   [closure] list always ends with the defining globals, and the
+   compiled form preserves that even if the value crosses contexts. *)
+
+and compiled_code = {
+  cfname : string;
+  ccall : ctx -> this:t -> globals:scope -> t array list -> t list -> t;
+  (* [ccall ctx ~this ~globals captured args]: fuel/heap are charged to
+     [ctx] (the *calling* context, as in the tree-walker). *)
+}
+
 and scope = (string, t ref) Hashtbl.t
 
+and ctx = {
+  globals : scope;
+  max_fuel : int;
+  max_heap : int;
+  mutable fuel_used : int;
+  mutable heap_used : int;
+  mutable killed : bool;
+  mutable usage_observer : (fuel:int -> heap:int -> unit) option;
+}
+(* The sandboxed scripting context. Defined here (rather than in
+   [Interp]) so compiled code in [Compile] can close over it; [Interp]
+   re-exports it and owns the public API. *)
+
 exception Script_error of string
+
+exception Resource_exhausted of string
+
+exception Terminated
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Script_error msg)) fmt
 
@@ -115,6 +146,7 @@ let rec to_string = function
   | Vobj _ -> "[object Object]"
   | Varr a -> String.concat "," (List.map to_string (arr_to_list a))
   | Vfun (Script_fn f) -> Printf.sprintf "function %s() { ... }" f.fname
+  | Vfun (Compiled_fn f) -> Printf.sprintf "function %s() { ... }" f.code.cfname
   | Vfun (Native_fn f) -> Printf.sprintf "function %s() { [native code] }" f.nname
 
 let to_number = function

@@ -4,6 +4,6 @@ let install ctx =
   Nk_script.Interp.define_global ctx "evalScript"
     (native "evalScript" (fun _ args ->
          let code = match args with v :: _ -> to_string v | [] -> "" in
-         try Nk_script.Interp.run_string ctx code with
+         try Nk_script.Compile.run_string ctx code with
          | Nk_script.Parser.Parse_error (msg, _) -> error "evalScript: parse error: %s" msg
          | Nk_script.Lexer.Lex_error (msg, _) -> error "evalScript: lex error: %s" msg))

@@ -6,6 +6,7 @@ let () =
       ("regex", Test_regex.suite);
       ("http", Test_http.suite);
       ("script", Test_script.suite);
+      ("compile", Test_compile.suite);
       ("policy", Test_policy.suite);
       ("sim", Test_sim.suite);
       ("cache", Test_cache.suite);

@@ -407,6 +407,37 @@ p.register();
     Alcotest.(check string) "body" "teapot" (Body.to_string resp.Message.resp_body)
   | _ -> Alcotest.fail "expected response"
 
+let test_run_handler_return_value_headers () =
+  (* The returned object's [headers] field must survive into the built
+     response (it used to be silently dropped). *)
+  let stage =
+    stage_of
+      {|
+var p = new Policy();
+p.onRequest = function() {
+  return {
+    status: 301,
+    contentType: "text/plain",
+    body: "moved",
+    headers: { "Location": "http://b.org/", "X-Nakika-Stage": "wall", "X-Hops": 3 }
+  };
+}
+p.register();
+|}
+  in
+  let policy = Option.get (Stage.select stage (req "http://a.org/")) in
+  let handler = Option.get policy.Core.Policy.Policy.on_request in
+  match run_handler stage ~this_request:(req "http://a.org/") ~response:None handler with
+  | Ok (Some resp) ->
+    let header name = Headers.get resp.Message.resp_headers name in
+    Alcotest.(check int) "status" 301 resp.Message.status;
+    Alcotest.(check (option string)) "location" (Some "http://b.org/") (header "Location");
+    Alcotest.(check (option string)) "custom" (Some "wall") (header "X-Nakika-Stage");
+    Alcotest.(check (option string)) "number coerced" (Some "3") (header "X-Hops");
+    Alcotest.(check (option string))
+      "contentType stays authoritative" (Some "text/plain") (header "Content-Type")
+  | _ -> Alcotest.fail "expected response"
+
 let suite =
   [
     Alcotest.test_case "stage: script evaluation registers policies" `Quick
@@ -439,4 +470,6 @@ let suite =
     Alcotest.test_case "esi: fragment assembly" `Quick test_esi_stage;
     Alcotest.test_case "handlers may return response objects" `Quick
       test_run_handler_return_value_response;
+    Alcotest.test_case "returned response objects carry headers" `Quick
+      test_run_handler_return_value_headers;
   ]
