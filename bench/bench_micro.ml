@@ -124,6 +124,15 @@ let tests =
              ignore
                (Core.Script.Compile.run (fresh_ctx ())
                   (Core.Script.Compile.compile (Core.Script.Parser.parse workload_script)))));
+      (* L1: admission-time lint — a full four-pass analysis versus the
+         SHA-256 report cache hit a recurring stage build pays. *)
+      Test.make ~name:"L1: analyze handler script (uncached)"
+        (Staged.stage (fun () ->
+             Core.Analysis.Analysis.cache_clear ();
+             ignore (Core.Analysis.Analysis.analyze_source workload_script)));
+      Test.make ~name:"L1: analyze handler script (cached)"
+        (Staged.stage (fun () ->
+             ignore (Core.Analysis.Analysis.analyze_source workload_script)));
       Test.make ~name:"T2: proxy cache hit"
         (Staged.stage (fun () -> Core.Cache.Http_cache.lookup cache_for_bench ~now:1.0 ~key:"bench"));
       Test.make ~name:"F7: parse+render lecture XML"

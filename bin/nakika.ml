@@ -7,6 +7,8 @@
 
      nakika exec SCRIPT.js          run a script in a sandboxed context
      nakika policies SCRIPT.js      show the policies a script registers
+     nakika lint SCRIPT.js          static analysis: scope, call shapes,
+                                    cost bounds, taint (exit 0/1/2)
      nakika fmt SCRIPT.js           pretty-print a script in canonical form
      nakika nkp PAGE.nkp            render a Na Kika Page
      nakika demo                    run a small end-to-end deployment
@@ -263,6 +265,105 @@ let trace_cmd =
           (cache lookup, policy match, pipeline stages, origin fetches).")
     Term.(const run $ slowest_arg)
 
+let lint_cmd =
+  let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics and cost bounds as JSON.")
+  in
+  let errors_only_arg =
+    Arg.(
+      value & flag
+      & info [ "errors-only" ]
+          ~doc:
+            "Report only error-severity diagnostics; warnings neither print nor \
+             affect the exit code.")
+  in
+  let module D = Core.Analysis.Diagnostic in
+  let module J = Core.Vocab.Json in
+  let severity_of d = D.severity_label d.D.severity in
+  let json_of_diag (d : D.t) =
+    J.Obj
+      [
+        ("severity", J.Str (severity_of d));
+        ("code", J.Str d.D.code);
+        ("line", J.Num (float_of_int d.D.pos.Core.Script.Ast.line));
+        ("col", J.Num (float_of_int d.D.pos.Core.Script.Ast.col));
+        ("message", J.Str d.D.message);
+      ]
+  in
+  let json_of_cost (it : Core.Analysis.Cost.item) =
+    let base =
+      [
+        ("name", J.Str it.Core.Analysis.Cost.name);
+        ("line", J.Num (float_of_int it.Core.Analysis.Cost.pos.Core.Script.Ast.line));
+      ]
+    in
+    match it.Core.Analysis.Cost.bound with
+    | Core.Analysis.Cost.Bounded { fuel; allocs } ->
+      J.Obj
+        (base
+        @ [
+            ("bound", J.Str "bounded");
+            ("fuel", J.Num (float_of_int fuel));
+            ("allocs", J.Num (float_of_int allocs));
+          ])
+    | Core.Analysis.Cost.Unbounded { reason; _ } ->
+      J.Obj (base @ [ ("bound", J.Str "unbounded"); ("reason", J.Str reason) ])
+  in
+  let run json errors_only paths =
+    (* Exit status: 0 clean, 1 warnings only, 2 any error. *)
+    let worst = ref 0 in
+    let docs =
+      List.map
+        (fun path ->
+          let report = Core.Analysis.Analysis.analyze_source (read_file path) in
+          let diags =
+            if errors_only then
+              List.filter
+                (fun (d : D.t) -> d.D.severity = D.Error)
+                report.Core.Analysis.Analysis.diagnostics
+            else report.Core.Analysis.Analysis.diagnostics
+          in
+          List.iter
+            (fun (d : D.t) ->
+              match d.D.severity with
+              | D.Error -> worst := 2
+              | D.Warning -> worst := max !worst 1
+              | D.Info -> ())
+            diags;
+          if not json then
+            List.iter
+              (fun d -> Printf.printf "%s:%s\n" path (D.to_string d))
+              diags;
+          J.Obj
+            [
+              ("file", J.Str path);
+              ( "errors",
+                J.Num (float_of_int (Core.Analysis.Analysis.errors report)) );
+              ( "warnings",
+                J.Num (float_of_int (Core.Analysis.Analysis.warnings report)) );
+              ("diagnostics", J.Arr (List.map json_of_diag diags));
+              ( "costs",
+                J.Arr (List.map json_of_cost report.Core.Analysis.Analysis.costs)
+              );
+            ])
+        paths
+    in
+    if json then print_endline (J.print (J.Arr docs))
+    else if !worst = 0 then
+      Printf.printf "%d file%s clean\n" (List.length paths)
+        (if List.length paths = 1 then "" else "s");
+    !worst
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze NKScript files: scope/resolution, builtin and \
+          vocabulary call shapes, per-handler cost bounds, and sensitive-header \
+          taint flows. Exit status is 0 when clean, 1 with warnings only, 2 with \
+          errors.")
+    Term.(const run $ json_arg $ errors_only_arg $ files_arg)
+
 let version_cmd =
   let run () =
     Printf.printf "nakika %s\n" Core.version;
@@ -279,6 +380,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            exec_cmd; policies_cmd; fmt_cmd; nkp_cmd; demo_cmd; stats_cmd; trace_cmd;
-            version_cmd;
+            exec_cmd; policies_cmd; lint_cmd; fmt_cmd; nkp_cmd; demo_cmd; stats_cmd;
+            trace_cmd; version_cmd;
           ]))

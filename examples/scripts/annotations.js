@@ -1,0 +1,40 @@
+var p = new Policy();
+p.url = ["notes.medcommunity.org"];
+// "The new service simply adjusts the request, including the URL, and
+// then schedules the original service after itself" (§3.1).
+p.nextStages = ["http://simm.med.nyu.edu/nakika.js"];
+p.onRequest = function() {
+  // Interpose: rewrite /simm/... to the original SIMM content.
+  var marker = "/simm/";
+  var at = Request.url.indexOf(marker);
+  if (at >= 0) {
+    var rest = Request.url.substring(at + marker.length);
+    Request.setUrl("http://simm.med.nyu.edu/" + rest);
+  }
+}
+p.onResponse = function() {
+  if (Response.contentType == null || Response.contentType.indexOf("text/html") < 0) { return; }
+  var body = "", c;
+  while ((c = Response.read()) != null) { body += c; }
+  // Inject stored post-it notes for this resource before </body>.
+  var notes = HardState.get("notes:" + Request.url);
+  var widget = "<aside class=\"postit\">" + ((notes == null) ? "no notes yet" : notes) + "</aside>";
+  body = body.replace("</body>", widget + "</body>");
+  // Keep readers on the annotated site: links point back to us.
+  body = body.replace("http://simm.med.nyu.edu/", "http://notes.medcommunity.org/simm/");
+  Response.write(body);
+}
+p.register();
+
+// Accept new annotations posted to /annotate?target=...&text=...
+var poster = new Policy();
+poster.url = ["notes.medcommunity.org/annotate"];
+poster.onRequest = function() {
+  var target = Request.query("target");
+  var text = Request.query("text");
+  var key = "notes:http://simm.med.nyu.edu/" + target;
+  var existing = HardState.get(key);
+  HardState.put(key, (existing == null) ? text : existing + " | " + text);
+  Request.respond(200, "text/plain", "noted");
+}
+poster.register();

@@ -1,0 +1,3 @@
+var p = new Policy();
+p.nextStages = ["http://policy.nakika.net/blocker.js"];
+p.register();

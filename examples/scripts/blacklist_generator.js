@@ -1,0 +1,17 @@
+var blacklist = fetchResource("http://policy.nakika.net/blacklist.txt");
+if (blacklist.status == 200) {
+  var entries = blacklist.body.split("\n");
+  for (var i = 0; i < entries.length; i++) {
+    var entry = entries[i].trim();
+    if (entry.length == 0) { continue; }
+    var code = "var b = new Policy();" +
+               "b.url = [\"" + entry + "\"];" +
+               "b.onRequest = function() { Request.terminate(403); };" +
+               "b.register();";
+    evalScript(code);
+  }
+}
+// Everything else passes.
+var pass = new Policy();
+pass.onRequest = function() { };
+pass.register();

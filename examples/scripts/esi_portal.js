@@ -1,0 +1,4 @@
+var p = new Policy();
+p.url = ["portal.example.edu"];
+p.nextStages = ["http://nakika.net/esi.js"];
+p.register();

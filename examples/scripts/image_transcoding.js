@@ -1,0 +1,31 @@
+var p = new Policy();
+p.url = ["photos.example.org"];
+p.headers = { "User-Agent": "Nokia" };
+p.onResponse = function() {
+  var type = ImageTransformer.type(Response.contentType);
+  if (type == null) { return; }
+
+  var cached = Cache.lookup("phone:" + Request.url);
+  if (cached != null) {
+    Response.setHeader("Content-Type", cached.contentType);
+    Response.write(cached.body);
+    return;
+  }
+
+  var buff = null, body = new ByteArray();
+  while ((buff = Response.read()) != null) { body.append(buff); }
+  var dim = ImageTransformer.dimensions(body, type);
+  if (dim.x > 176 || dim.y > 208) {
+    var img;
+    if (dim.x / 176 > dim.y / 208) {
+      img = ImageTransformer.transform(body, type, "jpeg", 176, dim.y / dim.x * 208);
+    } else {
+      img = ImageTransformer.transform(body, type, "jpeg", dim.x / dim.y * 176, 208);
+    }
+    Response.setHeader("Content-Type", "image/jpeg");
+    Response.setHeader("Content-Length", img.length);
+    Response.write(img);
+    Cache.store("phone:" + Request.url, "image/jpeg", img, 300);
+  }
+}
+p.register();

@@ -1,0 +1,8 @@
+var p = new Policy();
+p.url = ["www.example.edu"];
+p.onResponse = function() {
+  var body = "", chunk;
+  while ((chunk = Response.read()) != null) { body += chunk; }
+  Response.write(body.replace("from the origin", "from the edge"));
+}
+p.register();

@@ -39,6 +39,10 @@ module Http = Nk_http
 module Script = Nk_script
 (** NKScript: the sandboxed JavaScript-like interpreter. *)
 
+module Analysis = Nk_analysis
+(** nk_lint: admission-time static analysis of NKScript (scope,
+    call shapes, cost bounds, taint). *)
+
 module Vocab = Nk_vocab
 (** Vocabularies: Request/Response, ImageTransformer, Xml, Regex,
     System, Cache, HardState, Crypto, fetchResource. *)

@@ -1,0 +1,80 @@
+(* Facade for the static analyzer: run the four passes over a parsed
+   program (or source text) and cache the resulting report alongside the
+   SHA-256-keyed compile cache, so admission-time linting of the
+   recurring wall/site scripts costs one table lookup per stage build. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** sorted by position, then severity *)
+  costs : Cost.item list;  (** per-handler/per-function cost bounds *)
+}
+
+let errors r = Diagnostic.count Diagnostic.Error r.diagnostics
+
+let warnings r = Diagnostic.count Diagnostic.Warning r.diagnostics
+
+let clean r = errors r = 0
+
+let analyze (program : Nk_script.Ast.program) : report =
+  let model = Model.build program in
+  let scope_diags = Scope.check model in
+  let shape_diags = Callshape.check model in
+  let costs, cost_diags = Cost.analyze model in
+  let taint_diags = Taint.check model in
+  let diagnostics =
+    List.sort Diagnostic.compare
+      (scope_diags @ shape_diags @ cost_diags @ taint_diags)
+  in
+  { diagnostics; costs }
+
+(* A source that does not even parse gets a one-diagnostic report: the
+   caller decides whether that is fatal (strict node) or left for the
+   compile path to surface (permissive). *)
+let analyze_program_source source : report =
+  match Nk_script.Parser.parse source with
+  | program -> analyze program
+  | exception Nk_script.Parser.Parse_error (msg, pos) ->
+    {
+      diagnostics =
+        [ Diagnostic.error "parse-error" pos "parse error: %s" msg ];
+      costs = [];
+    }
+  | exception Nk_script.Lexer.Lex_error (msg, pos) ->
+    {
+      diagnostics = [ Diagnostic.error "parse-error" pos "lex error: %s" msg ];
+      costs = [];
+    }
+
+(* --- the report cache ----------------------------------------------- *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache : (string, report) Hashtbl.t = Hashtbl.create 64
+
+let cache_hits = ref 0
+
+let cache_misses = ref 0
+
+let max_cache_entries = 1024
+
+let cache_stats () =
+  { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache }
+
+let cache_clear () =
+  Hashtbl.reset cache;
+  cache_hits := 0;
+  cache_misses := 0
+
+let analyze_source ?on_cache source : report =
+  let key = Nk_crypto.Sha256.digest source in
+  match Hashtbl.find_opt cache key with
+  | Some r ->
+    incr cache_hits;
+    (match on_cache with Some f -> f `Hit | None -> ());
+    r
+  | None ->
+    incr cache_misses;
+    (match on_cache with Some f -> f `Miss | None -> ());
+    let r = analyze_program_source source in
+    if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+    Hashtbl.replace cache key r;
+    r

@@ -1,0 +1,216 @@
+(* Call-shape pass: arity/shape checks for calls into the builtin and
+   vocabulary surface, plus the Policy registration protocol.
+
+   All checks are syntactic and conservative: they only fire on direct
+   calls through an untouched global name ([Math.pow(...)], [new
+   Policy()]).  The moment a script re-binds a vocabulary global or
+   patches one of its members, every check routed through that name is
+   suppressed — the static model no longer describes the runtime
+   object. *)
+
+open Nk_script
+
+let arity_range min max =
+  match (min, max) with
+  | n, Some m when n = m -> string_of_int n
+  | n, Some m -> Printf.sprintf "%d..%d" n m
+  | n, None -> Printf.sprintf "at least %d" n
+
+let check_arity diags ~what ~strict ~min ~max nargs pos =
+  let bad = nargs < min || match max with Some m -> nargs > m | None -> false in
+  if bad then
+    diags :=
+      Diagnostic.make
+        (if strict then Diagnostic.Error else Diagnostic.Warning)
+        "bad-arity" pos "%s expects %s argument%s, got %d" what
+        (arity_range min max)
+        (if arity_range min max = "1" then "" else "s")
+        nargs
+      :: !diags
+
+let suggest_member ns m =
+  let lower = String.lowercase_ascii m in
+  List.find_opt
+    (fun candidate -> String.lowercase_ascii candidate = lower)
+    (Globals.member_names ns)
+
+(* A call through [ns.m] where [ns] is an untouched vocabulary global. *)
+let check_ns_call model diags ns m nargs pos =
+  match Globals.member ns m with
+  | Some (Globals.Fn { min; max; strict }) ->
+    check_arity diags ~what:(Printf.sprintf "%s.%s" ns m) ~strict ~min ~max nargs
+      pos
+  | Some (Globals.Ctor { min; max }) ->
+    check_arity diags
+      ~what:(Printf.sprintf "%s.%s" ns m)
+      ~strict:false ~min ~max nargs pos
+  | Some (Globals.Const | Globals.Ns _) ->
+    diags :=
+      Diagnostic.error "not-a-function" pos "'%s.%s' is not a function" ns m
+      :: !diags
+  | None ->
+    if not (Model.member_mutated model ns m) then
+      let hint =
+        match suggest_member ns m with
+        | Some c -> Printf.sprintf " (did you mean '%s'?)" c
+        | None -> ""
+      in
+      diags :=
+        Diagnostic.error "unknown-method" pos "'%s' has no method '%s'%s" ns m
+          hint
+        :: !diags
+
+let check_calls (model : Model.t) diags =
+  Model.iter_stmts
+    (fun _ -> ())
+    (fun (e : Ast.expr) ->
+      match e.Ast.desc with
+      | Ast.Call
+          ({ Ast.desc = Ast.Member ({ Ast.desc = Ast.Ident ns; _ }, m); _ }, args)
+        when Globals.member ns m <> None
+             || (match Globals.find ns with Some (Globals.Ns _) -> true | _ -> false)
+        ->
+        (* [register] on a policy variable etc. is not routed here: [ns]
+           must itself be a namespace global. *)
+        if Model.global_untouched model ns then
+          check_ns_call model diags ns m (List.length args) e.Ast.pos
+      | Ast.Call ({ Ast.desc = Ast.Ident f; _ }, args)
+        when Model.global_untouched model f -> (
+        match Globals.find f with
+        | Some (Globals.Fn { min; max; strict }) ->
+          check_arity diags ~what:f ~strict ~min ~max (List.length args)
+            e.Ast.pos
+        | Some (Globals.Ns _) ->
+          diags :=
+            Diagnostic.error "not-a-function" e.Ast.pos "'%s' is not a function"
+              f
+            :: !diags
+        | Some (Globals.Ctor _) | Some Globals.Const | None -> ())
+      | Ast.New ({ Ast.desc = Ast.Ident f; _ }, args)
+        when Model.global_untouched model f -> (
+        match Globals.find f with
+        | Some (Globals.Ctor { min; max }) ->
+          check_arity diags ~what:(Printf.sprintf "new %s" f) ~strict:false ~min
+            ~max (List.length args) e.Ast.pos
+        | Some (Globals.Fn { min; max; strict }) ->
+          (* [new] over a native falls back to a plain call. *)
+          check_arity diags ~what:(Printf.sprintf "new %s" f) ~strict ~min ~max
+            (List.length args) e.Ast.pos
+        | Some (Globals.Ns _) | Some Globals.Const ->
+          diags :=
+            Diagnostic.error "not-a-constructor" e.Ast.pos
+              "'%s' is not a constructor" f
+            :: !diags
+        | None -> ())
+      | _ -> ())
+    model.Model.program
+
+(* --- Policy registration shape -------------------------------------- *)
+
+let policy_fields =
+  [ "url"; "client"; "method"; "headers"; "onRequest"; "onResponse"; "nextStages" ]
+
+let handler_fields = [ "onRequest"; "onResponse" ]
+
+let predicate_fields = [ "url"; "client"; "method"; "nextStages" ]
+
+let rec literal_kind (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.String _ -> Some `Str
+  | Ast.Number _ -> Some `Num
+  | Ast.Bool _ -> Some `Bool
+  | Ast.Null | Ast.Undefined -> Some `Nullish
+  | Ast.Array_lit els -> Some (`Arr (List.filter_map literal_kind els))
+  | Ast.Object_lit fields ->
+    Some (`Obj (List.map (fun (k, v) -> (k, literal_kind v)) fields))
+  | Ast.Func _ -> Some `Fn
+  | _ -> None  (* dynamic: not checkable *)
+
+let check_policy diags (p : Model.policy_info) =
+  List.iter
+    (fun (field, value, pos) ->
+      if not (List.mem field policy_fields) then begin
+        let hint =
+          match
+            List.find_opt
+              (fun c ->
+                String.lowercase_ascii c = String.lowercase_ascii field)
+              policy_fields
+          with
+          | Some c -> Printf.sprintf " (did you mean '%s'?)" c
+          | None -> ""
+        in
+        diags :=
+          Diagnostic.warning "unknown-policy-field" pos
+            "policy field '%s' is not recognized%s" field hint
+          :: !diags
+      end
+      else if List.mem field handler_fields then begin
+        match literal_kind value with
+        | Some `Fn | Some `Nullish | None -> ()
+        | Some _ ->
+          diags :=
+            Diagnostic.error "bad-policy-field" pos
+              "policy field '%s' must be a function" field
+            :: !diags
+      end
+      else if List.mem field predicate_fields then begin
+        match literal_kind value with
+        | Some `Str | Some `Nullish | None -> ()
+        | Some (`Arr kinds) ->
+          if
+            List.exists (function `Str -> false | _ -> true) kinds
+          then
+            diags :=
+              Diagnostic.error "bad-policy-field" pos
+                "policy field '%s' must be a string or an array of strings"
+                field
+              :: !diags
+        | Some _ ->
+          diags :=
+            Diagnostic.error "bad-policy-field" pos
+              "policy field '%s' must be a string or an array of strings" field
+            :: !diags
+      end
+      else begin
+        (* headers: an object of header-name -> regex-string. *)
+        match literal_kind value with
+        | Some (`Obj fields) ->
+          if
+            List.exists
+              (fun (_, k) ->
+                match k with Some `Str | None -> false | Some _ -> true)
+              fields
+          then
+            diags :=
+              Diagnostic.error "bad-policy-field" pos
+                "policy field 'headers' values must be regex strings"
+              :: !diags
+        | Some `Nullish | None -> ()
+        | Some _ ->
+          diags :=
+            Diagnostic.error "bad-policy-field" pos
+              "policy field 'headers' must be an object of header regexes"
+            :: !diags
+      end;
+      (* Handlers are invoked with zero arguments. *)
+      match (List.mem field handler_fields, value.Ast.desc) with
+      | true, Ast.Func (param :: _, _) ->
+        diags :=
+          Diagnostic.warning "handler-params" pos
+            "%s handler is invoked with no arguments; parameter '%s' will be undefined"
+            field param
+          :: !diags
+      | _ -> ())
+    p.Model.fields;
+  if not p.Model.registered then
+    diags :=
+      Diagnostic.warning "unregistered-policy" p.Model.decl_pos
+        "policy '%s' is never registered" p.Model.var_name
+      :: !diags
+
+let check (model : Model.t) : Diagnostic.t list =
+  let diags = ref [] in
+  check_calls model diags;
+  List.iter (check_policy diags) model.Model.policies;
+  List.rev !diags

@@ -1,0 +1,350 @@
+(* Cost pass: a conservative per-handler upper bound on the fuel and
+   allocation events a handler invocation can charge, mirroring the
+   charge sites shared by [Interp] and [Compile] (1 fuel per expression
+   evaluation, 1 per statement, 4 per function application).  Allocs
+   count allocation *events* (literals, closures, [new], possible string
+   concatenation, native-call results), not bytes.
+
+   The estimate is [Bounded {fuel; allocs}] only when every reachable
+   loop has a constant trip count and every call resolves statically to
+   a native or to a named function with a bounded body (recursion is
+   detected with an in-progress set over the resolvable call graph —
+   a cycle anywhere makes every function on it [Unbounded]).  Two
+   deliberate assumptions keep the domain useful: method calls on
+   non-vocabulary receivers (string/array/bytes methods) are treated as
+   native-constant, and native vocabulary calls count as constant even
+   when, like [fetchResource], they suspend on I/O — the bound covers
+   the *script's* fuel/heap charges, which is what the resource monitor
+   meters. *)
+
+open Nk_script
+
+type bound =
+  | Bounded of { fuel : int; allocs : int }
+  | Unbounded of { reason : string; pos : Ast.pos }
+
+type item = { name : string; pos : Ast.pos; bound : bound }
+
+let cap = 1_000_000_000
+
+let sat x = if x < 0 || x > cap then cap else x
+
+let sat_add a b = sat (a + b)
+
+let sat_mul a b = if a = 0 || b = 0 then 0 else if a > cap / b then cap else a * b
+
+let bounded fuel allocs = Bounded { fuel = sat fuel; allocs = sat allocs }
+
+let ( +? ) a b =
+  match (a, b) with
+  | Bounded x, Bounded y ->
+    Bounded { fuel = sat_add x.fuel y.fuel; allocs = sat_add x.allocs y.allocs }
+  | (Unbounded _ as u), _ | _, (Unbounded _ as u) -> u
+
+let max_bound a b =
+  match (a, b) with
+  | Bounded x, Bounded y ->
+    Bounded { fuel = max x.fuel y.fuel; allocs = max x.allocs y.allocs }
+  | (Unbounded _ as u), _ | _, (Unbounded _ as u) -> u
+
+let scale n b =
+  match b with
+  | Bounded x -> Bounded { fuel = sat_mul n x.fuel; allocs = sat_mul n x.allocs }
+  | u -> u
+
+let unbounded reason pos = Unbounded { reason; pos }
+
+(* Does [body] write the loop variable [name]? *)
+let writes_var name body =
+  let found = ref false in
+  let check_lv = function Ast.Lident n when n = name -> found := true | _ -> () in
+  List.iter
+    (Model.iter_stmt ~enter_funcs:true
+       (fun _ -> ())
+       (fun (e : Ast.expr) ->
+         match e.Ast.desc with
+         | Ast.Assign (lv, _, _) | Ast.Incr (_, lv) | Ast.Decr (_, lv) ->
+           check_lv lv
+         | _ -> ()))
+    body;
+  !found
+
+(* Constant trip count of [for (var i = k0; i < k1; i++/i += ks)]. *)
+let const_for_trips init cond step body =
+  let init_var =
+    match init with
+    | Some { Ast.sdesc = Ast.Svar [ (i, Some { Ast.desc = Ast.Number k0; _ }) ]; _ } ->
+      Some (i, k0)
+    | Some
+        {
+          Ast.sdesc =
+            Ast.Sexpr
+              {
+                Ast.desc =
+                  Ast.Assign (Ast.Lident i, None, { Ast.desc = Ast.Number k0; _ });
+                _;
+              };
+          _;
+        } ->
+      Some (i, k0)
+    | _ -> None
+  in
+  match (init_var, cond, step) with
+  | ( Some (i, k0),
+      Some
+        {
+          Ast.desc =
+            Ast.Binop
+              ( ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op),
+                { Ast.desc = Ast.Ident ci; _ },
+                { Ast.desc = Ast.Number k1; _ } );
+          _;
+        },
+      Some stepe )
+    when ci = i && not (writes_var i body) -> (
+    let delta =
+      match stepe.Ast.desc with
+      | Ast.Incr (_, Ast.Lident si) when si = i -> Some 1.0
+      | Ast.Decr (_, Ast.Lident si) when si = i -> Some (-1.0)
+      | Ast.Assign (Ast.Lident si, Some Ast.Add, { Ast.desc = Ast.Number k; _ })
+        when si = i ->
+        Some k
+      | Ast.Assign (Ast.Lident si, Some Ast.Sub, { Ast.desc = Ast.Number k; _ })
+        when si = i ->
+        Some (-.k)
+      | _ -> None
+    in
+    match delta with
+    | None -> None
+    | Some d ->
+      let span =
+        match op with
+        | Ast.Lt -> if d > 0.0 then Some (ceil ((k1 -. k0) /. d)) else None
+        | Ast.Le -> if d > 0.0 then Some (floor ((k1 -. k0) /. d) +. 1.0) else None
+        | Ast.Gt -> if d < 0.0 then Some (ceil ((k1 -. k0) /. d)) else None
+        | Ast.Ge -> if d < 0.0 then Some (floor ((k1 -. k0) /. d) +. 1.0) else None
+        | _ -> None
+      in
+      Option.map
+        (fun t ->
+          if t <= 0.0 then 0
+          else if t >= float_of_int cap then cap
+          else int_of_float t)
+        span)
+  | _ -> None
+
+(* [env]: statically resolvable named functions, innermost first.
+   [visiting]: names on the current resolution path (cycle = recursion).
+   [memo]: per-analysis cache for toplevel functions. *)
+type cx = {
+  env : (string * (string list * Ast.stmt list)) list;
+  visiting : string list;
+  (* Memo keyed by physical body identity (names can shadow). *)
+  memo : (Ast.stmt list * bound) list ref;
+}
+
+let rec cost_expr cx (e : Ast.expr) : bound =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+  | Ast.Ident _ | Ast.This ->
+    bounded 1 0
+  | Ast.Array_lit els ->
+    List.fold_left (fun b x -> b +? cost_expr cx x) (bounded 1 1) els
+  | Ast.Object_lit fields ->
+    List.fold_left (fun b (_, v) -> b +? cost_expr cx v) (bounded 1 1) fields
+  | Ast.Func _ -> bounded 1 1 (* closure creation; the body costs at calls *)
+  | Ast.Member (obj, _) -> bounded 1 0 +? cost_expr cx obj
+  | Ast.Index (obj, idx) -> bounded 1 0 +? cost_expr cx obj +? cost_expr cx idx
+  | Ast.Call (callee, args) ->
+    let args_cost =
+      List.fold_left (fun b a -> b +? cost_expr cx a) (bounded 0 0) args
+    in
+    args_cost +? cost_callee cx callee pos
+  | Ast.New (callee, args) ->
+    let args_cost =
+      List.fold_left (fun b a -> b +? cost_expr cx a) (bounded 0 1) args
+    in
+    args_cost +? cost_callee cx callee pos
+  | Ast.Assign (lv, _, rhs) -> bounded 1 0 +? cost_lvalue cx lv +? cost_expr cx rhs
+  | Ast.Unop (_, x) -> bounded 1 0 +? cost_expr cx x
+  | Ast.Binop (Ast.Add, a, b) ->
+    (* [+] may concatenate strings: one allocation event. *)
+    bounded 1 1 +? cost_expr cx a +? cost_expr cx b
+  | Ast.Binop (_, a, b) -> bounded 1 0 +? cost_expr cx a +? cost_expr cx b
+  | Ast.Logical (_, a, b) ->
+    (* Upper bound: both operands. *)
+    bounded 1 0 +? cost_expr cx a +? cost_expr cx b
+  | Ast.Cond (c, t, e') ->
+    bounded 1 0 +? cost_expr cx c +? max_bound (cost_expr cx t) (cost_expr cx e')
+  | Ast.Incr (_, lv) | Ast.Decr (_, lv) -> bounded 1 0 +? cost_lvalue cx lv
+  | Ast.Delete (obj, _) -> bounded 1 0 +? cost_expr cx obj
+
+and cost_lvalue cx = function
+  | Ast.Lident _ -> bounded 0 0
+  | Ast.Lmember (obj, _) -> cost_expr cx obj
+  | Ast.Lindex (obj, idx) -> cost_expr cx obj +? cost_expr cx idx
+
+(* Cost of evaluating the callee and running the application itself
+   (apply charges 4 fuel; native results count one alloc event). *)
+and cost_callee cx (callee : Ast.expr) pos : bound =
+  match callee.Ast.desc with
+  | Ast.Ident "evalScript" ->
+    unbounded "evalScript executes dynamically generated code" pos
+  | Ast.Ident f -> (
+    match List.assoc_opt f cx.env with
+    | Some (_, body) -> bounded 5 0 +? cost_named cx f body
+    | None ->
+      if Globals.is_global f then bounded 5 1
+      else unbounded (Printf.sprintf "call through dynamic binding '%s'" f) pos)
+  | Ast.Member (obj, _) ->
+    (* Vocabulary/namespace natives and builtin string/array/bytes
+       methods: constant.  (A user closure stored on an object would
+       evade this; direct-call handlers are the supported idiom.) *)
+    bounded 6 1 +? cost_expr cx obj
+  | Ast.Func (_, body) -> bounded 5 1 +? cost_body cx body
+  | _ -> unbounded "call through a computed callee" pos
+
+and cost_named cx name body : bound =
+  if List.mem name cx.visiting then
+    unbounded
+      (Printf.sprintf "recursion involving '%s'" name)
+      (match body with s :: _ -> s.Ast.spos | [] -> { Ast.line = 0; col = 0 })
+  else
+    match List.find_opt (fun (b, _) -> b == body) !(cx.memo) with
+    | Some (_, b) -> b
+    | None ->
+      let b = cost_body { cx with visiting = name :: cx.visiting } body in
+      if cx.visiting = [] then cx.memo := (body, b) :: !(cx.memo);
+      b
+
+and cost_body cx body : bound =
+  (* Extend the environment with this body's own hoisted functions. *)
+  let env =
+    List.fold_left
+      (fun env (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.Sfunc (n, ps, b) -> (n, (ps, b)) :: env
+        | _ -> env)
+      cx.env body
+  in
+  cost_stmts { cx with env } body
+
+and cost_stmts cx stmts =
+  List.fold_left (fun b s -> b +? cost_stmt cx s) (bounded 0 0) stmts
+
+and cost_stmt cx (s : Ast.stmt) : bound =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> bounded 1 0 +? cost_expr cx e
+  | Ast.Svar bindings ->
+    List.fold_left
+      (fun b (_, init) ->
+        match init with Some e -> b +? cost_expr cx e | None -> b)
+      (bounded 1 0) bindings
+  | Ast.Sif (c, t, e) ->
+    bounded 1 0 +? cost_expr cx c +? max_bound (cost_stmts cx t) (cost_stmts cx e)
+  | Ast.Swhile _ -> unbounded "while loop with non-constant bound" pos
+  | Ast.Sdo_while _ -> unbounded "do-while loop with non-constant bound" pos
+  | Ast.Sfor (init, cond, step, body) -> (
+    match const_for_trips init cond step body with
+    | Some trips ->
+      let init_cost =
+        match init with Some i -> cost_stmt cx i | None -> bounded 0 0
+      in
+      let cond_cost =
+        match cond with Some c -> cost_expr cx c | None -> bounded 0 0
+      in
+      let step_cost =
+        match step with Some e -> cost_expr cx e | None -> bounded 0 0
+      in
+      bounded 1 0 +? init_cost
+      +? scale (trips + 1) cond_cost
+      +? scale trips (cost_stmts cx body +? step_cost)
+    | None -> unbounded "for loop with non-constant bounds" pos)
+  | Ast.Sfor_in (_, subject, body) -> (
+    let trips =
+      match subject.Ast.desc with
+      | Ast.Array_lit els -> Some (List.length els)
+      | Ast.Object_lit fields -> Some (List.length fields)
+      | _ -> None
+    in
+    match trips with
+    | Some n -> bounded 1 0 +? cost_expr cx subject +? scale n (cost_stmts cx body)
+    | None -> unbounded "for-in over a dynamic subject" pos)
+  | Ast.Sreturn v ->
+    bounded 1 0
+    +? (match v with Some e -> cost_expr cx e | None -> bounded 0 0)
+  | Ast.Sbreak | Ast.Scontinue -> bounded 1 0
+  | Ast.Sfunc _ -> bounded 1 1
+  | Ast.Sblock body -> bounded 1 0 +? cost_stmts cx body
+  | Ast.Sthrow e -> bounded 1 0 +? cost_expr cx e
+  | Ast.Stry (body, _, handler) ->
+    (* Upper bound: both the protected body and the handler. *)
+    bounded 1 0 +? cost_stmts cx body +? cost_stmts cx handler
+
+let analyze (model : Model.t) : item list * Diagnostic.t list =
+  let env =
+    Hashtbl.fold
+      (fun name (params, body, _) acc -> (name, (params, body)) :: acc)
+      model.Model.named_funcs []
+  in
+  let cx = { env; visiting = []; memo = ref [] } in
+  let items = ref [] in
+  (* Toplevel named functions (declarations and un-reassigned
+     [var f = function] bindings) in source order; each item covers one
+     invocation: the 4-fuel application charge plus the body. *)
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.Ast.sdesc with
+      | Ast.Sfunc (name, _, body) ->
+        items :=
+          { name; pos = s.Ast.spos; bound = bounded 4 0 +? cost_named cx name body }
+          :: !items
+      | Ast.Svar bindings ->
+        List.iter
+          (fun (name, init) ->
+            match init with
+            | Some { Ast.desc = Ast.Func (_, body); _ }
+              when Hashtbl.mem model.Model.named_funcs name ->
+              items :=
+                {
+                  name;
+                  pos = s.Ast.spos;
+                  bound = bounded 4 0 +? cost_named cx name body;
+                }
+                :: !items
+            | _ -> ())
+          bindings
+      | _ -> ())
+    model.Model.program;
+  (* Policy handlers: invocation (4 fuel) + body. *)
+  List.iter
+    (fun (p : Model.policy_info) ->
+      List.iter
+        (fun (field, (value : Ast.expr), pos) ->
+          match (field, value.Ast.desc) with
+          | ("onRequest" | "onResponse"), Ast.Func (_, body) ->
+            items :=
+              {
+                name = Printf.sprintf "%s.%s" p.Model.var_name field;
+                pos;
+                bound = bounded 4 0 +? cost_body cx body;
+              }
+              :: !items
+          | _ -> ())
+        p.Model.fields)
+    model.Model.policies;
+  let items = List.rev !items in
+  let diags =
+    List.filter_map
+      (fun it ->
+        match it.bound with
+        | Unbounded { reason; pos } ->
+          Some
+            (Diagnostic.info "cost-unbounded" pos
+               "execution cost of '%s' is unbounded: %s" it.name reason)
+        | Bounded _ -> None)
+      items
+  in
+  (items, diags)

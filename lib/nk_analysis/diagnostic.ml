@@ -1,0 +1,53 @@
+(* Structured, position-carrying lint diagnostics.
+
+   Every pass in the analyzer reports through this one type so that the
+   CLI, the node's admission gate, and the tests all consume the same
+   shape.  Severities follow the usual compiler convention:
+
+   - [Error]: the script will (or is overwhelmingly likely to) fail at
+     runtime — strict-mode nodes refuse to build a stage from it.
+   - [Warning]: suspicious but runnable; permissive nodes only count it.
+   - [Info]: advisory (e.g. an unbounded-cost note for a streaming
+     handler); never affects admission or CLI exit codes. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case code, e.g. ["undefined-var"] *)
+  pos : Nk_script.Ast.pos;
+  message : string;
+}
+
+let make severity code (pos : Nk_script.Ast.pos) fmt =
+  Printf.ksprintf (fun message -> { severity; code; pos; message }) fmt
+
+let error code pos fmt = make Error code pos fmt
+
+let warning code pos fmt = make Warning code pos fmt
+
+let info code pos fmt = make Info code pos fmt
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* Source order first, then severity, then code: a deterministic listing
+   that reads top-to-bottom like the script. *)
+let compare a b =
+  let c = Stdlib.compare (a.pos.Nk_script.Ast.line, a.pos.Nk_script.Ast.col)
+            (b.pos.Nk_script.Ast.line, b.pos.Nk_script.Ast.col) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c else Stdlib.compare (a.code, a.message) (b.code, b.message)
+
+let to_string d =
+  Printf.sprintf "%d:%d: %s[%s]: %s" d.pos.Nk_script.Ast.line
+    d.pos.Nk_script.Ast.col (severity_label d.severity) d.code d.message
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)

@@ -1,0 +1,127 @@
+(* The analyzer's model of the ambient environment a stage script runs
+   in: the language builtins ([Builtins.install]) plus the Na Kika
+   vocabulary ([Nk_vocab.Platform_v.install_all] + the per-request
+   [Request]/[Response] objects + [Policy] from the policy bridge).
+
+   Shapes record just enough structure for the scope and call-shape
+   passes: which names exist, which members a namespace object has, and
+   the argument count each callable accepts.  [strict] marks natives
+   that raise a script error on an arity mismatch (so the diagnostic is
+   an Error); lenient natives coerce missing args to [undefined] and the
+   mismatch is only a Warning. *)
+
+type shape =
+  | Fn of { min : int; max : int option; strict : bool }
+  | Ctor of { min : int; max : int option }  (** usable with [new] *)
+  | Ns of (string * shape) list  (** namespace object with fixed members *)
+  | Const  (** plain data member/global *)
+
+let fn ?(strict = false) min max = Fn { min; max; strict }
+
+let fn1 = fn 1 (Some 1)
+
+let math_shape =
+  Ns
+    [
+      ("floor", fn1); ("ceil", fn1); ("round", fn1); ("abs", fn1);
+      ("sqrt", fn1); ("log", fn1); ("exp", fn1);
+      ("pow", fn 2 (Some 2));
+      ("min", fn 0 None); ("max", fn 0 None);
+      ("random", fn 0 (Some 0));
+      ("PI", Const); ("E", Const);
+    ]
+
+(* Per-request objects installed by Http_v for each handler run. *)
+let request_shape =
+  Ns
+    [
+      ("url", Const); ("host", Const); ("path", Const); ("method", Const);
+      ("clientIP", Const);
+      ("header", fn1); ("setHeader", fn 2 (Some 2));
+      ("setUrl", fn1); ("setMethod", fn1);
+      ("cookie", fn1); ("query", fn1);
+      ("terminate", fn 0 (Some 1)); ("redirect", fn1);
+      ("respond", fn 3 (Some 3));
+    ]
+
+let response_shape =
+  Ns
+    [
+      ("status", Const); ("contentType", Const); ("contentLength", Const);
+      ("read", fn 0 (Some 0)); ("rewind", fn 0 (Some 0));
+      ("write", fn1); ("getHeader", fn1);
+      ("setHeader", fn 2 (Some 2)); ("setStatus", fn1);
+    ]
+
+let table : (string * shape) list =
+  [
+    (* --- language builtins (Builtins.install) --- *)
+    ("Math", math_shape);
+    ("String", fn1); ("Number", fn1); ("Boolean", fn1);
+    ("parseInt", fn1); ("parseFloat", fn1); ("isNaN", fn1);
+    (* ByteArray raises on more than one argument. *)
+    ("ByteArray", fn ~strict:true 0 (Some 1));
+    (* --- platform vocabulary (Platform_v) --- *)
+    ( "System",
+      Ns
+        [
+          ("isLocal", fn1); ("time", fn 0 (Some 0)); ("site", Const);
+          ("congestion", fn1); ("log", fn1);
+        ] );
+    ("Cache", Ns [ ("lookup", fn1); ("store", fn 3 (Some 4)) ]);
+    ( "HardState",
+      Ns
+        [
+          ("get", fn1); ("put", fn 2 (Some 2)); ("remove", fn1);
+          ("keys", fn 0 (Some 1));
+        ] );
+    ("Messages", Ns [ ("publish", fn 2 (Some 2)) ]);
+    ("Crypto", Ns [ ("sha256", fn1); ("hmac", fn 2 (Some 2)) ]);
+    ("Log", Ns [ ("enable", fn1) ]);
+    ("fetchResource", fn 1 (Some 3));
+    ("evalScript", fn1);
+    (* --- media/data vocabularies --- *)
+    ( "ImageTransformer",
+      Ns
+        [
+          ("type", fn1);
+          (* dimensions reads only its first arg but the shipped
+             examples pass (body, type); accept both. *)
+          ("dimensions", fn 1 (Some 2));
+          ("transform", fn 5 (Some 5)); ("mimeType", fn1);
+        ] );
+    ( "MovieTranscoder",
+      Ns
+        [
+          ("info", fn1); ("duration", fn1); ("bitrate", fn1);
+          ("transcode", fn 1 (Some 4));
+        ] );
+    ( "Xml",
+      Ns
+        [
+          ("parse", fn1); ("serialize", fn1); ("text", fn1);
+          ("findAll", fn 2 (Some 2)); ("toHtml", fn 2 (Some 2));
+          ("escape", fn1);
+        ] );
+    ( "Regex",
+      Ns
+        [
+          ("test", fn 2 (Some 2)); ("find", fn 2 (Some 2));
+          ("replace", fn 3 (Some 3)); ("split", fn 2 (Some 2));
+        ] );
+    ("JSON", Ns [ ("stringify", fn1); ("parse", fn1) ]);
+    (* --- policy bridge --- *)
+    ("Policy", Ctor { min = 0; max = Some 0 });
+    ("Request", request_shape);
+    ("Response", response_shape);
+  ]
+
+let find name = List.assoc_opt name table
+
+let is_global name = List.mem_assoc name table
+
+let member ns m =
+  match find ns with Some (Ns members) -> List.assoc_opt m members | _ -> None
+
+let member_names ns =
+  match find ns with Some (Ns members) -> List.map fst members | _ -> []

@@ -1,0 +1,230 @@
+(* Shared program facts computed once per analysis and consumed by the
+   individual passes: generic AST walkers, the set of names the script
+   assigns or shadows (used to suppress vocabulary checks on mutated
+   globals), toplevel named functions (the cost pass's call graph), and
+   the Policy-registration protocol ([var p = new Policy(); p.f = ...;
+   p.register()]) reconstructed syntactically. *)
+
+open Nk_script
+
+(* --- generic walkers ----------------------------------------------- *)
+
+(* Depth-first visit of every statement ([fs]) and expression ([fe]).
+   [enter_funcs] controls whether [Func]/[Sfunc] bodies are descended
+   into — passes that reason per-execution-context (scope, cost) recurse
+   themselves and use [enter_funcs:false]. *)
+let rec iter_expr ?(enter_funcs = true) ?(fs = fun (_ : Ast.stmt) -> ()) fe
+    (e : Ast.expr) =
+  fe e;
+  let go = iter_expr ~enter_funcs ~fs fe in
+  match e.Ast.desc with
+  | Ast.Number _ | Ast.String _ | Ast.Bool _ | Ast.Null | Ast.Undefined
+  | Ast.Ident _ | Ast.This ->
+    ()
+  | Ast.Array_lit els -> List.iter go els
+  | Ast.Object_lit fields -> List.iter (fun (_, v) -> go v) fields
+  | Ast.Func (_, body) -> if enter_funcs then iter_stmts ~enter_funcs fs fe body
+  | Ast.Member (obj, _) -> go obj
+  | Ast.Index (obj, idx) ->
+    go obj;
+    go idx
+  | Ast.Call (callee, args) ->
+    go callee;
+    List.iter go args
+  | Ast.New (callee, args) ->
+    go callee;
+    List.iter go args
+  | Ast.Assign (lv, _, rhs) ->
+    iter_lvalue ~enter_funcs ~fs fe lv;
+    go rhs
+  | Ast.Unop (_, x) -> go x
+  | Ast.Binop (_, a, b) | Ast.Logical (_, a, b) ->
+    go a;
+    go b
+  | Ast.Cond (c, t, e') ->
+    go c;
+    go t;
+    go e'
+  | Ast.Incr (_, lv) | Ast.Decr (_, lv) -> iter_lvalue ~enter_funcs ~fs fe lv
+  | Ast.Delete (obj, _) -> go obj
+
+and iter_lvalue ?(enter_funcs = true) ?(fs = fun (_ : Ast.stmt) -> ()) fe =
+  function
+  | Ast.Lident _ -> ()
+  | Ast.Lmember (obj, _) -> iter_expr ~enter_funcs ~fs fe obj
+  | Ast.Lindex (obj, idx) ->
+    iter_expr ~enter_funcs ~fs fe obj;
+    iter_expr ~enter_funcs ~fs fe idx
+
+and iter_stmt ?(enter_funcs = true) fs fe (s : Ast.stmt) =
+  fs s;
+  let goe = iter_expr ~enter_funcs ~fs fe in
+  let gos = iter_stmts ~enter_funcs fs fe in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> goe e
+  | Ast.Svar bindings -> List.iter (fun (_, init) -> Option.iter goe init) bindings
+  | Ast.Sif (c, t, e) ->
+    goe c;
+    gos t;
+    gos e
+  | Ast.Swhile (c, body) ->
+    goe c;
+    gos body
+  | Ast.Sdo_while (body, c) ->
+    gos body;
+    goe c
+  | Ast.Sfor (init, cond, step, body) ->
+    Option.iter (iter_stmt ~enter_funcs fs fe) init;
+    Option.iter goe cond;
+    Option.iter goe step;
+    gos body
+  | Ast.Sfor_in (_, subject, body) ->
+    goe subject;
+    gos body
+  | Ast.Sreturn v -> Option.iter goe v
+  | Ast.Sbreak | Ast.Scontinue -> ()
+  | Ast.Sfunc (_, _, body) -> if enter_funcs then gos body
+  | Ast.Sblock body -> gos body
+  | Ast.Sthrow e -> goe e
+  | Ast.Stry (body, _, handler) ->
+    gos body;
+    gos handler
+
+and iter_stmts ?(enter_funcs = true) fs fe stmts =
+  List.iter (iter_stmt ~enter_funcs fs fe) stmts
+
+(* --- policy protocol ------------------------------------------------ *)
+
+type policy_info = {
+  var_name : string;
+  decl_pos : Ast.pos;
+  mutable fields : (string * Ast.expr * Ast.pos) list;  (* assignment order *)
+  mutable registered : bool;
+}
+
+type t = {
+  program : Ast.program;
+  (* Toplevel [function f(..){..}] and [var f = function(..){..}]: the
+     resolvable call graph for the cost pass. *)
+  named_funcs : (string, string list * Ast.stmt list * Ast.pos) Hashtbl.t;
+  (* Lident targets of Assign/Incr/Decr anywhere (these create globals
+     at runtime when no binding exists). *)
+  assigned_names : (string, unit) Hashtbl.t;
+  (* [var]/for-in declared names anywhere in the program: a read outside
+     the must-set of such a name races its declaration rather than being
+     definitely unbound, so it demotes to a warning. *)
+  declared_vars : (string, unit) Hashtbl.t;
+  (* "ns.member" (and "ns.*" for computed writes) the script mutates:
+     suppresses unknown-method/arity checks on patched vocabulary. *)
+  mutated_members : (string, unit) Hashtbl.t;
+  (* Vocabulary globals the script re-declares or re-binds: suppresses
+     call-shape checks routed through them. *)
+  shadowed_globals : (string, unit) Hashtbl.t;
+  policies : policy_info list;
+}
+
+let is_policy_new (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.New ({ Ast.desc = Ast.Ident "Policy"; _ }, _) -> true
+  | _ -> false
+
+let build (program : Ast.program) : t =
+  let named_funcs = Hashtbl.create 16 in
+  let assigned_names = Hashtbl.create 16 in
+  let declared_vars = Hashtbl.create 16 in
+  let mutated_members = Hashtbl.create 16 in
+  let shadowed_globals = Hashtbl.create 16 in
+  let policies_rev = ref [] in
+  let find_policy name =
+    List.find_opt (fun p -> p.var_name = name) !policies_rev
+  in
+  let add_policy name pos =
+    if find_policy name = None then
+      policies_rev := { var_name = name; decl_pos = pos; fields = []; registered = false } :: !policies_rev
+  in
+  let shadow name = if Globals.is_global name then Hashtbl.replace shadowed_globals name () in
+  let record_lident_write name =
+    Hashtbl.replace assigned_names name ();
+    shadow name
+  in
+  let on_expr (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Assign (lv, _, rhs) -> (
+      (match lv with
+       | Ast.Lident name ->
+         record_lident_write name;
+         if is_policy_new rhs then add_policy name e.Ast.pos
+       | Ast.Lmember ({ Ast.desc = Ast.Ident obj; _ }, field) -> (
+         Hashtbl.replace mutated_members (obj ^ "." ^ field) ();
+         match find_policy obj with
+         | Some p -> p.fields <- p.fields @ [ (field, rhs, e.Ast.pos) ]
+         | None -> ())
+       | Ast.Lindex ({ Ast.desc = Ast.Ident obj; _ }, _) ->
+         Hashtbl.replace mutated_members (obj ^ ".*") ()
+       | _ -> ()))
+    | Ast.Incr (_, Ast.Lident name) | Ast.Decr (_, Ast.Lident name) ->
+      record_lident_write name
+    | Ast.Call ({ Ast.desc = Ast.Member ({ Ast.desc = Ast.Ident obj; _ }, "register"); _ }, _) -> (
+      match find_policy obj with
+      | Some p -> p.registered <- true
+      | None -> ())
+    | Ast.Func (params, _) -> List.iter shadow params
+    | Ast.Delete ({ Ast.desc = Ast.Ident obj; _ }, field) ->
+      Hashtbl.replace mutated_members (obj ^ "." ^ field) ()
+    | _ -> ()
+  in
+  let on_stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.Svar bindings ->
+      List.iter
+        (fun (name, init) ->
+          shadow name;
+          Hashtbl.replace declared_vars name ();
+          match init with
+          | Some e when is_policy_new e -> add_policy name s.Ast.spos
+          | _ -> ())
+        bindings
+    | Ast.Sfunc (name, params, _) ->
+      shadow name;
+      List.iter shadow params
+    | Ast.Sfor_in (name, _, _) ->
+      shadow name;
+      Hashtbl.replace declared_vars name ()
+    | Ast.Stry (_, name, _) -> shadow name
+    | _ -> ()
+  in
+  iter_stmts on_stmt on_expr program;
+  (* Toplevel call graph: direct Sfunc plus [var f = function]. *)
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.Ast.sdesc with
+      | Ast.Sfunc (name, params, body) ->
+        Hashtbl.replace named_funcs name (params, body, s.Ast.spos)
+      | Ast.Svar bindings ->
+        List.iter
+          (fun (name, init) ->
+            match init with
+            | Some { Ast.desc = Ast.Func (params, body); pos } ->
+              (* Only if never re-assigned elsewhere. *)
+              if not (Hashtbl.mem assigned_names name) then
+                Hashtbl.replace named_funcs name (params, body, pos)
+            | _ -> ())
+          bindings
+      | _ -> ())
+    program;
+  {
+    program;
+    named_funcs;
+    assigned_names;
+    declared_vars;
+    mutated_members;
+    shadowed_globals;
+    policies = List.rev !policies_rev;
+  }
+
+let member_mutated t ns field =
+  Hashtbl.mem t.mutated_members (ns ^ "." ^ field)
+  || Hashtbl.mem t.mutated_members (ns ^ ".*")
+
+let global_untouched t name =
+  not (Hashtbl.mem t.shadowed_globals name)

@@ -1,0 +1,175 @@
+(* Taint pass: the static complement of the paper's policy walls.  A
+   value read from a sensitive request field (Cookie / Authorization
+   headers, cookies) must not flow into a response body/header, an
+   outbound fetch, shared state, or the message bus — a handler doing
+   that exfiltrates per-user credentials to other clients or third
+   parties.
+
+   The analysis is a name-based flow-insensitive fixpoint: variables
+   assigned any expression derived from a source (or from an already
+   tainted variable) become tainted, program-wide, until the set stops
+   growing.  Derivation is syntactic closure: concatenation, member and
+   index access, method calls on tainted receivers, calls with tainted
+   arguments — anything a string transformation would preserve.  Sinks
+   are checked afterwards; each tainted argument reaching a sink yields
+   one Warning.  Warnings, not Errors: walls and redaction logic the
+   analyzer cannot see (e.g. hashing the cookie) are legitimate, so the
+   lint flags the flow for review rather than rejecting the script. *)
+
+open Nk_script
+
+let sensitive_headers = [ "cookie"; "authorization"; "proxy-authorization" ]
+
+(* [Request.header("Cookie")], [Request.cookie("sid")]. *)
+let source_of (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Call
+      ( { Ast.desc = Ast.Member ({ Ast.desc = Ast.Ident "Request"; _ }, "header"); _ },
+        [ { Ast.desc = Ast.String h; _ } ] )
+    when List.mem (String.lowercase_ascii h) sensitive_headers ->
+    Some (Printf.sprintf "Request.header(\"%s\")" h)
+  | Ast.Call
+      ({ Ast.desc = Ast.Member ({ Ast.desc = Ast.Ident "Request"; _ }, "cookie"); _ }, _)
+    ->
+    Some "Request.cookie(...)"
+  | _ -> None
+
+let sinks =
+  [
+    (("Response", "write"), "Response.write");
+    (("Response", "setHeader"), "Response.setHeader");
+    (("Request", "setHeader"), "Request.setHeader");
+    (("Request", "setUrl"), "Request.setUrl");
+    (("Request", "respond"), "Request.respond");
+    (("Request", "redirect"), "Request.redirect");
+    (("Cache", "store"), "Cache.store");
+    (("HardState", "put"), "HardState.put");
+    (("Messages", "publish"), "Messages.publish");
+  ]
+
+(* Is [e] (or any subexpression that contributes to its value) derived
+   from a source or a tainted variable? *)
+let rec tainted tvars (e : Ast.expr) : string option =
+  match source_of e with
+  | Some s -> Some s
+  | None -> (
+    match e.Ast.desc with
+    | Ast.Ident name -> Hashtbl.find_opt tvars name
+    | Ast.Member (obj, _) | Ast.Delete (obj, _) -> tainted tvars obj
+    | Ast.Index (obj, idx) -> first tvars [ obj; idx ]
+    | Ast.Call (callee, args) | Ast.New (callee, args) ->
+      first tvars (callee :: args)
+    | Ast.Assign (lv, _, rhs) -> (
+      match tainted tvars rhs with
+      | Some s -> Some s
+      | None -> (
+        match lv with
+        | Ast.Lident _ -> None
+        | Ast.Lmember (obj, _) -> tainted tvars obj
+        | Ast.Lindex (obj, idx) -> first tvars [ obj; idx ]))
+    | Ast.Unop (_, x) -> tainted tvars x
+    | Ast.Binop (_, a, b) | Ast.Logical (_, a, b) -> first tvars [ a; b ]
+    | Ast.Cond (c, t, e') -> first tvars [ c; t; e' ]
+    | Ast.Array_lit els -> first tvars els
+    | Ast.Object_lit fields -> first tvars (List.map snd fields)
+    | Ast.Incr (_, (Ast.Lmember (obj, _))) | Ast.Decr (_, (Ast.Lmember (obj, _))) ->
+      tainted tvars obj
+    | _ -> None)
+
+and first tvars = function
+  | [] -> None
+  | e :: rest -> ( match tainted tvars e with Some s -> Some s | None -> first tvars rest)
+
+let check (model : Model.t) : Diagnostic.t list =
+  let tvars : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  (* Fixpoint over variable assignments (program-wide, including inside
+     function bodies). *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    changed := false;
+    incr rounds;
+    let bind name e =
+      if not (Hashtbl.mem tvars name) then
+        match tainted tvars e with
+        | Some src ->
+          Hashtbl.replace tvars name src;
+          changed := true
+        | None -> ()
+    in
+    Model.iter_stmts
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with
+        | Ast.Svar bindings ->
+          List.iter (fun (n, init) -> Option.iter (bind n) init) bindings
+        | Ast.Sfor_in (n, subject, _) ->
+          (* Enumerating a tainted container taints the keys/elements
+             conservatively. *)
+          if Hashtbl.mem tvars n then ()
+          else (
+            match tainted tvars subject with
+            | Some src ->
+              Hashtbl.replace tvars n src;
+              changed := true
+            | None -> ())
+        | _ -> ())
+      (fun (e : Ast.expr) ->
+        match e.Ast.desc with
+        | Ast.Assign (Ast.Lident n, _, rhs) -> bind n rhs
+        | _ -> ())
+      model.Model.program
+  done;
+  let diags = ref [] in
+  let warn pos src sink =
+    diags :=
+      Diagnostic.warning "taint-flow" pos
+        "value derived from %s flows into %s" src sink
+      :: !diags
+  in
+  (* Sensitive values reaching vocabulary sinks. *)
+  Model.iter_stmts
+    (fun _ -> ())
+    (fun (e : Ast.expr) ->
+      match e.Ast.desc with
+      | Ast.Call
+          ({ Ast.desc = Ast.Member ({ Ast.desc = Ast.Ident ns; _ }, m); _ }, args)
+        -> (
+        match List.assoc_opt (ns, m) sinks with
+        | Some sink_name -> (
+          match first tvars args with
+          | Some src -> warn e.Ast.pos src sink_name
+          | None -> ())
+        | None -> ())
+      | Ast.Call ({ Ast.desc = Ast.Ident "fetchResource"; _ }, args) -> (
+        match first tvars args with
+        | Some src -> warn e.Ast.pos src "fetchResource"
+        | None -> ())
+      | _ -> ())
+    model.Model.program;
+  (* A tainted value returned from a handler becomes the response. *)
+  List.iter
+    (fun (p : Model.policy_info) ->
+      List.iter
+        (fun (field, (value : Ast.expr), _) ->
+          match (field, value.Ast.desc) with
+          | ("onRequest" | "onResponse"), Ast.Func (_, body) ->
+            (* Direct returns only: returns of nested closures are not
+               the handler's result. *)
+            List.iter
+              (Model.iter_stmt ~enter_funcs:false
+                 (fun (s : Ast.stmt) ->
+                   match s.Ast.sdesc with
+                   | Ast.Sreturn (Some r) -> (
+                     match tainted tvars r with
+                     | Some src ->
+                       warn s.Ast.spos src
+                         (Printf.sprintf "the %s handler's returned response"
+                            field)
+                     | None -> ())
+                   | _ -> ())
+                 (fun _ -> ()))
+              body
+          | _ -> ())
+        p.Model.fields)
+    model.Model.policies;
+  List.rev !diags

@@ -33,6 +33,10 @@ type t = {
   local_clients : string list;
   integrity_key : string option;
   misbehaving : bool;
+  (* Admission-time static analysis of fetched scripts: [`Strict]
+     refuses stages whose script has error-severity lint diagnostics,
+     [`Permissive] only exports the counts, [`Off] skips analysis. *)
+  lint_mode : [ `Off | `Permissive | `Strict ];
   enable_tracing : bool;
   trace_capacity : int;
   costs : costs;
@@ -91,6 +95,7 @@ let default =
     local_clients = [];
     integrity_key = None;
     misbehaving = false;
+    lint_mode = `Permissive;
     enable_tracing = true;
     trace_capacity = 256;
     costs = default_costs;

@@ -50,6 +50,11 @@ type t = {
                                      key (§6); [None] disables verification *)
   misbehaving : bool; (** a §6 threat model node: falsifies cached content
                           it serves to peers *)
+  lint_mode : [ `Off | `Permissive | `Strict ];
+      (** admission-time static analysis of fetched scripts: [`Strict]
+          refuses stages with error-severity diagnostics, [`Permissive]
+          (the default) only exports [script.lint.*] metrics, [`Off]
+          skips analysis *)
   enable_tracing : bool; (** record a per-request span tree in the node's
                              {!Nk_telemetry.Tracer} (on by default) *)
   trace_capacity : int; (** completed traces retained in the ring buffer *)

@@ -408,11 +408,51 @@ let rec build_stage t ?span ~url ~source () =
     | `Hit -> Nk_telemetry.Metrics.incr t.metrics ~labels "script.compile_cache.hits"
     | `Miss -> Nk_telemetry.Metrics.incr t.metrics ~labels "script.compile_cache.misses"
   in
+  (* Admission-time lint: analyze the fetched source (report cached by
+     SHA-256 process-wide), export the diagnostic counts, and under
+     strict mode refuse the stage before any script code runs.  A
+     refusal flows into the caller's negative cache like any other
+     script error. *)
+  let lint_gate =
+    match t.cfg.Config.lint_mode with
+    | `Off -> Ok ()
+    | (`Permissive | `Strict) as mode ->
+      in_span t ?parent:span "script.lint" [ ("stage", url) ] (fun sp ->
+          let report = Nk_analysis.Analysis.analyze_source source in
+          let errors = Nk_analysis.Analysis.errors report in
+          let warnings = Nk_analysis.Analysis.warnings report in
+          set_attr sp "errors" (string_of_int errors);
+          set_attr sp "warnings" (string_of_int warnings);
+          let labels = [ ("site", site) ] in
+          if errors > 0 then
+            Nk_telemetry.Metrics.incr t.metrics ~labels ~by:errors
+              "script.lint.errors";
+          if warnings > 0 then
+            Nk_telemetry.Metrics.incr t.metrics ~labels ~by:warnings
+              "script.lint.warnings";
+          if mode = `Strict && errors > 0 then begin
+            set_attr sp "rejected" "true";
+            let first =
+              List.find
+                (fun (d : Nk_analysis.Diagnostic.t) ->
+                  d.Nk_analysis.Diagnostic.severity = Nk_analysis.Diagnostic.Error)
+                report.Nk_analysis.Analysis.diagnostics
+            in
+            Error
+              (Printf.sprintf "%s: rejected by lint: %d error(s), first: %s" url
+                 errors
+                 (Nk_analysis.Diagnostic.to_string first))
+          end
+          else Ok ())
+  in
   match
-    in_span t ?parent:span "script.compile" [ ("stage", url) ] (fun _ ->
-        Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
-          ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed
-          ~on_compile_cache ~source ())
+    match lint_gate with
+    | Error _ as e -> e
+    | Ok () ->
+      in_span t ?parent:span "script.compile" [ ("stage", url) ] (fun _ ->
+          Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
+            ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed
+            ~on_compile_cache ~lint:`Off ~source ())
   with
   | Ok stage ->
     (* Context reuse reports the previous pipeline's consumption: fold

@@ -30,24 +30,55 @@ let of_policies ~url ~ctx policies =
     waiters = Queue.create ();
   }
 
-let of_script ~url ~host ?max_fuel ?max_heap_bytes ?seed ?on_compile_cache ~source () =
-  let ctx = Nk_script.Interp.create ?max_fuel ?max_heap_bytes () in
-  Nk_vocab.Platform_v.install_all host ?seed ctx;
-  Nk_vocab.Eval_v.install ctx;
-  let registry = Nk_policy.Script_bridge.create_registry () in
-  Nk_policy.Script_bridge.install registry ctx;
-  (* Compiled path: the program is fetched from (or compiled into) the
-     process-wide SHA-256-keyed cache, so many stages loading the same
-     wall/site script share one compilation. *)
-  match Nk_script.Compile.run_string ?on_cache:on_compile_cache ctx source with
-  | _ -> Ok (of_policies ~url ~ctx (Nk_policy.Script_bridge.policies registry))
-  | exception Nk_script.Value.Script_error msg -> Error (Printf.sprintf "%s: %s" url msg)
-  | exception Nk_script.Parser.Parse_error (msg, pos) ->
-    Error (Printf.sprintf "%s: parse error at %d:%d: %s" url pos.Nk_script.Ast.line pos.col msg)
-  | exception Nk_script.Lexer.Lex_error (msg, pos) ->
-    Error (Printf.sprintf "%s: lex error at %d:%d: %s" url pos.Nk_script.Ast.line pos.col msg)
-  | exception Nk_script.Interp.Resource_exhausted msg ->
-    Error (Printf.sprintf "%s: %s" url msg)
+let of_script ~url ~host ?max_fuel ?max_heap_bytes ?seed ?on_compile_cache
+    ?(lint = `Permissive) ?on_lint ~source () =
+  (* Admission-time static analysis, cached by SHA-256 of the source
+     alongside the compile cache.  [`Strict] refuses scripts with
+     error-severity diagnostics before any code runs; [`Permissive]
+     still analyzes (so observers see the counts) but only reports. *)
+  let lint_gate =
+    match lint with
+    | `Off -> Ok ()
+    | (`Permissive | `Strict) as mode -> (
+      let report = Nk_analysis.Analysis.analyze_source source in
+      (match on_lint with Some f -> f report | None -> ());
+      match
+        ( mode,
+          List.find_opt
+            (fun (d : Nk_analysis.Diagnostic.t) ->
+              d.Nk_analysis.Diagnostic.severity = Nk_analysis.Diagnostic.Error)
+            report.Nk_analysis.Analysis.diagnostics )
+      with
+      | `Strict, Some d ->
+        Error
+          (Printf.sprintf "%s: rejected by lint: %d error(s), first at %d:%d: [%s] %s"
+             url
+             (Nk_analysis.Analysis.errors report)
+             d.Nk_analysis.Diagnostic.pos.Nk_script.Ast.line
+             d.Nk_analysis.Diagnostic.pos.Nk_script.Ast.col
+             d.Nk_analysis.Diagnostic.code d.Nk_analysis.Diagnostic.message)
+      | _ -> Ok ())
+  in
+  match lint_gate with
+  | Error _ as e -> e
+  | Ok () -> (
+    let ctx = Nk_script.Interp.create ?max_fuel ?max_heap_bytes () in
+    Nk_vocab.Platform_v.install_all host ?seed ctx;
+    Nk_vocab.Eval_v.install ctx;
+    let registry = Nk_policy.Script_bridge.create_registry () in
+    Nk_policy.Script_bridge.install registry ctx;
+    (* Compiled path: the program is fetched from (or compiled into) the
+       process-wide SHA-256-keyed cache, so many stages loading the same
+       wall/site script share one compilation. *)
+    match Nk_script.Compile.run_string ?on_cache:on_compile_cache ctx source with
+    | _ -> Ok (of_policies ~url ~ctx (Nk_policy.Script_bridge.policies registry))
+    | exception Nk_script.Value.Script_error msg -> Error (Printf.sprintf "%s: %s" url msg)
+    | exception Nk_script.Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "%s: parse error at %d:%d: %s" url pos.Nk_script.Ast.line pos.col msg)
+    | exception Nk_script.Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "%s: lex error at %d:%d: %s" url pos.Nk_script.Ast.line pos.col msg)
+    | exception Nk_script.Interp.Resource_exhausted msg ->
+      Error (Printf.sprintf "%s: %s" url msg))
 
 let select t req = Nk_policy.Decision_tree.find_closest t.tree req
 

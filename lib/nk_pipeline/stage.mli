@@ -23,6 +23,8 @@ val of_script :
   ?max_heap_bytes:int ->
   ?seed:int ->
   ?on_compile_cache:([ `Hit | `Miss ] -> unit) ->
+  ?lint:[ `Off | `Permissive | `Strict ] ->
+  ?on_lint:(Nk_analysis.Analysis.report -> unit) ->
   source:string ->
   unit ->
   (t, string) result
@@ -31,7 +33,14 @@ val of_script :
     {!Nk_script.Compile}'s program cache; [on_compile_cache] reports
     whether this source was already compiled), and compile the decision
     tree. Returns [Error] on parse or runtime failure (such a script
-    publishes no policies). *)
+    publishes no policies).
+
+    Before anything runs, the source is statically analyzed through
+    {!Nk_analysis.Analysis.analyze_source} (SHA-256-cached like the
+    compile cache) and the report is handed to [on_lint].  Under
+    [~lint:`Strict] a report with error-severity diagnostics makes
+    [of_script] return [Error] without executing the script; the
+    default [`Permissive] only reports; [`Off] skips analysis. *)
 
 val of_policies : url:string -> ctx:Nk_script.Interp.ctx -> Nk_policy.Policy.t list -> t
 (** Assemble a stage from pre-built policies (used by tests and

@@ -165,9 +165,13 @@ and parse_stmt st =
           Some s
         end
         else begin
+          (* Position the synthetic init statement at the expression's
+             first token, not at the 'for' keyword, so diagnostics that
+             anchor on the init clause point into the clause itself. *)
+          let ipos = peek_pos st in
           let e = parse_expr st in
           eat_punct st ";";
-          Some (mks pos (Ast.Sexpr e))
+          Some (mks ipos (Ast.Sexpr e))
         end
       in
       let cond =

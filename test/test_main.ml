@@ -7,6 +7,7 @@ let () =
       ("http", Test_http.suite);
       ("script", Test_script.suite);
       ("compile", Test_compile.suite);
+      ("analysis", Test_analysis.suite);
       ("policy", Test_policy.suite);
       ("sim", Test_sim.suite);
       ("cache", Test_cache.suite);
