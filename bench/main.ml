@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- table2  # one experiment
 
    Experiments: table1 table2 micro-costs capacity resource-controls
-   figure7 simm-local specweb extensions integrity ablations micro *)
+   figure7 simm-local specweb extensions integrity ablations faults
+   micro *)
 
 let experiments =
   [
@@ -20,6 +21,7 @@ let experiments =
     ("extensions", Bench_extensions.extensions);
     ("integrity", Bench_integrity.integrity);
     ("ablations", Bench_ablations.ablations);
+    ("faults", Bench_faults.faults);
     ("micro", Bench_micro.micro);
   ]
 

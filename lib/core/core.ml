@@ -71,6 +71,10 @@ module Integrity = Nk_integrity
 module Sim = Nk_sim
 (** The deterministic discrete-event network simulator. *)
 
+module Faults = Nk_faults
+(** Seeded, deterministic fault-injection plans (drops, partitions,
+    crashes, failing origins) for chaos testing. *)
+
 module Telemetry = Nk_telemetry
 (** Metrics registry, request tracing, structured events, profiling. *)
 

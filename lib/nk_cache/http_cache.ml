@@ -93,6 +93,11 @@ let lookup_stale t ~key =
   | None -> None
   | Some e -> Some (Nk_http.Message.copy_response e.response)
 
+let lookup_stale_entry t ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e -> Some (Nk_http.Message.copy_response e.response, e.expiry)
+
 let refresh t ~key ~expiry =
   match Hashtbl.find_opt t.table key with
   | None -> ()

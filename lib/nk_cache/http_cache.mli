@@ -24,6 +24,11 @@ val lookup_stale : t -> key:string -> Nk_http.Message.response option
 (** The stored entry regardless of freshness — the revalidation path's
     view. Does not count as a hit or miss. *)
 
+val lookup_stale_entry : t -> key:string -> (Nk_http.Message.response * float) option
+(** Like {!lookup_stale} but also returns the entry's expiry time, so a
+    stale-if-error degradation path can bound how stale a served copy
+    is. *)
+
 val refresh : t -> key:string -> expiry:float -> unit
 (** Extend a stored entry's freshness lifetime (after a 304 Not
     Modified). No-op when the key is absent. *)

@@ -19,12 +19,22 @@ let redirector t = t.redirector
 let nakika_origin t = t.nakika_origin
 let proxies t = List.rev t.proxies
 
-let create ?(seed = 11) ?default_latency ?default_bandwidth ?client_wall ?server_wall () =
+let create ?(seed = 11) ?default_latency ?default_bandwidth ?client_wall ?server_wall
+    ?faults () =
   let sim = Nk_sim.Sim.create ~seed () in
   let net = Nk_sim.Net.create sim ?default_latency ?default_bandwidth () in
+  (match faults with
+   | None -> ()
+   | Some plan -> Nk_sim.Net.set_faults net plan);
   let web = Nk_sim.Httpd.create net in
   let dht = Nk_overlay.Dht.create () in
-  let bus = Nk_replication.Message_bus.create net in
+  (* DHT reads skip replicas the fault plan has crashed. *)
+  (match faults with
+   | None -> ()
+   | Some plan ->
+     Nk_overlay.Dht.set_liveness dht (fun name ->
+         not (Nk_faults.Plan.is_down plan ~now:(Nk_sim.Sim.now sim) name)));
+  let bus = Nk_replication.Message_bus.create ~seed:(seed * 17) net in
   let redirector = Nk_overlay.Redirector.create net in
   let wall_host = Nk_sim.Net.add_host net ~name:"nakika.net" () in
   let nakika_origin = Origin.create ~web ~host:wall_host () in
@@ -71,8 +81,29 @@ let pick_proxy t ~client =
   | Some host ->
     List.find_opt (fun n -> Nk_sim.Net.host_name (Node.host n) = Nk_sim.Net.host_name host) t.proxies
 
-let fetch t ~client ?proxy req k =
+let fetch t ~client ?proxy ?timeout req k =
   let proxy = match proxy with Some p -> Some p | None -> pick_proxy t ~client in
+  let k =
+    match timeout with
+    | None -> k
+    | Some timeout ->
+      (* Client-side deadline: under fault injection the request or its
+         response may be dropped outright, and the client must still
+         get an explicit failure (no hung requests). Daemon timer, and
+         a [resolved] latch so whichever outcome loses the race is
+         discarded. *)
+      let resolved = ref false in
+      Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:timeout (fun () ->
+          if not !resolved then begin
+            resolved := true;
+            k (Nk_http.Message.error_response 504)
+          end);
+      fun resp ->
+        if not !resolved then begin
+          resolved := true;
+          k resp
+        end
+  in
   match proxy with
   | Some node -> Nk_sim.Httpd.fetch_via t.web ~from:client ~via:(Node.host node) req k
   | None -> Nk_sim.Httpd.fetch t.web ~from:client req k

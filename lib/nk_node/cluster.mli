@@ -14,9 +14,14 @@ val create :
   ?default_bandwidth:float ->
   ?client_wall:string ->
   ?server_wall:string ->
+  ?faults:Nk_faults.Plan.t ->
   unit ->
   t
-(** Walls default to the permissive Admin-configuration scripts. *)
+(** Walls default to the permissive Admin-configuration scripts.
+    [faults] installs a fault-injection plan: the network consults it
+    for drops/partitions/latency spikes and host crashes, DHT reads
+    skip crashed replicas, and origins consult it for fail/slow
+    windows. *)
 
 val sim : t -> Nk_sim.Sim.t
 val net : t -> Nk_sim.Net.t
@@ -49,10 +54,14 @@ val fetch :
   t ->
   client:Nk_sim.Net.host ->
   ?proxy:Node.t ->
+  ?timeout:float ->
   Nk_http.Message.request ->
   (Nk_http.Message.response -> unit) ->
   unit
 (** Issue a request through a proxy (redirector-chosen when omitted);
-    falls back to direct origin fetch when no proxies exist. *)
+    falls back to direct origin fetch when no proxies exist. With
+    [timeout], the callback receives a synthesized 504 after that many
+    seconds if no response arrived — under fault injection this is what
+    guarantees every client gets an answer. *)
 
 val run : ?until:float -> t -> unit

@@ -39,6 +39,10 @@ type t = {
   lint_mode : [ `Off | `Permissive | `Strict ];
   enable_tracing : bool;
   trace_capacity : int;
+  origin_timeout : float;
+  peer_timeout : float;
+  stale_if_error : float;
+  anti_entropy_interval : float;
   costs : costs;
   seed : int;
 }
@@ -98,6 +102,10 @@ let default =
     lint_mode = `Permissive;
     enable_tracing = true;
     trace_capacity = 256;
+    origin_timeout = 10.0;
+    peer_timeout = 3.0;
+    stale_if_error = 900.0;
+    anti_entropy_interval = 30.0;
     costs = default_costs;
     seed = 7;
   }

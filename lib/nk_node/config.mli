@@ -58,6 +58,16 @@ type t = {
   enable_tracing : bool; (** record a per-request span tree in the node's
                              {!Nk_telemetry.Tracer} (on by default) *)
   trace_capacity : int; (** completed traces retained in the ring buffer *)
+  origin_timeout : float; (** give up on an origin fetch after this many
+                              seconds and enter stale-if-error degradation *)
+  peer_timeout : float; (** give up on one cooperative-cache peer fetch
+                            after this long and try the next candidate *)
+  stale_if_error : float; (** serve a stale cached copy on origin
+                              failure if it expired at most this many
+                              seconds ago (RFC 2616 stale-if-error);
+                              0 disables degradation *)
+  anti_entropy_interval : float; (** period of hard-state anti-entropy
+                                     re-broadcast; 0 disables it *)
   costs : costs;
   seed : int;
 }

@@ -114,11 +114,18 @@ let cache_key (req : Nk_http.Message.request) =
   ^ " "
   ^ Nk_http.Url.to_string req.Nk_http.Message.url
 
-let await_fetch t ~via req =
+(* Fetch with a deadline, resolving to [None] on timeout. Under fault
+   injection the response may never arrive (dropped on the wire, server
+   crashed); the timer is a daemon event so pending timeouts never keep
+   the simulation alive, and [Cothread.await] ignores whichever of the
+   two resumes loses the race. *)
+let await_fetch_opt t ~via ~timeout req =
   Nk_util.Cothread.await (fun k ->
+      Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:timeout (fun () -> k None);
+      let deliver resp = k (Some resp) in
       match via with
-      | Some host -> Nk_sim.Httpd.fetch_via t.web ~from:t.host ~via:host req k
-      | None -> Nk_sim.Httpd.fetch t.web ~from:t.host req k)
+      | Some host -> Nk_sim.Httpd.fetch_via t.web ~from:t.host ~via:host req deliver
+      | None -> Nk_sim.Httpd.fetch t.web ~from:t.host req deliver)
 
 let insert_if_cacheable t req resp =
   if Nk_http.Message.cacheable req resp then begin
@@ -178,9 +185,14 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
             | None -> (req, None)
           in
           let do_fetch sp =
-            let resp = await_fetch t ~via:None req in
+            let resp =
+              await_fetch_opt t ~via:None ~timeout:t.cfg.Config.origin_timeout req
+            in
             Nk_sim.Trace.incr t.trace "origin-fetches";
-            set_attr sp "status" (string_of_int resp.Nk_http.Message.status);
+            set_attr sp "status"
+              (match resp with
+               | Some r -> string_of_int r.Nk_http.Message.status
+               | None -> "timeout");
             resp
           in
           let resp =
@@ -190,19 +202,54 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
               in_span t ?parent:osp "revalidation" [] (fun rsp ->
                   let resp = do_fetch rsp in
                   set_attr rsp "not-modified"
-                    (string_of_bool (resp.Nk_http.Message.status = 304));
+                    (string_of_bool
+                       (match resp with
+                        | Some r -> r.Nk_http.Message.status = 304
+                        | None -> false));
                   resp)
           in
-          match (resp.Nk_http.Message.status, validator) with
-          | 304, Some old ->
-            Nk_sim.Trace.incr t.trace "revalidations";
-            (match Nk_http.Message.response_expiry ~now:(now t) resp with
-             | Some expiry -> Nk_cache.Http_cache.refresh t.cache ~key ~expiry
-             | None -> Nk_cache.Http_cache.remove t.cache ~key);
-            old
-          | _ ->
-            insert_if_cacheable t req resp;
-            resp)
+          (* Stale-if-error (RFC 2616 §13.1.5 spirit): when the origin
+             times out or answers with a server error, a cached copy
+             that expired no more than [stale_if_error] seconds ago is
+             better than failing the client. The [X-NaKika-Stale]
+             header carries the staleness in seconds so clients and
+             tests can tell degraded responses apart. *)
+          let degrade () =
+            if t.cfg.Config.stale_if_error <= 0.0 then None
+            else
+              match Nk_cache.Http_cache.lookup_stale_entry t.cache ~key with
+              | Some (old, expiry)
+                when Nk_http.Status.is_success old.Nk_http.Message.status
+                     && now t -. expiry <= t.cfg.Config.stale_if_error ->
+                let age = Float.max 0.0 (now t -. expiry) in
+                Nk_http.Message.set_resp_header old "X-NaKika-Stale"
+                  (string_of_int (int_of_float age));
+                Nk_telemetry.Metrics.incr t.metrics "cache.stale_served";
+                Nk_sim.Trace.incr t.trace "stale-served";
+                set_attr osp "stale" "true";
+                Some old
+              | _ -> None
+          in
+          match resp with
+          | None -> (
+            match degrade () with
+            | Some old -> old
+            | None -> Nk_http.Message.error_response 504)
+          | Some resp when resp.Nk_http.Message.status >= 500 -> (
+            match degrade () with
+            | Some old -> old
+            | None -> resp)
+          | Some resp -> (
+            match (resp.Nk_http.Message.status, validator) with
+            | 304, Some old ->
+              Nk_sim.Trace.incr t.trace "revalidations";
+              (match Nk_http.Message.response_expiry ~now:(now t) resp with
+               | Some expiry -> Nk_cache.Http_cache.refresh t.cache ~key ~expiry
+               | None -> Nk_cache.Http_cache.remove t.cache ~key);
+              old
+            | _ ->
+              insert_if_cacheable t req resp;
+              resp))
     in
     match t.dht with
     | Some dht when t.cfg.Config.enable_dht && allow_peers ->
@@ -219,56 +266,69 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
       let peers =
         List.filter (fun peer -> peer <> name t) result.Nk_overlay.Dht.values
       in
-      (match peers with
-       | [] -> from_origin ()
-       | peer :: _ -> (
-         match Nk_sim.Httpd.resolve t.web peer with
-         | None -> from_origin ()
-         | Some peer_host ->
-           Nk_sim.Trace.incr t.trace "dht-hits";
-           let peer_resp =
-             in_span t ?parent:span "peer-fetch" [ ("peer", peer) ] (fun psp ->
-                 let peer_req = Nk_http.Message.copy_request req in
-                 Nk_http.Message.set_req_header peer_req peer_header "1";
-                 let resp = await_fetch t ~via:(Some peer_host) peer_req in
-                 let verified =
-                   match t.cfg.Config.integrity_key with
-                   | None -> true
-                   | Some key ->
-                     (* Peer-served content comes from an untrusted node:
-                        check the §6 integrity headers and fall back to the
-                        origin on any violation. Content that never carried
-                        integrity headers is unprotected (a producer opt-in);
-                        stripping attacks are the probabilistic verifier's
-                        job, not this check's. *)
-                     in_span t ?parent:psp "integrity-verify" [] (fun vsp ->
-                         match Nk_integrity.Integrity.verify ~key ~now:(now t) resp with
-                         | Ok () ->
-                           set_attr vsp "result" "ok";
-                           true
-                         | Error Nk_integrity.Integrity.Missing_headers ->
-                           Nk_sim.Trace.incr t.trace "integrity-unverified";
-                           set_attr vsp "result" "unverified";
-                           true
-                         | Error violation ->
-                           Nk_sim.Trace.incr t.trace "integrity-violations";
-                           set_attr vsp "result" "violation";
-                           Logs.warn (fun m ->
-                               m "[%s] integrity violation from %s: %s" (name t) peer
-                                 (Nk_integrity.Integrity.violation_to_string violation));
-                           false)
-                 in
-                 set_attr psp "verified" (string_of_bool verified);
-                 if verified && Nk_http.Status.is_success resp.Nk_http.Message.status then
-                   Some resp
-                 else None)
-           in
-           (match peer_resp with
-            | Some resp ->
-              Nk_sim.Trace.incr t.trace "peer-fetches";
-              insert_if_cacheable t req resp;
-              resp
-            | None -> from_origin ())))
+      (* Try up to two announced peers, each under [peer_timeout]; a
+         peer that times out, fails, or serves tampered content falls
+         through to the next candidate and finally to the origin. *)
+      let rec try_peers budget = function
+        | [] -> from_origin ()
+        | _ when budget = 0 -> from_origin ()
+        | peer :: rest -> (
+          match Nk_sim.Httpd.resolve t.web peer with
+          | None -> from_origin ()
+          | Some peer_host ->
+            Nk_sim.Trace.incr t.trace "dht-hits";
+            let peer_resp =
+              in_span t ?parent:span "peer-fetch" [ ("peer", peer) ] (fun psp ->
+                  let peer_req = Nk_http.Message.copy_request req in
+                  Nk_http.Message.set_req_header peer_req peer_header "1";
+                  match
+                    await_fetch_opt t ~via:(Some peer_host)
+                      ~timeout:t.cfg.Config.peer_timeout peer_req
+                  with
+                  | None ->
+                    set_attr psp "timeout" "true";
+                    None
+                  | Some resp ->
+                    let verified =
+                      match t.cfg.Config.integrity_key with
+                      | None -> true
+                      | Some key ->
+                        (* Peer-served content comes from an untrusted node:
+                           check the §6 integrity headers and fall back to the
+                           origin on any violation. Content that never carried
+                           integrity headers is unprotected (a producer opt-in);
+                           stripping attacks are the probabilistic verifier's
+                           job, not this check's. *)
+                        in_span t ?parent:psp "integrity-verify" [] (fun vsp ->
+                            match Nk_integrity.Integrity.verify ~key ~now:(now t) resp with
+                            | Ok () ->
+                              set_attr vsp "result" "ok";
+                              true
+                            | Error Nk_integrity.Integrity.Missing_headers ->
+                              Nk_sim.Trace.incr t.trace "integrity-unverified";
+                              set_attr vsp "result" "unverified";
+                              true
+                            | Error violation ->
+                              Nk_sim.Trace.incr t.trace "integrity-violations";
+                              set_attr vsp "result" "violation";
+                              Logs.warn (fun m ->
+                                  m "[%s] integrity violation from %s: %s" (name t) peer
+                                    (Nk_integrity.Integrity.violation_to_string violation));
+                              false)
+                    in
+                    set_attr psp "verified" (string_of_bool verified);
+                    if verified && Nk_http.Status.is_success resp.Nk_http.Message.status
+                    then Some resp
+                    else None)
+            in
+            (match peer_resp with
+             | Some resp ->
+               Nk_sim.Trace.incr t.trace "peer-fetches";
+               insert_if_cacheable t req resp;
+               resp
+             | None -> try_peers (budget - 1) rest))
+      in
+      try_peers 2 peers
     | _ -> from_origin ())
 
 (* --- host capabilities handed to vocabularies ----------------------- *)
@@ -281,6 +341,11 @@ let replica t site =
       Nk_replication.Replication.attach ~bus ~name:(name t) ~host:t.host ~store:t.store ~site
         Nk_replication.Replication.Optimistic
     in
+    (* Re-converge after partitions that outlast the bus's retry budget:
+       periodically re-broadcast everything this replica knows. *)
+    if t.cfg.Config.anti_entropy_interval > 0.0 then
+      Nk_replication.Replication.start_anti_entropy r
+        ~interval:t.cfg.Config.anti_entropy_interval ();
     Hashtbl.add t.replicas site r;
     Some r
   | None, None -> None

@@ -77,19 +77,35 @@ let handle t (req : Nk_http.Message.request) k =
     t.bytes <- t.bytes + Nk_http.Message.content_length resp;
     k resp
   in
-  match Hashtbl.find_opt t.statics path with
-  | Some resource ->
+  (* The fault plan can make this origin fail outright or slow down for
+     a window; a failing origin still charges its base CPU (it answers,
+     just with errors). *)
+  let state =
+    match Nk_sim.Net.faults t.net with
+    | None -> `Ok
+    | Some plan ->
+      Nk_faults.Plan.origin_state plan ~now:(Nk_sim.Sim.now t.sim)
+        ~host:(Nk_sim.Net.host_name t.origin_host)
+  in
+  let slowdown = match state with `Slow f -> f | `Ok | `Fail _ -> 1.0 in
+  match state with
+  | `Fail status ->
     Nk_sim.Net.cpu_run t.net t.origin_host ~seconds:t.static_cpu (fun () ->
-        if conditional_match req resource then respond (not_modified t resource)
-        else respond (static_response t resource))
-  | None -> (
-    match
-      List.find_opt (fun r -> Nk_util.Strutil.starts_with ~prefix:r.prefix path) t.dynamics
-    with
-    | Some route ->
-      Nk_sim.Net.cpu_run t.net t.origin_host ~seconds:route.cpu (fun () ->
-          respond (route.handler req))
-    | None -> respond (Nk_http.Message.error_response 404))
+        respond (Nk_http.Message.error_response status))
+  | `Ok | `Slow _ -> (
+    match Hashtbl.find_opt t.statics path with
+    | Some resource ->
+      Nk_sim.Net.cpu_run t.net t.origin_host ~seconds:(t.static_cpu *. slowdown) (fun () ->
+          if conditional_match req resource then respond (not_modified t resource)
+          else respond (static_response t resource))
+    | None -> (
+      match
+        List.find_opt (fun r -> Nk_util.Strutil.starts_with ~prefix:r.prefix path) t.dynamics
+      with
+      | Some route ->
+        Nk_sim.Net.cpu_run t.net t.origin_host ~seconds:(route.cpu *. slowdown) (fun () ->
+            respond (route.handler req))
+      | None -> respond (Nk_http.Message.error_response 404)))
 
 let create ~web ~host ?(extra_hostnames = []) ?(static_cpu = 0.0009) ?sign_key () =
   let t =

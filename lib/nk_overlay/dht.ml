@@ -6,17 +6,23 @@ type t = {
   ring : Ring.t;
   stores : (int, node_store) Hashtbl.t; (* keyed by ring id *)
   ids : (string, Node_id.t) Hashtbl.t; (* node name -> id *)
+  names : (int, string) Hashtbl.t; (* ring id -> node name *)
   values_per_key : int;
+  replicas : int;
+  mutable live : string -> bool;
   metrics : Nk_telemetry.Metrics.t;
 }
 
-let create ?(values_per_key = 16) () =
-  { ring = Ring.create (); stores = Hashtbl.create 16; ids = Hashtbl.create 16; values_per_key;
+let create ?(values_per_key = 16) ?(replicas = 2) () =
+  { ring = Ring.create (); stores = Hashtbl.create 16; ids = Hashtbl.create 16;
+    names = Hashtbl.create 16; values_per_key; replicas; live = (fun _ -> true);
     metrics = Nk_telemetry.Metrics.create () }
 
 let ring t = t.ring
 
 let metrics t = t.metrics
+
+let set_liveness t f = t.live <- f
 
 let join t name =
   match Hashtbl.find_opt t.ids name with
@@ -24,6 +30,7 @@ let join t name =
   | None ->
     let id = Node_id.of_string name in
     Hashtbl.replace t.ids name id;
+    Hashtbl.replace t.names (Node_id.to_int id) name;
     Hashtbl.replace t.stores (Node_id.to_int id) (Hashtbl.create 16);
     Ring.join t.ring id;
     id
@@ -33,6 +40,7 @@ let leave t name =
   | None -> ()
   | Some id ->
     Hashtbl.remove t.ids name;
+    Hashtbl.remove t.names (Node_id.to_int id);
     Hashtbl.remove t.stores (Node_id.to_int id);
     Ring.leave t.ring id
 
@@ -41,7 +49,7 @@ let node_id t name =
   | Some id -> id
   | None -> invalid_arg (Printf.sprintf "Dht: node %s has not joined" name)
 
-type lookup = { values : string list; hops : int; owner : Node_id.t option }
+type lookup = { values : string list; hops : int; fallbacks : int; owner : Node_id.t option }
 
 let route t ~from ~key =
   let from_id = node_id t from in
@@ -54,49 +62,93 @@ let route t ~from ~key =
   in
   (owner, List.length path)
 
+(* The owner plus its next distinct ring successors — the replica set of
+   a key, newest-responsibility first. At most [t.replicas] nodes. *)
+let replica_set t owner =
+  let sorted = Ring.nodes t.ring in
+  let n = List.length sorted in
+  if n = 0 then []
+  else begin
+    let arr = Array.of_list sorted in
+    let start = ref 0 in
+    Array.iteri (fun i id -> if Node_id.equal id owner then start := i) arr;
+    let rec collect acc i remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let id = arr.((!start + i) mod n) in
+        if List.exists (Node_id.equal id) acc then List.rev acc
+        else collect (id :: acc) (i + 1) (remaining - 1)
+    in
+    collect [] 0 (min t.replicas n)
+  end
+
 let put t ~now ~from ~key ~value ~ttl =
   let owner, hops = route t ~from ~key in
   (match owner with
    | None -> ()
-   | Some owner -> (
-     match Hashtbl.find_opt t.stores (Node_id.to_int owner) with
-     | None -> ()
-     | Some store ->
-       let live =
-         (match Hashtbl.find_opt store key with Some es -> es | None -> [])
-         |> List.filter (fun e -> e.expiry > now && e.value <> value)
-       in
-       let entries = { value; expiry = now +. ttl } :: live in
-       let entries =
-         if List.length entries > t.values_per_key then
-           List.filteri (fun i _ -> i < t.values_per_key) entries
-         else entries
-       in
-       Hashtbl.replace store key entries));
+   | Some owner ->
+     List.iter
+       (fun node ->
+         match Hashtbl.find_opt t.stores (Node_id.to_int node) with
+         | None -> ()
+         | Some store ->
+           let live =
+             (match Hashtbl.find_opt store key with Some es -> es | None -> [])
+             |> List.filter (fun e -> e.expiry > now && e.value <> value)
+           in
+           let entries = { value; expiry = now +. ttl } :: live in
+           let entries =
+             if List.length entries > t.values_per_key then
+               List.filteri (fun i _ -> i < t.values_per_key) entries
+             else entries
+           in
+           Hashtbl.replace store key entries)
+       (replica_set t owner));
   Nk_telemetry.Metrics.incr t.metrics "dht.puts";
   Nk_telemetry.Metrics.observe t.metrics "dht.hops" (float_of_int hops);
   hops
 
+let node_live t id =
+  match Hashtbl.find_opt t.names (Node_id.to_int id) with
+  | None -> false
+  | Some name -> t.live name
+
 let get t ~now ~from ~key =
   let owner, hops = route t ~from ~key in
-  let values =
+  (* Read from the first *live* replica: owner, then its successors.
+     Each skipped (crashed) replica costs one extra routing hop and is
+     counted as a fallback. *)
+  let values, fallbacks, extra_hops =
     match owner with
-    | None -> []
-    | Some owner -> (
-      match Hashtbl.find_opt t.stores (Node_id.to_int owner) with
-      | None -> []
-      | Some store -> (
-        match Hashtbl.find_opt store key with
-        | None -> []
-        | Some entries ->
-          let live = List.filter (fun e -> e.expiry > now) entries in
-          Hashtbl.replace store key live;
-          List.map (fun e -> e.value) live))
+    | None -> ([], 0, 0)
+    | Some owner ->
+      let rec first_live skipped = function
+        | [] -> ([], skipped, skipped)
+        | node :: rest ->
+          if not (node_live t node) then first_live (skipped + 1) rest
+          else
+            let vs =
+              match Hashtbl.find_opt t.stores (Node_id.to_int node) with
+              | None -> []
+              | Some store -> (
+                match Hashtbl.find_opt store key with
+                | None -> []
+                | Some entries ->
+                  let live = List.filter (fun e -> e.expiry > now) entries in
+                  Hashtbl.replace store key live;
+                  List.map (fun e -> e.value) live)
+            in
+            (vs, skipped, skipped)
+      in
+      first_live 0 (replica_set t owner)
   in
+  let hops = hops + extra_hops in
   Nk_telemetry.Metrics.incr t.metrics "dht.gets";
+  if fallbacks > 0 then
+    Nk_telemetry.Metrics.incr t.metrics "dht.fallbacks" ~by:fallbacks;
   if values <> [] then Nk_telemetry.Metrics.incr t.metrics "dht.get-hits";
   Nk_telemetry.Metrics.observe t.metrics "dht.hops" (float_of_int hops);
-  { values; hops; owner }
+  { values; hops; fallbacks; owner }
 
 let stored_keys t name =
   match Hashtbl.find_opt t.ids name with

@@ -9,9 +9,16 @@
 
 type t
 
-val create : ?values_per_key:int -> unit -> t
+val create : ?values_per_key:int -> ?replicas:int -> unit -> t
 (** [values_per_key] caps coexisting announcements (default 16; newest
-    win). *)
+    win). [replicas] (default 2) is how many ring nodes — the key's
+    owner plus its next distinct successors — hold each announcement, so
+    a lookup can fall back when the owner is down. *)
+
+val set_liveness : t -> (string -> bool) -> unit
+(** Install the liveness oracle (by node name) that {!get} consults
+    before reading a replica; defaults to everyone-live. Wired to the
+    fault plan's crash windows by the cluster builder. *)
 
 val ring : t -> Ring.t
 
@@ -26,14 +33,17 @@ val join : t -> string -> Node_id.t
 val leave : t -> string -> unit
 (** Remove the node and drop the soft state it stored. *)
 
-type lookup = { values : string list; hops : int; owner : Node_id.t option }
+type lookup = { values : string list; hops : int; fallbacks : int; owner : Node_id.t option }
 
 val put : t -> now:float -> from:string -> key:string -> value:string -> ttl:float -> int
-(** Announce [value] under [key]; returns the routing hop count. Raises
-    [Invalid_argument] if [from] never joined. *)
+(** Announce [value] under [key] at every replica; returns the routing
+    hop count. Raises [Invalid_argument] if [from] never joined. *)
 
 val get : t -> now:float -> from:string -> key:string -> lookup
-(** Live values under [key] (newest first). *)
+(** Live values under [key] (newest first), read from the first live
+    replica. [fallbacks] counts crashed replicas skipped on the way
+    (each also charged as one extra routing hop and counted in the
+    ["dht.fallbacks"] metric). *)
 
 val stored_keys : t -> string -> int
 (** Number of keys currently stored at the named node. *)

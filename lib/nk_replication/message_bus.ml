@@ -3,33 +3,98 @@ type member = {
   subscriptions : (string, payload:string -> from:string -> unit) Hashtbl.t; (* by topic *)
 }
 
+type pending = {
+  id : int;
+  p_from : string;
+  p_dst : string;
+  p_payload : string;
+  handler : payload:string -> from:string -> unit;
+  mutable attempts : int;
+  mutable acked : bool;
+}
+
+let retained_cap = 128
+
 type t = {
   net : Nk_sim.Net.t;
   members : (string, member) Hashtbl.t;
   retained : (string, (string * string) list ref) Hashtbl.t;
   (* topic -> (from, payload), newest first: durable-subscription backlog *)
+  seen : (int, unit) Hashtbl.t; (* receiver-side dedup of retried messages *)
+  rng : Nk_util.Prng.t; (* deterministic backoff jitter *)
+  max_attempts : int;
+  backoff_base : float;
+  backoff_cap : float;
+  mutable next_msg : int;
   mutable delivered : int;
+  mutable dead_letters : int;
   metrics : Nk_telemetry.Metrics.t;
 }
 
-let create net =
-  { net; members = Hashtbl.create 8; retained = Hashtbl.create 8; delivered = 0;
+let create ?(seed = 42) ?(max_attempts = 8) ?(backoff_base = 0.5) ?(backoff_cap = 8.0) net
+    =
+  { net; members = Hashtbl.create 8; retained = Hashtbl.create 8;
+    seen = Hashtbl.create 64; rng = Nk_util.Prng.create seed; max_attempts;
+    backoff_base; backoff_cap; next_msg = 0; delivered = 0; dead_letters = 0;
     metrics = Nk_telemetry.Metrics.create () }
 
 let metrics t = t.metrics
+
+let net t = t.net
 
 let attach t ~name ~host =
   if not (Hashtbl.mem t.members name) then
     Hashtbl.add t.members name { host; subscriptions = Hashtbl.create 4 }
 
-let deliver t m ~from ~topic ~payload =
+(* Backoff before retry [n] (1-based): capped exponential plus up to 25%
+   deterministic jitter from the bus's own PRNG, so synchronized retries
+   de-correlate yet replay identically from the seed. *)
+let backoff t n =
+  let base = Float.min t.backoff_cap (t.backoff_base *. (2. ** float_of_int (n - 1))) in
+  base +. Nk_util.Prng.float t.rng (0.25 *. base)
+
+(* One delivery attempt: data message to the receiver, ack message back,
+   and a daemon retry timer in case the ack never arrives. Either leg may
+   be dropped by the fault plan; the receiver-side [seen] table keeps the
+   handler exactly-once under retries. *)
+let rec attempt t p =
+  match (Hashtbl.find_opt t.members p.p_from, Hashtbl.find_opt t.members p.p_dst) with
+  | Some sender, Some receiver ->
+    p.attempts <- p.attempts + 1;
+    let size = String.length p.p_payload + 64 in
+    Nk_sim.Net.send t.net ~src:sender.host ~dst:receiver.host ~size (fun () ->
+        if not (Hashtbl.mem t.seen p.id) then begin
+          Hashtbl.add t.seen p.id ();
+          t.delivered <- t.delivered + 1;
+          Nk_telemetry.Metrics.incr t.metrics "bus.delivered";
+          p.handler ~payload:p.p_payload ~from:p.p_from
+        end;
+        (* Ack even duplicate deliveries: the first ack may have been the
+           lost leg. *)
+        Nk_sim.Net.send t.net ~src:receiver.host ~dst:sender.host ~size:64 (fun () ->
+            p.acked <- true));
+    let sim = Nk_sim.Net.sim t.net in
+    Nk_sim.Sim.schedule sim ~daemon:true ~delay:(backoff t p.attempts) (fun () ->
+        if not p.acked then begin
+          if p.attempts >= t.max_attempts then begin
+            t.dead_letters <- t.dead_letters + 1;
+            Nk_telemetry.Metrics.incr t.metrics "bus.dead_letters"
+          end
+          else begin
+            Nk_telemetry.Metrics.incr t.metrics "bus.retries";
+            attempt t p
+          end
+        end)
+  | _ -> ()
+
+let deliver t m ~name ~from ~topic ~payload =
   match (Hashtbl.find_opt t.members from, Hashtbl.find_opt m.subscriptions topic) with
-  | Some sender, Some handler ->
-    let size = String.length payload + 64 in
-    Nk_sim.Net.send t.net ~src:sender.host ~dst:m.host ~size (fun () ->
-        t.delivered <- t.delivered + 1;
-        Nk_telemetry.Metrics.incr t.metrics "bus.delivered";
-        handler ~payload ~from)
+  | Some _, Some handler ->
+    let id = t.next_msg in
+    t.next_msg <- t.next_msg + 1;
+    attempt t
+      { id; p_from = from; p_dst = name; p_payload = payload; handler; attempts = 0;
+        acked = false }
   | _ -> ()
 
 let subscribe t ~name ~topic ~handler =
@@ -44,10 +109,13 @@ let subscribe t ~name ~topic ~handler =
       match Hashtbl.find_opt t.retained topic with
       | Some backlog ->
         List.iter
-          (fun (from, payload) -> if from <> name then deliver t m ~from ~topic ~payload)
+          (fun (from, payload) ->
+            if from <> name then deliver t m ~name ~from ~topic ~payload)
           (List.rev !backlog)
       | None -> ()
     end
+
+let truncate_backlog l = if List.length l > retained_cap then List.filteri (fun i _ -> i < retained_cap) l else l
 
 let publish t ~from ~topic ~payload =
   match Hashtbl.find_opt t.members from with
@@ -57,13 +125,15 @@ let publish t ~from ~topic ~payload =
     Nk_telemetry.Metrics.observe t.metrics "bus.payload-bytes"
       (float_of_int (String.length payload));
     (match Hashtbl.find_opt t.retained topic with
-     | Some backlog -> backlog := (from, payload) :: !backlog
+     | Some backlog -> backlog := truncate_backlog ((from, payload) :: !backlog)
      | None -> Hashtbl.add t.retained topic (ref [ (from, payload) ]));
     Hashtbl.iter
       (fun name m ->
         (* Per-link FIFO in Net keeps same-size messages in order, which
            gives per-sender in-order delivery. *)
-        if name <> from then deliver t m ~from ~topic ~payload)
+        if name <> from then deliver t m ~name ~from ~topic ~payload)
       t.members
 
 let delivered t = t.delivered
+
+let dead_letters t = t.dead_letters

@@ -6,11 +6,31 @@
     sites' update streams independently. Subscriptions are durable in
     the JORAM sense: a member that subscribes after messages were
     published receives the topic's backlog, so late-joining replicas
-    converge. *)
+    converge.
+
+    Delivery is acked: every message carries an id, the receiver sends
+    an ack back over the network, and an unacked message is retried with
+    capped exponential backoff plus deterministic jitter. The receiver
+    deduplicates by id, so handlers still run exactly once under
+    retries. A message still unacked after [max_attempts] is counted as
+    a dead letter and abandoned (anti-entropy re-registration is the
+    recovery path). Retry timers are daemon events: they never keep
+    {!Nk_sim.Sim.run} alive. *)
 
 type t
 
-val create : Nk_sim.Net.t -> t
+val create :
+  ?seed:int ->
+  ?max_attempts:int ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  Nk_sim.Net.t ->
+  t
+(** Defaults: seed 42, 8 attempts, backoff 0.5 s doubling up to 8 s
+    (about 31 s of total retry coverage — enough to ride out short
+    partitions). *)
+
+val net : t -> Nk_sim.Net.t
 
 val attach : t -> name:string -> host:Nk_sim.Net.host -> unit
 (** Join the bus (idempotent). *)
@@ -32,6 +52,11 @@ val publish : t -> from:string -> topic:string -> payload:string -> unit
 val delivered : t -> int
 (** Total messages delivered so far (for tests and benches). *)
 
+val dead_letters : t -> int
+(** Messages abandoned after exhausting their retry budget. 0 in a
+    fault-free run. *)
+
 val metrics : t -> Nk_telemetry.Metrics.t
-(** The bus's own registry: ["bus.published"] / ["bus.delivered"]
-    counters and the ["bus.payload-bytes"] histogram. *)
+(** The bus's own registry: ["bus.published"] / ["bus.delivered"] /
+    ["bus.retries"] / ["bus.dead_letters"] counters and the
+    ["bus.payload-bytes"] histogram. *)

@@ -157,3 +157,21 @@ let keys t ~prefix =
 let name t = t.node_name
 
 let applied_updates t = t.applied
+
+(* Anti-entropy: periodically re-broadcast every key this replica knows,
+   at its current version. Receivers that already have the version drop
+   it (version-stale), so the cycle is idempotent; receivers that missed
+   the original broadcast — a partition outlasting the bus's retry
+   budget, a crash — converge on the next cycle after heal. *)
+let start_anti_entropy t ?(interval = 30.0) () =
+  let sim = Nk_sim.Net.sim (Message_bus.net t.bus) in
+  let rec cycle () =
+    Hashtbl.iter
+      (fun key version ->
+        match Store.get t.store ~site:t.site ~key with
+        | Some value -> broadcast t ~version ~key ~value
+        | None -> ())
+      t.versions;
+    Nk_sim.Sim.schedule sim ~daemon:true ~delay:interval cycle
+  in
+  Nk_sim.Sim.schedule sim ~daemon:true ~delay:interval cycle

@@ -46,3 +46,11 @@ val name : node -> string
 
 val applied_updates : node -> int
 (** Local + remote updates applied at this node. *)
+
+val start_anti_entropy : node -> ?interval:float -> unit -> unit
+(** Every [interval] (default 30 s) simulated seconds, re-broadcast all
+    keys this replica knows at their current versions. Receivers ignore
+    versions they already have, so the cycle is idempotent; it is the
+    recovery path for updates the bus dead-lettered during a partition
+    that outlasted the retry budget. Runs as daemon events — it never
+    keeps {!Nk_sim.Sim.run} alive. *)

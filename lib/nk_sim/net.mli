@@ -17,6 +17,24 @@ val create : Sim.t -> ?default_latency:float -> ?default_bandwidth:float -> unit
 
 val sim : t -> Sim.t
 
+val metrics : t -> Nk_telemetry.Metrics.t
+(** The network-layer registry: [net.dropped] (messages lost to drops or
+    partitions), [net.lost-callbacks] (deliveries and CPU completions
+    suppressed because their host crashed), [node.crashes]. *)
+
+val set_faults : t -> Nk_faults.Plan.t -> unit
+(** Install a fault plan. Every subsequent [send] consults it for drops,
+    partitions and latency spikes; crash instants are turned into daemon
+    events that clear the crashed host's CPU queue; callbacks captured
+    by a host that then crashes are suppressed rather than fired after
+    restart. *)
+
+val faults : t -> Nk_faults.Plan.t option
+
+val host_down : t -> host -> bool
+(** Is the host currently inside a crash window of the installed plan?
+    Always false without a plan. *)
+
 val add_host : t -> name:string -> ?cpu_speed:float -> unit -> host
 (** [cpu_speed] scales CPU work: 1.0 = reference machine (the paper's
     2.8 GHz Pentium 4). *)

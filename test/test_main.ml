@@ -21,6 +21,7 @@ let () =
       ("movie", Test_movie.suite);
       ("pipeline", Test_pipeline.suite);
       ("node", Test_node.suite);
+      ("faults", Test_faults.suite);
       ("telemetry", Test_telemetry.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);

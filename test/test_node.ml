@@ -545,6 +545,85 @@ let test_simulation_is_deterministic () =
   let _, requests, _ = a in
   Alcotest.(check bool) "did real work" true (requests > 20)
 
+(* --- stale-if-error degradation (RFC 2616 stale serving) ------------- *)
+
+(* The simulator's default start time; fault plans use absolute times
+   and must be built before the cluster exists. *)
+let sim_epoch = 1_136_073_600.0
+
+(* A cluster whose one origin fails from [fail_at] on, with [cap] as
+   the node's staleness budget. The page is cached with max_age 10. *)
+let stale_fixture ~fail_at ~cap =
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.fail_origin plan ~host:"www.example.edu" ~at:(sim_epoch +. fail_at)
+    ~until:(sim_epoch +. 10_000.0) ();
+  let cluster = Cluster.create ~faults:plan () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/page.html" ~max_age:10 "cached-copy";
+  let config = { Config.default with Config.stale_if_error = cap } in
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/page.html" in
+  ignore (fetch_sync cluster ~client ~proxy (req ()));
+  (cluster, proxy, client, req)
+
+let advance cluster until =
+  let sim = Cluster.sim cluster in
+  Core.Sim.Sim.run ~until:(sim_epoch +. until) sim
+
+let test_stale_served_on_origin_failure () =
+  let cluster, proxy, client, req = stale_fixture ~fail_at:5.0 ~cap:900.0 in
+  advance cluster 30.0;
+  (* Entry expired at ~epoch+10, origin now failing: degraded serving. *)
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check int) "still 200" 200 resp.Message.status;
+  Alcotest.(check string) "stale body" "cached-copy" (body resp);
+  (match Message.resp_header resp "X-NaKika-Stale" with
+   | None -> Alcotest.fail "X-NaKika-Stale missing"
+   | Some age ->
+     Alcotest.(check bool) ("staleness plausible: " ^ age) true
+       (match int_of_string_opt age with Some a -> a >= 10 && a <= 40 | None -> false));
+  Alcotest.(check bool) "stale_served counted" true
+    (Core.Telemetry.Metrics.counter (Node.metrics proxy) "cache.stale_served" > 0)
+
+let test_fresh_preferred_over_stale () =
+  (* While the copy is still fresh the failure is invisible: served from
+     cache, no stale marker. *)
+  let cluster, proxy, client, req = stale_fixture ~fail_at:2.0 ~cap:900.0 in
+  advance cluster 5.0;
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check int) "fresh 200" 200 resp.Message.status;
+  Alcotest.(check (option string)) "no stale marker" None
+    (Message.resp_header resp "X-NaKika-Stale");
+  Alcotest.(check int) "nothing served stale" 0
+    (Core.Telemetry.Metrics.counter (Node.metrics proxy) "cache.stale_served")
+
+let test_stale_cap_exceeded_fails_hard () =
+  (* Staleness cap 30 s: at ~60 s past expiry the copy is too old and
+     the origin's error surfaces. *)
+  let cluster, proxy, client, req = stale_fixture ~fail_at:5.0 ~cap:30.0 in
+  advance cluster 70.0;
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check bool) ("hard failure: " ^ string_of_int resp.Message.status) true
+    (resp.Message.status >= 500);
+  Alcotest.(check (option string)) "no stale marker" None
+    (Message.resp_header resp "X-NaKika-Stale");
+  Alcotest.(check int) "nothing served stale" 0
+    (Core.Telemetry.Metrics.counter (Node.metrics proxy) "cache.stale_served")
+
+let test_stale_within_cap_then_beyond () =
+  (* The same deployment first degrades gracefully (inside the cap),
+     then fails hard once the copy ages past it. *)
+  let cluster, proxy, client, req = stale_fixture ~fail_at:5.0 ~cap:60.0 in
+  advance cluster 40.0;
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check int) "within cap: degraded 200" 200 resp.Message.status;
+  Alcotest.(check bool) "marked stale" true
+    (Message.resp_header resp "X-NaKika-Stale" <> None);
+  advance cluster 200.0;
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check bool) "beyond cap: hard failure" true (resp.Message.status >= 500)
+
 let suite =
   [
     Alcotest.test_case "proxying a static page" `Quick test_plain_proxying;
@@ -587,4 +666,12 @@ let suite =
       test_concurrent_pipelines_do_not_interleave;
     Alcotest.test_case "simulation runs are deterministic" `Quick
       test_simulation_is_deterministic;
+    Alcotest.test_case "stale-if-error: stale served on origin failure" `Quick
+      test_stale_served_on_origin_failure;
+    Alcotest.test_case "stale-if-error: fresh copies never marked" `Quick
+      test_fresh_preferred_over_stale;
+    Alcotest.test_case "stale-if-error: hard failure past the cap" `Quick
+      test_stale_cap_exceeded_fails_hard;
+    Alcotest.test_case "stale-if-error: degrades then fails as the copy ages" `Quick
+      test_stale_within_cap_then_beyond;
   ]

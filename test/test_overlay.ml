@@ -125,6 +125,38 @@ let test_dht_unjoined_put_raises () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+let test_dht_lookup_under_churn () =
+  (* Announcements live on the owner plus a successor replica; with any
+     single node crashed (per the liveness oracle), every key is still
+     readable via fallback, and the skips are counted. *)
+  let dht = Dht.create () in
+  let names = [ "alpha"; "beta"; "gamma"; "delta" ] in
+  List.iter (fun n -> ignore (Dht.join dht n)) names;
+  let keys = List.init 12 (fun i -> Printf.sprintf "GET http://site%d.org/obj" i) in
+  List.iter
+    (fun k -> ignore (Dht.put dht ~now:0.0 ~from:"alpha" ~key:k ~value:"holder" ~ttl:600.0))
+    keys;
+  let down = ref None in
+  Dht.set_liveness dht (fun n -> !down <> Some n);
+  let total_fallbacks = ref 0 in
+  List.iter
+    (fun crashed ->
+      down := Some crashed;
+      let from = List.find (fun n -> n <> crashed) names in
+      List.iter
+        (fun k ->
+          let l = Dht.get dht ~now:1.0 ~from ~key:k in
+          total_fallbacks := !total_fallbacks + l.Dht.fallbacks;
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s readable with %s down" k crashed)
+            [ "holder" ] l.Dht.values)
+        keys)
+    names;
+  (* With 4 nodes and 12 keys, some owner was down at some point. *)
+  Alcotest.(check bool) "fallbacks actually exercised" true (!total_fallbacks > 0);
+  Alcotest.(check bool) "fallbacks metered" true
+    (Core.Telemetry.Metrics.counter (Dht.metrics dht) "dht.fallbacks" > 0)
+
 let dht_soft_state_prop =
   QCheck.Test.make ~name:"dht: any joined node can read back any announcement" ~count:100
     QCheck.(pair (int_range 2 12) (small_list (string_of_size (QCheck.Gen.int_range 1 20))))
@@ -245,6 +277,8 @@ let suite =
     Alcotest.test_case "dht: leave drops stored state" `Quick test_dht_leave_drops_state;
     Alcotest.test_case "dht: unjoined sender rejected" `Quick test_dht_unjoined_put_raises;
     Alcotest.test_case "dht: churn with re-announcement" `Quick test_dht_survives_churn;
+    Alcotest.test_case "dht: lookups fall back around a crashed replica" `Quick
+      test_dht_lookup_under_churn;
     Alcotest.test_case "ring: consistent ownership from all nodes" `Quick
       test_ring_lookup_consistent_across_nodes;
     QCheck_alcotest.to_alcotest dht_soft_state_prop;

@@ -259,6 +259,72 @@ let test_primary_write_at_primary_is_immediate () =
   Alcotest.(check (option string)) "replicated" (Some "direct")
     (Replication.read (List.nth nodes 1) ~key:"k")
 
+(* --- fault injection: partitions, retries, anti-entropy -------------- *)
+
+let with_faulty_bus plan ?max_attempts f =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  Core.Sim.Net.set_faults net plan;
+  let bus = Message_bus.create ?max_attempts net in
+  let hosts = List.init 2 (fun i -> Core.Sim.Net.add_host net ~name:(Printf.sprintf "n%d" i) ()) in
+  f sim bus hosts
+
+let attach_pair bus hosts =
+  List.mapi
+    (fun i host ->
+      Replication.attach ~bus ~name:(Printf.sprintf "n%d" i) ~host ~store:(Store.create ())
+        ~site:"s.org" Replication.Optimistic)
+    hosts
+
+let test_partition_convergence_via_retries () =
+  (* A 5 s partition sits inside the bus's ~31 s retry budget: writes
+     made on both sides during the partition converge after heal with
+     zero dead letters. *)
+  let sim0 = Core.Sim.Sim.create () in
+  let t0 = Core.Sim.Sim.now sim0 in
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.partition plan ~a:[ "n0" ] ~b:[ "n1" ] ~at:(t0 +. 1.0) ~heal:(t0 +. 6.0);
+  with_faulty_bus plan (fun sim bus hosts ->
+      match attach_pair bus hosts with
+      | [ r0; r1 ] ->
+        Core.Sim.Sim.schedule_at sim (t0 +. 2.0) (fun () ->
+            ignore (Replication.update r0 ~key:"left" ~value:"from-n0");
+            ignore (Replication.update r1 ~key:"right" ~value:"from-n1"));
+        (* Retry timers are daemon events: drive the clock explicitly. *)
+        Core.Sim.Sim.run ~until:(t0 +. 60.0) sim;
+        List.iter
+          (fun r ->
+            Alcotest.(check (option string))
+              (Replication.name r ^ " sees left") (Some "from-n0")
+              (Replication.read r ~key:"left");
+            Alcotest.(check (option string))
+              (Replication.name r ^ " sees right") (Some "from-n1")
+              (Replication.read r ~key:"right"))
+          [ r0; r1 ];
+        Alcotest.(check int) "no dead letters after quiescence" 0 (Message_bus.dead_letters bus)
+      | _ -> Alcotest.fail "expected two replicas")
+
+let test_long_partition_anti_entropy_recovery () =
+  (* A partition that outlasts a tiny retry budget dead-letters the
+     broadcast; periodic anti-entropy re-registration converges the far
+     side anyway once the partition heals. *)
+  let sim0 = Core.Sim.Sim.create () in
+  let t0 = Core.Sim.Sim.now sim0 in
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.partition plan ~a:[ "n0" ] ~b:[ "n1" ] ~at:(t0 +. 1.0) ~heal:(t0 +. 20.0);
+  with_faulty_bus plan ~max_attempts:2 (fun sim bus hosts ->
+      match attach_pair bus hosts with
+      | [ r0; r1 ] ->
+        Replication.start_anti_entropy r0 ~interval:7.0 ();
+        Core.Sim.Sim.schedule_at sim (t0 +. 2.0) (fun () ->
+            ignore (Replication.update r0 ~key:"k" ~value:"survives"));
+        Core.Sim.Sim.run ~until:(t0 +. 60.0) sim;
+        Alcotest.(check bool) "the partition exhausted the retry budget" true
+          (Message_bus.dead_letters bus > 0);
+        Alcotest.(check (option string)) "anti-entropy converged the far side"
+          (Some "survives") (Replication.read r1 ~key:"k")
+      | _ -> Alcotest.fail "expected two replicas")
+
 let replication_convergence_prop =
   QCheck.Test.make ~name:"replication: all replicas converge after quiescence" ~count:50
     QCheck.(pair (int_range 2 5) (small_list (pair (int_range 0 4) (int_range 0 100))))
@@ -304,5 +370,9 @@ let suite =
       test_primary_serializes_concurrent_writes;
     Alcotest.test_case "primary: primary writes are immediate" `Quick
       test_primary_write_at_primary_is_immediate;
+    Alcotest.test_case "faults: healed partition converges via retries" `Quick
+      test_partition_convergence_via_retries;
+    Alcotest.test_case "faults: anti-entropy recovers dead-lettered updates" `Quick
+      test_long_partition_anti_entropy_recovery;
     QCheck_alcotest.to_alcotest replication_convergence_prop;
   ]
