@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 micro-costs capacity resource-controls
    figure7 simm-local specweb extensions integrity ablations faults
-   micro *)
+   overload micro *)
 
 let experiments =
   [
@@ -22,6 +22,7 @@ let experiments =
     ("integrity", Bench_integrity.integrity);
     ("ablations", Bench_ablations.ablations);
     ("faults", Bench_faults.faults);
+    ("overload", Bench_overload.overload);
     ("micro", Bench_micro.micro);
   ]
 

@@ -214,6 +214,71 @@ p.register();
     ];
   proxy
 
+(* The overload scenario behind [stats --health]: a flash crowd swamps
+   one of two proxies (its admission queue sheds), and a handful of
+   fetches toward a dead origin trip that origin's circuit breaker. *)
+let health_scenario () =
+  let epoch = 1_136_073_600.0 in
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.fail_origin plan ~host:"dead.example.org" ~at:epoch
+    ~until:(epoch +. 3600.0) ();
+  let cluster = Core.Node.Cluster.create ~faults:plan () in
+  let origin = Core.Node.Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Core.Node.Origin.set_static origin ~path:"/index.html" ~max_age:300
+    "<html>hello from the origin</html>";
+  let dead = Core.Node.Cluster.add_origin cluster ~name:"dead.example.org" () in
+  Core.Node.Origin.set_static dead ~path:"/index.html" ~max_age:0 "<html>unreachable</html>";
+  let p1 = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let p2 = Core.Node.Cluster.add_proxy cluster ~name:"nk2.nakika.net" () in
+  let client = Core.Node.Cluster.add_client cluster ~name:"client" in
+  let sim = Core.Node.Cluster.sim cluster in
+  for i = 0 to 299 do
+    Core.Sim.Sim.schedule_at sim
+      (epoch +. 0.5 +. (0.001 *. float_of_int i))
+      (fun () ->
+        Core.Node.Cluster.fetch cluster ~client ~proxy:p1
+          (Core.Http.Message.request "http://www.example.edu.nakika.net/index.html")
+          (fun _ -> ()))
+  done;
+  for i = 0 to 5 do
+    Core.Sim.Sim.schedule_at sim
+      (epoch +. 1.0 +. float_of_int i)
+      (fun () ->
+        Core.Node.Cluster.fetch cluster ~client ~proxy:p2
+          (Core.Http.Message.request "http://dead.example.org.nakika.net/index.html")
+          (fun _ -> ()))
+  done;
+  Core.Sim.Sim.run ~until:(epoch +. 30.0) sim;
+  [ p1; p2 ]
+
+let print_health proxies =
+  Printf.printf "%-18s %12s %10s %7s %9s %14s %12s\n" "node" "queue-delay" "shed-rate"
+    "sheds" "shedding" "open-breakers" "quarantined";
+  List.iter
+    (fun p ->
+      (* The table reads the [health.*] gauges the node publishes each
+         report interval; name lists come from the live health view. *)
+      let m = Core.Node.Node.metrics p in
+      let h = Core.Node.Node.health p in
+      Printf.printf "%-18s %12.4f %10.3f %7d %9s %14.0f %12.0f\n" (Core.Node.Node.name p)
+        (Core.Telemetry.Metrics.gauge m "health.queue_delay")
+        (Core.Telemetry.Metrics.gauge m "health.shed_rate")
+        (Core.Telemetry.Metrics.counter_total m "admission.sheds")
+        (if h.Core.Node.Node.shedding then "yes" else "no")
+        (Core.Telemetry.Metrics.gauge m "health.open_breakers")
+        (Core.Telemetry.Metrics.gauge m "health.quarantined_sites"))
+    proxies;
+  List.iter
+    (fun p ->
+      let h = Core.Node.Node.health p in
+      List.iter
+        (fun b -> Printf.printf "%s: breaker open: %s\n" (Core.Node.Node.name p) b)
+        h.Core.Node.Node.open_breakers;
+      List.iter
+        (fun site -> Printf.printf "%s: quarantined: %s\n" (Core.Node.Node.name p) site)
+        h.Core.Node.Node.quarantined)
+    proxies
+
 let stats_cmd =
   let format_arg =
     Arg.(
@@ -223,21 +288,37 @@ let stats_cmd =
           ~doc:"Output format: $(b,table), $(b,json) (one object per instrument per \
                 line), or $(b,prom) (Prometheus text exposition).")
   in
-  let run format =
-    let proxy = telemetry_scenario () in
-    let metrics = Core.Node.Node.metrics proxy in
-    (match format with
-     | `Table -> print_string (Core.Telemetry.Metrics.to_table metrics)
-     | `Json -> print_string (Core.Telemetry.Metrics.to_json_lines metrics)
-     | `Prom -> print_string (Core.Telemetry.Metrics.to_prometheus metrics));
-    0
+  let health_arg =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Run a small overload scenario (flash crowd on one of two proxies, one dead \
+             origin) instead of the demo deployment, and print each node's health view: \
+             queue delay, shed rate, open circuit breakers, quarantined sites.")
+  in
+  let run format health =
+    if health then begin
+      print_health (health_scenario ());
+      0
+    end
+    else begin
+      let proxy = telemetry_scenario () in
+      let metrics = Core.Node.Node.metrics proxy in
+      (match format with
+       | `Table -> print_string (Core.Telemetry.Metrics.to_table metrics)
+       | `Json -> print_string (Core.Telemetry.Metrics.to_json_lines metrics)
+       | `Prom -> print_string (Core.Telemetry.Metrics.to_prometheus metrics));
+      0
+    end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run the demo deployment and dump the proxy node's metrics registry \
-          (counters, gauges, latency/fuel histograms).")
-    Term.(const run $ format_arg)
+          (counters, gauges, latency/fuel histograms); with $(b,--health), run an \
+          overload scenario and print per-node health instead.")
+    Term.(const run $ format_arg $ health_arg)
 
 let trace_cmd =
   let slowest_arg =

@@ -60,11 +60,38 @@ let create ?(seed = 11) ?default_latency ?default_bandwidth ?client_wall ?server
     proxies = [];
   }
 
+(* Periodic load reports to the redirector: queueing delay, shed rate,
+   and the liveness incarnation (so a report from before a crash can't
+   shadow the restarted node's view). A crashed node reports nothing —
+   the redirector's own [host_down] filter covers the gap. *)
+let start_health_reports t node =
+  let period = (Node.config node).Config.health_report_interval in
+  if period > 0.0 then begin
+    let host = Node.host node in
+    let name = Nk_sim.Net.host_name host in
+    let rec cycle () =
+      if not (Nk_sim.Net.host_down t.net host) then begin
+        let h = Node.health node in
+        let incarnation =
+          match Nk_sim.Net.faults t.net with
+          | Some plan ->
+            Nk_faults.Plan.incarnation plan ~now:(Nk_sim.Sim.now t.sim) name
+          | None -> 0
+        in
+        Nk_overlay.Redirector.report t.redirector ~host:name ~incarnation
+          ~queue_delay:h.Node.queue_delay ~shed_rate:h.Node.shed_rate ()
+      end;
+      Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+    in
+    Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+  end
+
 let add_proxy t ~name ?(cpu_speed = 1.0) ?config () =
   let host = Nk_sim.Net.add_host t.net ~name ~cpu_speed () in
   let node = Node.create ~web:t.web ~host ~dht:t.dht ~bus:t.bus ?config () in
   Nk_overlay.Redirector.add_proxy t.redirector host;
   t.proxies <- node :: t.proxies;
+  start_health_reports t node;
   node
 
 let add_origin t ~name ?(cpu_speed = 1.0) ?sign_key () =

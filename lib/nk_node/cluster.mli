@@ -47,8 +47,8 @@ val add_client : t -> name:string -> Nk_sim.Net.host
 val connect : t -> Nk_sim.Net.host -> Nk_sim.Net.host -> latency:float -> bandwidth:float -> unit
 
 val pick_proxy : t -> client:Nk_sim.Net.host -> Node.t option
-(** DNS redirection: the nearest proxy (with a small spread for load
-    balancing). *)
+(** DNS redirection: the nearest live proxy (with a small spread for
+    load balancing, weighted by the headroom each node reports). *)
 
 val fetch :
   t ->

@@ -43,6 +43,18 @@ type t = {
   peer_timeout : float;
   stale_if_error : float;
   anti_entropy_interval : float;
+  enable_admission : bool;
+  admission_target : float;
+  admission_interval : float;
+  admission_capacity : int;
+  breaker_failures : int;
+  breaker_error_rate : float;
+  breaker_window : float;
+  breaker_cooldown : float;
+  breaker_max_cooldown : float;
+  quarantine_max : float;
+  quarantine_decay : float;
+  health_report_interval : float;
   costs : costs;
   seed : int;
 }
@@ -106,6 +118,21 @@ let default =
     peer_timeout = 3.0;
     stale_if_error = 900.0;
     anti_entropy_interval = 30.0;
+    enable_admission = true;
+    (* Well above cpu_congestion_backlog: the Fig. 6 monitor handles
+       resource hogs; admission control only kicks in when the host is
+       drowning in sheer request volume. *)
+    admission_target = 0.5;
+    admission_interval = 0.5;
+    admission_capacity = 64;
+    breaker_failures = 3;
+    breaker_error_rate = 0.5;
+    breaker_window = 10.0;
+    breaker_cooldown = 5.0;
+    breaker_max_cooldown = 60.0;
+    quarantine_max = 240.0;
+    quarantine_decay = 60.0;
+    health_report_interval = 1.0;
     costs = default_costs;
     seed = 7;
   }
@@ -116,4 +143,5 @@ let plain_proxy =
     enable_pipeline = false;
     enable_dht = false;
     enable_resource_controls = false;
+    enable_admission = false;
   }

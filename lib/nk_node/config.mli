@@ -39,8 +39,10 @@ type t = {
   dht_ttl : float; (** cooperative-cache announcement lifetime *)
   control_interval : float; (** CONTROL period (Fig. 6) *)
   control_timeout : float; (** WAIT(TIMEOUT) before the kill decision *)
-  termination_penalty : float; (** seconds a terminated site's requests are
-                                   refused before it may run scripts again *)
+  termination_penalty : float; (** base quarantine window: seconds a
+                                   terminated site's requests are refused
+                                   before it may run scripts again; doubles
+                                   per repeat offense up to [quarantine_max] *)
   cpu_congestion_backlog : float; (** CPU backlog (s) counting as congested *)
   memory_congestion_bytes : float; (** script heap per interval counting as congested *)
   bandwidth_congestion_bytes : float; (** body bytes per interval counting as congested *)
@@ -68,6 +70,26 @@ type t = {
                               0 disables degradation *)
   anti_entropy_interval : float; (** period of hard-state anti-entropy
                                      re-broadcast; 0 disables it *)
+  enable_admission : bool; (** CoDel-style admission control and load
+                               shedding at the front door *)
+  admission_target : float; (** queueing-delay target (s); delay above it
+                                for a full interval triggers shedding *)
+  admission_interval : float; (** detection interval for the delay target *)
+  admission_capacity : int; (** hard bound on concurrently admitted
+                                requests, with per-site fair shares *)
+  breaker_failures : int; (** consecutive upstream failures tripping a
+                              circuit breaker open *)
+  breaker_error_rate : float; (** windowed error rate that also trips it *)
+  breaker_window : float; (** error-rate observation window (s) *)
+  breaker_cooldown : float; (** initial open-state cooldown before the
+                                half-open probe *)
+  breaker_max_cooldown : float; (** backoff doubling cap *)
+  quarantine_max : float; (** cap on the escalating per-site ban window
+                              (the base is [termination_penalty]) *)
+  quarantine_decay : float; (** seconds of good behaviour that erase one
+                                quarantine strike *)
+  health_report_interval : float; (** period of load reports to the
+                                      redirector; 0 disables them *)
   costs : costs;
   seed : int;
 }

@@ -16,7 +16,11 @@ type t = {
   mutable monitor : Nk_resource.Monitor.t option;
   throttles : (Nk_resource.Resource.t, (string, float) Hashtbl.t) Hashtbl.t;
   (* per resource: site -> reject probability *)
-  banned : (string, float) Hashtbl.t; (* terminated site -> ban expiry *)
+  quarantine : Nk_resource.Quarantine.t;
+  (* terminated sites serve escalating, decaying ban windows *)
+  admission : Nk_resource.Admission.t option;
+  breakers : (string, Nk_resource.Breaker.t) Hashtbl.t;
+  (* per upstream ("origin:<site>" / "peer:<node>") circuit breaker *)
   store : Nk_replication.Store.t;
   replicas : (string, Nk_replication.Replication.node) Hashtbl.t; (* per site *)
   log_urls : (string, string) Hashtbl.t; (* site -> posting URL *)
@@ -58,6 +62,10 @@ let cache t = t.cache
 let accounting t = t.accounting
 
 let monitor t = t.monitor
+
+let quarantine t = t.quarantine
+
+let admission t = t.admission
 
 let terminated_sites t = t.terminated
 
@@ -106,6 +114,57 @@ let charge_cpu t seconds =
    thus limits throughput, but overlaps this request's network time. *)
 let charge_cpu_background t seconds =
   if seconds > 0.0 then Nk_sim.Net.cpu_run t.net t.host ~seconds (fun () -> ())
+
+(* --- overload resilience --------------------------------------------- *)
+
+(* One breaker per upstream, created lazily on first use and keyed
+   ["origin:<site>"] / ["peer:<node>"]. *)
+let breaker_for t key =
+  match Hashtbl.find_opt t.breakers key with
+  | Some b -> b
+  | None ->
+    let b =
+      Nk_resource.Breaker.create ~name:key
+        ~failure_threshold:t.cfg.Config.breaker_failures
+        ~error_rate:t.cfg.Config.breaker_error_rate ~window:t.cfg.Config.breaker_window
+        ~cooldown:t.cfg.Config.breaker_cooldown
+        ~max_cooldown:t.cfg.Config.breaker_max_cooldown
+        ~clock:(fun () -> now t)
+        ~metrics:t.metrics ()
+    in
+    Hashtbl.add t.breakers key b;
+    b
+
+type health = {
+  queue_delay : float;
+  shed_rate : float;
+  shedding : bool;
+  open_breakers : string list;
+  quarantined : string list;
+}
+
+let health t =
+  {
+    queue_delay = Nk_sim.Net.cpu_backlog t.net t.host;
+    shed_rate =
+      (match t.admission with Some a -> Nk_resource.Admission.shed_rate a | None -> 0.0);
+    shedding =
+      (match t.admission with Some a -> Nk_resource.Admission.shedding a | None -> false);
+    open_breakers =
+      Hashtbl.fold
+        (fun key b acc ->
+          if Nk_resource.Breaker.state b <> Nk_resource.Breaker.Closed then key :: acc
+          else acc)
+        t.breakers []
+      |> List.sort compare;
+    quarantined = List.map fst (Nk_resource.Quarantine.active t.quarantine);
+  }
+
+let retry_after_response ?(status = 503) seconds =
+  let resp = Nk_http.Message.error_response status in
+  Nk_http.Message.set_resp_header resp "Retry-After"
+    (string_of_int (max 1 (int_of_float (Float.ceil seconds))));
+  resp
 
 (* --- the content handler: cache + DHT + origin --------------------- *)
 
@@ -195,18 +254,39 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
                | None -> "timeout");
             resp
           in
-          let resp =
-            match validator with
-            | None -> do_fetch osp
-            | Some _ ->
-              in_span t ?parent:osp "revalidation" [] (fun rsp ->
-                  let resp = do_fetch rsp in
-                  set_attr rsp "not-modified"
-                    (string_of_bool
-                       (match resp with
-                        | Some r -> r.Nk_http.Message.status = 304
-                        | None -> false));
-                  resp)
+          (* A tripped breaker short-circuits the fetch entirely: the
+             dead origin costs one probe per cooldown, not one
+             [origin_timeout] per request. The short-circuited request
+             still degrades to a stale copy when one exists. *)
+          let breaker =
+            breaker_for t ("origin:" ^ Nk_http.Url.site req.Nk_http.Message.url)
+          in
+          let resp, short_circuit =
+            match Nk_resource.Breaker.acquire breaker with
+            | `Reject retry ->
+              Nk_sim.Trace.incr t.trace "breaker-short-circuits";
+              set_attr osp "breaker" "open";
+              (None, Some retry)
+            | `Proceed ->
+              let resp =
+                match validator with
+                | None -> do_fetch osp
+                | Some _ ->
+                  in_span t ?parent:osp "revalidation" [] (fun rsp ->
+                      let resp = do_fetch rsp in
+                      set_attr rsp "not-modified"
+                        (string_of_bool
+                           (match resp with
+                            | Some r -> r.Nk_http.Message.status = 304
+                            | None -> false));
+                      resp)
+              in
+              (match resp with
+               | None -> Nk_resource.Breaker.failure breaker
+               | Some r when r.Nk_http.Message.status >= 500 ->
+                 Nk_resource.Breaker.failure breaker
+               | Some _ -> Nk_resource.Breaker.success breaker);
+              (resp, None)
           in
           (* Stale-if-error (RFC 2616 §13.1.5 spirit): when the origin
              times out or answers with a server error, a cached copy
@@ -234,7 +314,12 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
           | None -> (
             match degrade () with
             | Some old -> old
-            | None -> Nk_http.Message.error_response 504)
+            | None -> (
+              match short_circuit with
+              (* No stale fallback and an open breaker: fail fast with a
+                 retry hint instead of pretending we waited. *)
+              | Some retry -> retry_after_response retry
+              | None -> Nk_http.Message.error_response 504))
           | Some resp when resp.Nk_http.Message.status >= 500 -> (
             match degrade () with
             | Some old -> old
@@ -273,8 +358,20 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
         | [] -> from_origin ()
         | _ when budget = 0 -> from_origin ()
         | peer :: rest -> (
+          let peer_breaker = breaker_for t ("peer:" ^ peer) in
+          match Nk_resource.Breaker.acquire peer_breaker with
+          | `Reject _ ->
+            (* A peer behind an open breaker is skipped outright — and
+               without consuming the budget, so one dead peer doesn't
+               halve our cooperative-cache reach. *)
+            Nk_sim.Trace.incr t.trace "breaker-short-circuits";
+            try_peers budget rest
+          | `Proceed -> (
           match Nk_sim.Httpd.resolve t.web peer with
-          | None -> from_origin ()
+          | None ->
+            (* Release the (possibly half-open probe) slot we claimed. *)
+            Nk_resource.Breaker.failure peer_breaker;
+            from_origin ()
           | Some peer_host ->
             Nk_sim.Trace.incr t.trace "dht-hits";
             let peer_resp =
@@ -323,10 +420,13 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
             in
             (match peer_resp with
              | Some resp ->
+               Nk_resource.Breaker.success peer_breaker;
                Nk_sim.Trace.incr t.trace "peer-fetches";
                insert_if_cacheable t req resp;
                resp
-             | None -> try_peers (budget - 1) rest))
+             | None ->
+               Nk_resource.Breaker.failure peer_breaker;
+               try_peers (budget - 1) rest)))
       in
       try_peers 2 peers
     | _ -> from_origin ())
@@ -734,27 +834,24 @@ let handle t (req : Nk_http.Message.request) k =
      | Some origin -> req.Nk_http.Message.url <- origin
      | None -> ());
     let site = Nk_http.Url.site req.Nk_http.Message.url in
-    let banned =
-      match Hashtbl.find_opt t.banned site with
-      | Some expiry when expiry > now t -> true
-      | Some _ ->
-        Hashtbl.remove t.banned site;
-        false
-      | None -> false
-    in
     let fraction = throttle_fraction t site in
     (* A rejected request still gets a (one-span) trace: admission
-       decisions are part of "where did this request's time go?". *)
-    let reject outcome =
+       decisions are part of "where did this request's time go?". With
+       [retry_after], the 503 tells the client when trying again might
+       actually succeed. *)
+    let reject ?retry_after outcome =
       let span = start_request_span t "request" req in
       set_attr span "outcome" outcome;
       set_attr span "status" "503";
       finish_span t span;
-      k (Nk_http.Message.error_response 503)
+      k
+        (match retry_after with
+         | Some s -> retry_after_response s
+         | None -> Nk_http.Message.error_response 503)
     in
-    if banned then begin
+    if Nk_resource.Quarantine.is_banned t.quarantine ~site then begin
       Nk_sim.Trace.incr t.trace "dropped-termination";
-      reject "banned-site"
+      reject ~retry_after:(Nk_resource.Quarantine.remaining t.quarantine ~site) "banned-site"
     end
     else if
       t.cfg.Config.enable_resource_controls && fraction > 0.0
@@ -763,30 +860,52 @@ let handle t (req : Nk_http.Message.request) k =
       Nk_sim.Trace.incr t.trace "rejected-throttle";
       reject "rejected-throttle"
     end
-    else
-      (* §3.1: a Range request is processed on the entire instance (the
-         pipeline may transcode it); the requested slice is cut out only
-         for the final client response. *)
-      let range =
-        Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
+    else begin
+      (* Front-door admission control: the host's CPU backlog is the
+         queueing delay a newly admitted request would see. *)
+      let verdict =
+        match t.admission with
+        | None -> Nk_resource.Admission.Admitted
+        | Some adm ->
+          Nk_resource.Admission.offer adm ~site
+            ~queue_delay:(Nk_sim.Net.cpu_backlog t.net t.host)
       in
-      let span = start_request_span t "request" req in
-      Nk_util.Cothread.spawn
-        (fun () -> process t ?span req)
-        ~on_done:(fun resp ->
-          Nk_sim.Trace.incr t.trace "responses";
-          (match range with
-           | Some r -> if Nk_http.Range.apply r resp then Nk_sim.Trace.incr t.trace "range-responses"
-           | None -> ());
-          set_attr span "status" (string_of_int resp.Nk_http.Message.status);
-          finish_span t span;
-          k resp)
-        ~on_error:(fun exn ->
-          Nk_sim.Trace.incr t.trace "script-errors";
-          Logs.warn (fun m -> m "[%s] pipeline error: %s" (name t) (Printexc.to_string exn));
-          set_attr span "error" (Printexc.to_string exn);
-          finish_span t span;
-          k (Nk_http.Message.error_response 500))
+      match verdict with
+      | Nk_resource.Admission.Shed { retry_after; reason } ->
+        Nk_sim.Trace.incr t.trace "admission-sheds";
+        reject ~retry_after ("admission-" ^ reason)
+      | Nk_resource.Admission.Admitted ->
+        let release () =
+          match t.admission with
+          | Some adm -> Nk_resource.Admission.release adm ~site
+          | None -> ()
+        in
+        (* §3.1: a Range request is processed on the entire instance (the
+           pipeline may transcode it); the requested slice is cut out only
+           for the final client response. *)
+        let range =
+          Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
+        in
+        let span = start_request_span t "request" req in
+        Nk_util.Cothread.spawn
+          (fun () -> process t ?span req)
+          ~on_done:(fun resp ->
+            release ();
+            Nk_sim.Trace.incr t.trace "responses";
+            (match range with
+             | Some r -> if Nk_http.Range.apply r resp then Nk_sim.Trace.incr t.trace "range-responses"
+             | None -> ());
+            set_attr span "status" (string_of_int resp.Nk_http.Message.status);
+            finish_span t span;
+            k resp)
+          ~on_error:(fun exn ->
+            release ();
+            Nk_sim.Trace.incr t.trace "script-errors";
+            Logs.warn (fun m -> m "[%s] pipeline error: %s" (name t) (Printexc.to_string exn));
+            set_attr span "error" (Printexc.to_string exn);
+            finish_span t span;
+            k (Nk_http.Message.error_response 500))
+    end
   end
 
 (* --- congestion control (Fig. 6 scheduling) --------------------------- *)
@@ -828,8 +947,9 @@ let terminate_site t ~site =
         Nk_cache.Memo_cache.remove t.stage_cache url
       | _ -> ())
     [ Printf.sprintf "http://%s/nakika.js" site ];
-  (* Refuse the site's requests for the penalty period. *)
-  Hashtbl.replace t.banned site (now t +. t.cfg.Config.termination_penalty)
+  (* Refuse the site's requests for an escalating (but decaying) ban
+     window — repeat offenders wait longer, reformed ones recover. *)
+  ignore (Nk_resource.Quarantine.punish t.quarantine ~site)
 
 let start_monitor t =
   let accounting = t.accounting in
@@ -910,6 +1030,33 @@ let start_log_poster t =
   in
   Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:30.0 cycle
 
+(* Publish the node's own load view as gauges every report interval, so
+   [nakika stats --health] and merged benchmark registries can show
+   per-node overload state without poking node internals. *)
+let start_health_gauges t =
+  let period = t.cfg.Config.health_report_interval in
+  if period > 0.0 then begin
+    let was_down = ref false in
+    let rec cycle () =
+      let down = Nk_sim.Net.host_down t.net t.host in
+      (* Requests admitted before a crash died with the host: their
+         queue slots must not haunt admission after restart. *)
+      if !was_down && not down then
+        Option.iter Nk_resource.Admission.reset t.admission;
+      was_down := down;
+      if not down then begin
+        let h = health t in
+        let set = Nk_telemetry.Metrics.set_gauge t.metrics in
+        set "health.queue_delay" h.queue_delay;
+        set "health.shed_rate" h.shed_rate;
+        set "health.open_breakers" (float_of_int (List.length h.open_breakers));
+        set "health.quarantined_sites" (float_of_int (List.length h.quarantined))
+      end;
+      Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+    in
+    Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+  end
+
 let create ~web ~host ?dht ?bus ?(config = Config.default) () =
   let net = Nk_sim.Httpd.net web in
   let sim = Nk_sim.Net.sim net in
@@ -931,7 +1078,18 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
       accounting = Nk_resource.Accounting.create ();
       monitor = None;
       throttles = Hashtbl.create 4;
-      banned = Hashtbl.create 4;
+      quarantine =
+        Nk_resource.Quarantine.create ~base:config.Config.termination_penalty
+          ~max_window:config.Config.quarantine_max ~decay:config.Config.quarantine_decay
+          ~clock ~metrics ();
+      admission =
+        (if config.Config.enable_admission then
+           Some
+             (Nk_resource.Admission.create ~target:config.Config.admission_target
+                ~interval:config.Config.admission_interval
+                ~capacity:config.Config.admission_capacity ~clock ~metrics ())
+         else None);
+      breakers = Hashtbl.create 8;
       store = Nk_replication.Store.create ();
       replicas = Hashtbl.create 4;
       log_urls = Hashtbl.create 4;
@@ -962,4 +1120,5 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
    | _ -> ());
   if config.Config.enable_resource_controls then start_monitor t;
   start_log_poster t;
+  start_health_gauges t;
   t

@@ -56,6 +56,26 @@ val accounting : t -> Nk_resource.Accounting.t
 
 val monitor : t -> Nk_resource.Monitor.t option
 
+val quarantine : t -> Nk_resource.Quarantine.t
+(** The escalating ban windows of terminated sites. *)
+
+val admission : t -> Nk_resource.Admission.t option
+(** Front-door admission controller ([None] when
+    [Config.enable_admission] is off). *)
+
+type health = {
+  queue_delay : float;  (** current CPU backlog in seconds *)
+  shed_rate : float;  (** fraction of recent arrivals shed *)
+  shedding : bool;  (** admission currently in the shedding state *)
+  open_breakers : string list;  (** breakers not in the closed state *)
+  quarantined : string list;  (** sites currently serving a ban *)
+}
+
+val health : t -> health
+(** The node's own overload view — what it publishes to the redirector
+    and exports as [health.*] gauges every
+    [Config.health_report_interval]. *)
+
 val terminated_sites : t -> string list
 (** Sites whose pipelines the monitor has terminated (most recent
     first; a site may appear more than once). *)

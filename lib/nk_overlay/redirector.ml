@@ -1,6 +1,17 @@
-type t = { net : Nk_sim.Net.t; mutable proxies : Nk_sim.Net.host list }
+type health = {
+  queue_delay : float;
+  shed_rate : float;
+  incarnation : int;
+  reported_at : float;
+}
 
-let create net = { net; proxies = [] }
+type t = {
+  net : Nk_sim.Net.t;
+  mutable proxies : Nk_sim.Net.host list;
+  reports : (string, health) Hashtbl.t;
+}
+
+let create net = { net; proxies = []; reports = Hashtbl.create 8 }
 
 let add_proxy t host =
   if not (List.exists (fun h -> Nk_sim.Net.host_name h = Nk_sim.Net.host_name host) t.proxies)
@@ -8,20 +19,54 @@ let add_proxy t host =
 
 let remove_proxy t host =
   t.proxies <-
-    List.filter (fun h -> Nk_sim.Net.host_name h <> Nk_sim.Net.host_name host) t.proxies
+    List.filter (fun h -> Nk_sim.Net.host_name h <> Nk_sim.Net.host_name host) t.proxies;
+  Hashtbl.remove t.reports (Nk_sim.Net.host_name host)
 
 let proxies t = t.proxies
 
+let report t ~host ?(incarnation = 0) ~queue_delay ~shed_rate () =
+  let fresh =
+    match Hashtbl.find_opt t.reports host with
+    | Some prev -> incarnation >= prev.incarnation
+    | None -> true
+  in
+  (* A report from a pre-crash incarnation may arrive after the node
+     restarted and re-announced; never let it shadow the newer view. *)
+  if fresh then
+    Hashtbl.replace t.reports host
+      {
+        queue_delay;
+        shed_rate;
+        incarnation;
+        reported_at = Nk_sim.Sim.now (Nk_sim.Net.sim t.net);
+      }
+
+let health t ~host = Hashtbl.find_opt t.reports host
+
+(* An unloaded node has headroom 1.0; queueing delay and shed rate each
+   scale it down, floored so a struggling node still gets a trickle of
+   probes (otherwise it could never demonstrate recovery). *)
+let headroom t host =
+  match Hashtbl.find_opt t.reports (Nk_sim.Net.host_name host) with
+  | None -> 1.0
+  | Some h ->
+    let delay_factor = 1.0 /. (1.0 +. (h.queue_delay /. 0.1)) in
+    let shed_factor = 1.0 -. Float.min 0.95 h.shed_rate in
+    Float.max 0.02 (delay_factor *. shed_factor)
+
 let pick t ?(spread = 1) ~rng ~client () =
-  match t.proxies with
+  (* A crashed proxy must not receive redirections, whatever its last
+     load report said. *)
+  let live = List.filter (fun p -> not (Nk_sim.Net.host_down t.net p)) t.proxies in
+  match live with
   | [] -> None
-  | proxies ->
+  | live ->
     let probe_size = 1024 in
     let scored =
       List.map
         (fun p ->
           (Nk_sim.Net.transfer_time_estimate t.net ~src:client ~dst:p ~size:probe_size, p))
-        proxies
+        live
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     (* "Close-by": only proxies comparable to the nearest count as
@@ -29,7 +74,19 @@ let pick t ?(spread = 1) ~rng ~client () =
        the world. *)
     let best = match scored with (s, _) :: _ -> s | [] -> 0.0 in
     let close = List.filter (fun (s, _) -> s <= (best *. 2.0) +. 1e-4) scored in
+    (* Clamp the spread to the candidates actually registered and close
+       enough — a spread of 4 over 2 proxies is a spread of 2. *)
     let k = max 1 (min spread (List.length close)) in
     let nearest = List.filteri (fun i _ -> i < k) close in
-    let _, choice = List.nth nearest (Nk_util.Prng.int rng (List.length nearest)) in
-    Some choice
+    (* Weighted choice by reported headroom: among equally close nodes,
+       an idle one draws proportionally more clients than one shedding
+       half its arrivals. *)
+    let weighted = List.map (fun (_, p) -> (headroom t p, p)) nearest in
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+    let roll = Nk_util.Prng.float rng total in
+    let rec choose acc = function
+      | [] -> None
+      | [ (_, p) ] -> Some p
+      | (w, p) :: rest -> if roll < acc +. w then Some p else choose (acc +. w) rest
+    in
+    choose 0.0 weighted

@@ -3,18 +3,48 @@
     Coral's optional DNS redirection is modeled by choosing, per client,
     the proxy with the lowest estimated transfer time; [pick ~spread]
     randomizes among the closest few for the paper's "randomly chosen,
-    but close-by proxies" load balancing (§5.2). *)
+    but close-by proxies" load balancing (§5.2).
+
+    The redirector is additionally {e health-aware}: nodes publish load
+    reports (queueing delay, shed rate, liveness incarnation) and [pick]
+    skips crashed proxies entirely while weighting among the close-by
+    survivors by reported headroom, so a flash crowd drains toward the
+    nodes with capacity to absorb it. *)
 
 type t
+
+type health = {
+  queue_delay : float;  (** seconds of queued work the node reported *)
+  shed_rate : float;  (** fraction of recent arrivals the node shed *)
+  incarnation : int;  (** liveness epoch; bumped on restart *)
+  reported_at : float;  (** simulated time of the report *)
+}
 
 val create : Nk_sim.Net.t -> t
 
 val add_proxy : t -> Nk_sim.Net.host -> unit
 
 val remove_proxy : t -> Nk_sim.Net.host -> unit
+(** Also drops any stored health report for the proxy. *)
 
 val proxies : t -> Nk_sim.Net.host list
 
+val report :
+  t ->
+  host:string ->
+  ?incarnation:int ->
+  queue_delay:float ->
+  shed_rate:float ->
+  unit ->
+  unit
+(** Publish a load report for [host]. Reports carrying an incarnation
+    lower than the stored one are stale (sent before a crash the
+    redirector already heard about) and are ignored. *)
+
+val health : t -> host:string -> health option
+
 val pick : t -> ?spread:int -> rng:Nk_util.Prng.t -> client:Nk_sim.Net.host -> unit -> Nk_sim.Net.host option
-(** The nearest proxy, or with [spread = k > 1] a uniform choice among
-    the [k] nearest. [None] when no proxies are registered. *)
+(** The nearest live proxy, or with [spread = k > 1] a headroom-weighted
+    choice among the [k] nearest ([spread] is clamped to the close-by
+    live candidates). Crashed proxies are never returned. [None] when no
+    live proxy is registered. *)

@@ -1,0 +1,147 @@
+type verdict = Admitted | Shed of { retry_after : float; reason : string }
+
+type t = {
+  target : float;
+  interval : float;
+  capacity : int;
+  rate_window : float;
+  clock : unit -> float;
+  metrics : Nk_telemetry.Metrics.t option;
+  occupancy : (string, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable above_since : float option;
+  mutable shedding_ : bool;
+  mutable sheds : int;
+  mutable admits : int;
+  mutable window_start : float;
+  mutable window_arrivals : int;
+  mutable window_sheds : int;
+  mutable last_shed_rate : float;
+}
+
+let create ?(target = 0.5) ?(interval = 0.5) ?(capacity = 64) ?(rate_window = 5.0) ~clock
+    ?metrics () =
+  {
+    target;
+    interval;
+    capacity;
+    rate_window;
+    clock;
+    metrics;
+    occupancy = Hashtbl.create 8;
+    total = 0;
+    above_since = None;
+    shedding_ = false;
+    sheds = 0;
+    admits = 0;
+    window_start = clock ();
+    window_arrivals = 0;
+    window_sheds = 0;
+    last_shed_rate = 0.0;
+  }
+
+let queue_length t = t.total
+
+let sheds t = t.sheds
+
+let admits t = t.admits
+
+let shedding t = t.shedding_
+
+let site_occupancy t ~site =
+  match Hashtbl.find_opt t.occupancy site with Some r -> !r | None -> 0
+
+let roll_rate_window t now =
+  if now -. t.window_start >= t.rate_window then begin
+    t.last_shed_rate <-
+      (if t.window_arrivals = 0 then 0.0
+       else float_of_int t.window_sheds /. float_of_int t.window_arrivals);
+    t.window_start <- now;
+    t.window_arrivals <- 0;
+    t.window_sheds <- 0
+  end
+
+let shed_rate t =
+  roll_rate_window t (t.clock ());
+  if t.window_arrivals > 0 then
+    float_of_int t.window_sheds /. float_of_int t.window_arrivals
+  else t.last_shed_rate
+
+(* Each site's fair slice of the queue is [capacity / active sites]
+   (sites with requests currently queued, the arriving one included). *)
+let fair_share t ~site =
+  let active =
+    Hashtbl.fold (fun s r acc -> if !r > 0 && s <> site then acc + 1 else acc) t.occupancy 0
+    + 1
+  in
+  max 1 (t.capacity / active)
+
+let slot t site =
+  match Hashtbl.find_opt t.occupancy site with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.occupancy site r;
+    r
+
+let offer t ~site ~queue_delay =
+  let now = t.clock () in
+  roll_rate_window t now;
+  t.window_arrivals <- t.window_arrivals + 1;
+  (match t.metrics with
+   | Some m -> Nk_telemetry.Metrics.observe m "admission.queue_delay" queue_delay
+   | None -> ());
+  (* CoDel-style detection: transient bursts above the target are fine;
+     only delay that stays above it for a full interval flips the node
+     into shedding, and the first dip back below the target flips it
+     out. *)
+  if queue_delay < t.target then begin
+    t.above_since <- None;
+    t.shedding_ <- false
+  end
+  else begin
+    match t.above_since with
+    | None -> t.above_since <- Some now
+    | Some since -> if now -. since >= t.interval then t.shedding_ <- true
+  end;
+  let occ = slot t site in
+  let reason =
+    if t.total >= t.capacity then Some "queue-full"
+    else if t.shedding_ then Some "overload"
+    else if 2 * t.total >= t.capacity && !occ + 1 > fair_share t ~site then
+      (* The queue is contended and this site is already over its
+         slice: shed it before it starves everyone else. *)
+      Some "fair-share"
+    else None
+  in
+  match reason with
+  | None ->
+    t.admits <- t.admits + 1;
+    incr occ;
+    t.total <- t.total + 1;
+    Admitted
+  | Some reason ->
+    t.sheds <- t.sheds + 1;
+    t.window_sheds <- t.window_sheds + 1;
+    (match t.metrics with
+     | Some m ->
+       Nk_telemetry.Metrics.incr m
+         ~labels:[ ("site", site); ("reason", reason) ]
+         "admission.sheds"
+     | None -> ());
+    (* Tell the client when the backlog should have drained back to the
+       target — cheap for us, actionable for it. *)
+    let retry_after = Float.max t.interval (queue_delay -. t.target) in
+    Shed { retry_after; reason }
+
+let reset t =
+  Hashtbl.reset t.occupancy;
+  t.total <- 0;
+  t.above_since <- None;
+  t.shedding_ <- false
+
+let release t ~site =
+  (match Hashtbl.find_opt t.occupancy site with
+   | Some r when !r > 0 -> decr r
+   | _ -> ());
+  if t.total > 0 then t.total <- t.total - 1

@@ -78,6 +78,18 @@ let begin_control t resource =
 let finish_control t resource =
   let ranked = match Hashtbl.find_opt t.pending resource with Some r -> r | None -> [] in
   Hashtbl.remove t.pending resource;
+  (* Restoration is as auditable as enforcement: every site throttled in
+     the begin phase gets a matching [unthrottle] event when the clamp
+     is lifted. *)
+  let unthrottled () =
+    t.unthrottle resource;
+    List.iter
+      (fun (site, _) ->
+        emit t ~counter:"monitor.unthrottles" ~event:"unthrottle" ~site
+          ~attrs:[ ("resource", Resource.to_string resource) ])
+      ranked;
+    `Unthrottled
+  in
   if t.is_congested ~final:true resource then begin
     match ranked with
     | (site, _) :: _ ->
@@ -86,14 +98,9 @@ let finish_control t resource =
       emit t ~counter:"monitor.terminations" ~event:"terminate" ~site
         ~attrs:[ ("resource", Resource.to_string resource) ];
       `Terminated site
-    | [] ->
-      t.unthrottle resource;
-      `Unthrottled
+    | [] -> unthrottled ()
   end
-  else begin
-    t.unthrottle resource;
-    `Unthrottled
-  end
+  else unthrottled ()
 
 let terminations t = t.terminations
 

@@ -26,11 +26,12 @@ val create :
   ?metrics:Nk_telemetry.Metrics.t ->
   unit ->
   t
-(** With [events]/[metrics], every throttle and termination decision is
-    recorded as a structured ["throttle"]/["terminate"] event carrying
-    the offending site, the congested resource, and (for throttles) the
-    fraction — plus site-labeled ["monitor.throttles"] /
-    ["monitor.terminations"] counters. *)
+(** With [events]/[metrics], every throttle, termination, and
+    restoration decision is recorded as a structured
+    ["throttle"]/["terminate"]/["unthrottle"] event carrying the
+    affected site, the resource, and (for throttles) the fraction —
+    plus site-labeled ["monitor.throttles"] / ["monitor.terminations"]
+    / ["monitor.unthrottles"] counters. *)
 
 val begin_control : t -> Resource.t -> [ `Congested of (string * float) list | `Clear ]
 (** The list pairs each throttled site with its throttle fraction. *)

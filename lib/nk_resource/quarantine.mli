@@ -1,0 +1,49 @@
+(** Site quarantine with escalation and recovery.
+
+    §3.2 promises that penalized sites can "recover from past
+    penalization"; a permanent termination list breaks that contract.
+    Instead, each offense bans the site for an escalating window —
+    [base * 2^strikes], capped at [max_window] — and the strike count
+    decays by one for every full [decay] period the site behaves after
+    its ban expires. A site that misbehaved once is serving again after
+    one base window and back to a clean slate shortly after; a site
+    that re-offends every time it returns converges to the maximum
+    ban.
+
+    Time is injected; with [metrics], every ban is counted
+    (["quarantine.bans"], site-labeled) and the granted window sizes
+    are recorded in the ["quarantine.window"] histogram. *)
+
+type t
+
+val create :
+  ?base:float ->
+  ?max_window:float ->
+  ?decay:float ->
+  clock:(unit -> float) ->
+  ?metrics:Nk_telemetry.Metrics.t ->
+  unit ->
+  t
+(** Defaults: 30 s base ban doubling up to 240 s; strikes decay per
+    60 s of good behaviour. [decay <= 0.0] disables decay (strikes only
+    ever grow). *)
+
+val punish : t -> site:string -> float
+(** Record an offense; returns the ban window granted (seconds). *)
+
+val is_banned : t -> site:string -> bool
+
+val remaining : t -> site:string -> float
+(** Seconds left on the site's ban; 0 when not banned. *)
+
+val strikes : t -> site:string -> int
+(** Current (decayed) strike count. *)
+
+val active : t -> (string * float) list
+(** Currently banned sites with their absolute expiry times, sorted. *)
+
+val bans : t -> int
+(** Total offenses recorded. *)
+
+val forgive : t -> site:string -> unit
+(** Drop all state for the site (operator override). *)

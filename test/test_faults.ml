@@ -260,6 +260,92 @@ let test_degraded_run_keeps_most_successes () =
     true
     (float_of_int degraded >= 0.8 *. float_of_int baseline)
 
+(* --- overload acceptance: flash crowd + crash + dead origin ---------- *)
+
+(* The bench/bench_overload.ml scenario as a pass/fail test: a 600-
+   request flash crowd on one hot page plus a 30-request stream to a
+   fragile origin, run fault-free and then with one proxy crashing
+   mid-crowd (restarting 15 s later) and the fragile origin dead for
+   the rest of the run. The overload defenses (admission control,
+   health-aware redirection, circuit breakers, stale-if-error) must
+   keep goodput at >= 70% of baseline, answer every request, mark every
+   shed with Retry-After, and bound how often the dead origin is
+   actually contacted. *)
+let run_overload plan =
+  let cluster = Cluster.create ~seed:(seed_base + Plan.seed plan) ~faults:plan () in
+  let origin = Cluster.add_origin cluster ~name:"www.example.edu" () in
+  Origin.set_static origin ~path:"/hot.html" ~max_age:60 "<html>flash crowd</html>";
+  let dead = Cluster.add_origin cluster ~name:"dead.example.org" () in
+  Origin.set_static dead ~path:"/item.html" ~max_age:2 "<html>fragile</html>";
+  let proxies =
+    List.map
+      (fun name -> Cluster.add_proxy cluster ~name ())
+      [ "nk-a.nakika.net"; "nk-b.nakika.net"; "nk-c.nakika.net" ]
+  in
+  ignore proxies;
+  let clients =
+    [
+      Cluster.add_client cluster ~name:"c1";
+      Cluster.add_client cluster ~name:"c2";
+      Cluster.add_client cluster ~name:"c3";
+    ]
+  in
+  let sim = Cluster.sim cluster in
+  let client_arr = Array.of_list clients in
+  let issued = ref 0 and answered = ref 0 and ok = ref 0 in
+  (* On the hot page the origin stays healthy, so every 503 there is
+     node-generated (admission shed, quarantine, breaker) and must
+     carry Retry-After. The dead origin's own 503s pass through
+     verbatim until its breaker trips — those are exempt. *)
+  let sheds_without_retry_after = ref 0 in
+  let fetch_at ?(shed_must_hint = false) at url =
+    Sim.schedule_at sim at (fun () ->
+        incr issued;
+        Cluster.fetch cluster
+          ~client:client_arr.(!issued mod Array.length client_arr)
+          ~timeout:10.0 (Message.request url)
+          (fun resp ->
+            incr answered;
+            match resp.Message.status with
+            | 200 -> incr ok
+            | 503 ->
+              if shed_must_hint && Message.resp_header resp "Retry-After" = None then
+                incr sheds_without_retry_after
+            | _ -> ()))
+  in
+  for i = 0 to 599 do
+    fetch_at ~shed_must_hint:true
+      (epoch +. 5.0 +. (0.002 *. float_of_int i))
+      "http://www.example.edu/hot.html"
+  done;
+  for i = 0 to 29 do
+    fetch_at (epoch +. 1.0 +. float_of_int i) "http://dead.example.org/item.html"
+  done;
+  Sim.run ~until:(epoch +. 90.0) sim;
+  (!issued, !answered, !ok, !sheds_without_retry_after, Origin.request_count dead)
+
+let test_overload_acceptance () =
+  let issued, answered, baseline_ok, _, _ = run_overload (Plan.create ~seed:5 ()) in
+  Alcotest.(check int) "baseline: all issued" 630 issued;
+  Alcotest.(check int) "baseline: no hung requests" issued answered;
+  let plan = Plan.create ~seed:5 () in
+  Plan.crash plan ~host:"nk-b.nakika.net" ~at:(epoch +. 5.6) ~restart:(epoch +. 21.0) ();
+  Plan.fail_origin plan ~host:"dead.example.org" ~at:(epoch +. 4.0) ~until:(epoch +. 90.0) ();
+  let issued, answered, ok, bare_503s, dead_hits = run_overload plan in
+  Alcotest.(check int) "degraded: all issued" 630 issued;
+  Alcotest.(check int) "degraded: no hung requests" issued answered;
+  Alcotest.(check int) "degraded: every shed carries Retry-After" 0 bare_503s;
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput %d/630 within 70%% of baseline %d/630" ok baseline_ok)
+    true
+    (float_of_int ok >= 0.7 *. float_of_int baseline_ok);
+  (* 30 requests target the dead origin; the circuit breaker fails fast
+     after the first few, so only the initial failures plus occasional
+     half-open probes ever reach the wire. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dead-origin fetches bounded by the breaker (%d)" dead_hits)
+    true (dead_hits <= 15)
+
 let suite =
   [
     Alcotest.test_case "plan: partition window" `Quick test_plan_partition_window;
@@ -277,5 +363,7 @@ let suite =
       test_different_seeds_differ;
     Alcotest.test_case "chaos: 10% drops + healed partition keeps 80% success" `Quick
       test_degraded_run_keeps_most_successes;
+    Alcotest.test_case "overload: flash crowd + crash + dead origin keeps 70% goodput"
+      `Quick test_overload_acceptance;
     QCheck_alcotest.to_alcotest chaos_soak_prop;
   ]

@@ -219,6 +219,46 @@ let test_no_termination_without_controls () =
   Cluster.run cluster;
   Alcotest.(check (list string)) "nobody terminated" [] (Node.terminated_sites proxy)
 
+let test_quarantine_recovery () =
+  (* §3.2: penalized sites must be able to recover. A terminated site
+     is refused (503 + Retry-After) only for its quarantine window;
+     when the window lapses on the simulated clock it serves again, and
+     a repeat offense earns a doubled window. *)
+  let cluster = Cluster.create () in
+  ignore (basic_site cluster);
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let sim = Cluster.sim cluster in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  Alcotest.(check int) "clean site serves" 200
+    (fetch_sync cluster ~client ~proxy (req ())).Message.status;
+  (* First offense: the Fig. 6 monitor would call this on termination. *)
+  let w1 = Core.Resource.Quarantine.punish (Node.quarantine proxy) ~site:"www.example.edu" in
+  Alcotest.(check (float 1e-9)) "base window" 30.0 w1;
+  let resp = fetch_sync cluster ~client ~proxy (req ()) in
+  Alcotest.(check int) "refused while banned" 503 resp.Message.status;
+  (match Message.resp_header resp "Retry-After" with
+   | Some s ->
+     Alcotest.(check bool)
+       (Printf.sprintf "Retry-After %s covers the ban" s)
+       true
+       (match int_of_string_opt s with Some n -> n >= 1 && n <= 31 | None -> false)
+   | None -> Alcotest.fail "ban response must carry Retry-After");
+  (* The ban lapses: the site recovers. *)
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now sim +. 31.0) sim;
+  Alcotest.(check int) "serves again after the window" 200
+    (fetch_sync cluster ~client ~proxy (req ())).Message.status;
+  (* Repeat offense: escalated window — still banned after the base
+     window, recovered after the doubled one. *)
+  let w2 = Core.Resource.Quarantine.punish (Node.quarantine proxy) ~site:"www.example.edu" in
+  Alcotest.(check (float 1e-9)) "doubled window" 60.0 w2;
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now sim +. 31.0) sim;
+  Alcotest.(check int) "still banned past the base window" 503
+    (fetch_sync cluster ~client ~proxy (req ())).Message.status;
+  Core.Sim.Sim.run ~until:(Core.Sim.Sim.now sim +. 30.0) sim;
+  Alcotest.(check int) "recovers from the escalated ban too" 200
+    (fetch_sync cluster ~client ~proxy (req ())).Message.status
+
 let test_hard_state_replicates_between_proxies () =
   let cluster = Cluster.create () in
   let origin = Cluster.add_origin cluster ~name:"www.spec99.org" () in
@@ -649,6 +689,8 @@ let suite =
       test_memory_bomb_terminated_with_controls;
     Alcotest.test_case "no termination without controls" `Quick
       test_no_termination_without_controls;
+    Alcotest.test_case "quarantined sites recover, repeat offenders escalate" `Quick
+      test_quarantine_recovery;
     Alcotest.test_case "hard state replicates across proxies" `Quick
       test_hard_state_replicates_between_proxies;
     Alcotest.test_case "access logs posted to the site" `Quick test_access_log_posted;

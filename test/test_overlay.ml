@@ -259,6 +259,98 @@ let test_redirector_remove () =
   Alcotest.(check (list string)) "empty" []
     (List.map Core.Sim.Net.host_name (Redirector.proxies red))
 
+let test_redirector_spread_clamped () =
+  (* A spread wider than the registered pool clamps instead of raising. *)
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  let p0 = Core.Sim.Net.add_host net ~name:"p0" () in
+  let p1 = Core.Sim.Net.add_host net ~name:"p1" () in
+  Redirector.add_proxy red p0;
+  Redirector.add_proxy red p1;
+  let client = Core.Sim.Net.add_host net ~name:"c" () in
+  let rng = Core.Util.Prng.create 7 in
+  for _ = 1 to 20 do
+    match Redirector.pick red ~spread:10 ~rng ~client () with
+    | Some h ->
+      let n = Core.Sim.Net.host_name h in
+      Alcotest.(check bool) "a registered proxy" true (n = "p0" || n = "p1")
+    | None -> Alcotest.fail "must pick from a non-empty pool"
+  done
+
+let test_redirector_skips_crashed () =
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let t0 = Core.Sim.Sim.now sim in
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.crash plan ~host:"down" ~at:t0 ();
+  Core.Sim.Net.set_faults net plan;
+  let up = Core.Sim.Net.add_host net ~name:"up" () in
+  let down = Core.Sim.Net.add_host net ~name:"down" () in
+  let client = Core.Sim.Net.add_host net ~name:"c" () in
+  (* The crashed node is nearer — it must still never be returned. *)
+  Core.Sim.Net.connect net client down ~latency:0.005 ~bandwidth:1e7;
+  Core.Sim.Net.connect net client up ~latency:0.2 ~bandwidth:1e7;
+  let red = Redirector.create net in
+  Redirector.add_proxy red down;
+  Redirector.add_proxy red up;
+  let rng = Core.Util.Prng.create 3 in
+  for _ = 1 to 20 do
+    match Redirector.pick red ~spread:2 ~rng ~client () with
+    | Some h -> Alcotest.(check string) "live proxy only" "up" (Core.Sim.Net.host_name h)
+    | None -> Alcotest.fail "a live proxy exists"
+  done
+
+let test_redirector_health_weighting () =
+  (* Two equidistant proxies, one reporting saturation: the healthy one
+     absorbs the bulk of the redirections. *)
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  let idle = Core.Sim.Net.add_host net ~name:"idle" () in
+  let busy = Core.Sim.Net.add_host net ~name:"busy" () in
+  let client = Core.Sim.Net.add_host net ~name:"c" () in
+  Core.Sim.Net.connect net client idle ~latency:0.01 ~bandwidth:1e7;
+  Core.Sim.Net.connect net client busy ~latency:0.01 ~bandwidth:1e7;
+  Redirector.add_proxy red idle;
+  Redirector.add_proxy red busy;
+  Redirector.report red ~host:"idle" ~queue_delay:0.0 ~shed_rate:0.0 ();
+  Redirector.report red ~host:"busy" ~queue_delay:5.0 ~shed_rate:0.9 ();
+  let rng = Core.Util.Prng.create 11 in
+  let busy_picks = ref 0 in
+  let draws = 400 in
+  for _ = 1 to draws do
+    match Redirector.pick red ~spread:2 ~rng ~client () with
+    | Some h -> if Core.Sim.Net.host_name h = "busy" then incr busy_picks
+    | None -> Alcotest.fail "pool is non-empty"
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "saturated node got %d/%d picks (< 20%%)" !busy_picks draws)
+    true
+    (float_of_int !busy_picks < 0.2 *. float_of_int draws)
+
+let test_redirector_incarnation_guard () =
+  (* A report from a node's dead incarnation (sent before a crash the
+     redirector already heard about) must not overwrite newer state. *)
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  let p = Core.Sim.Net.add_host net ~name:"p" () in
+  Redirector.add_proxy red p;
+  Redirector.report red ~host:"p" ~incarnation:1 ~queue_delay:0.1 ~shed_rate:0.2 ();
+  Redirector.report red ~host:"p" ~incarnation:0 ~queue_delay:9.9 ~shed_rate:0.9 ();
+  (match Redirector.health red ~host:"p" with
+   | Some h ->
+     Alcotest.(check (float 1e-9)) "stale delay ignored" 0.1 h.Redirector.queue_delay;
+     Alcotest.(check (float 1e-9)) "stale rate ignored" 0.2 h.Redirector.shed_rate;
+     Alcotest.(check int) "incarnation kept" 1 h.Redirector.incarnation
+   | None -> Alcotest.fail "report stored");
+  (* Same-incarnation reports refresh freely. *)
+  Redirector.report red ~host:"p" ~incarnation:1 ~queue_delay:0.5 ~shed_rate:0.0 ();
+  match Redirector.health red ~host:"p" with
+  | Some h -> Alcotest.(check (float 1e-9)) "refreshed" 0.5 h.Redirector.queue_delay
+  | None -> Alcotest.fail "report stored"
+
 let suite =
   [
     Alcotest.test_case "node ids are deterministic" `Quick test_node_id_deterministic;
@@ -286,4 +378,12 @@ let suite =
     Alcotest.test_case "redirector: spread balances load" `Quick test_redirector_spread;
     Alcotest.test_case "redirector: empty pool" `Quick test_redirector_empty;
     Alcotest.test_case "redirector: remove proxy" `Quick test_redirector_remove;
+    Alcotest.test_case "redirector: spread clamps to the pool" `Quick
+      test_redirector_spread_clamped;
+    Alcotest.test_case "redirector: crashed proxies are never picked" `Quick
+      test_redirector_skips_crashed;
+    Alcotest.test_case "redirector: headroom weighting avoids saturated nodes" `Quick
+      test_redirector_health_weighting;
+    Alcotest.test_case "redirector: stale incarnation reports ignored" `Quick
+      test_redirector_incarnation_guard;
   ]

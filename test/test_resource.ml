@@ -171,6 +171,380 @@ let test_control_per_resource_isolation () =
   Alcotest.(check (float 1e-9)) "memory not counted" 0.0
     (Accounting.usage h.accounting ~site:"s" Resource.Memory)
 
+let test_control_unthrottle_event () =
+  (* Restoration is auditable: lifting the clamp emits one structured
+     [unthrottle] event (and counter tick) per previously throttled
+     site, symmetric with [throttle]/[terminate]. *)
+  let accounting = Accounting.create ~alpha:1.0 () in
+  let congested = ref true in
+  let events = Core.Telemetry.Events.create () in
+  let metrics = Core.Telemetry.Metrics.create () in
+  let monitor =
+    Monitor.create ~accounting
+      ~is_congested:(fun ~final:_ _ -> !congested)
+      ~throttle:(fun ~site:_ ~fraction:_ ~resource:_ -> ())
+      ~unthrottle:(fun _ -> ())
+      ~terminate:(fun ~site:_ -> ())
+      ~events ~metrics ()
+  in
+  Accounting.charge accounting ~site:"hog" Resource.Cpu 3.0;
+  Accounting.charge accounting ~site:"meek" Resource.Cpu 1.0;
+  ignore (Monitor.begin_control monitor Resource.Cpu);
+  congested := false;
+  Alcotest.(check bool) "unthrottled" true
+    (Monitor.finish_control monitor Resource.Cpu = `Unthrottled);
+  let unthrottles =
+    List.filter
+      (fun (e : Core.Telemetry.Events.event) -> e.Core.Telemetry.Events.name = "unthrottle")
+      (Core.Telemetry.Events.to_list events)
+  in
+  Alcotest.(check int) "one event per throttled site" 2 (List.length unthrottles);
+  let sites =
+    List.sort compare
+      (List.filter_map
+         (fun (e : Core.Telemetry.Events.event) ->
+           List.assoc_opt "site" e.Core.Telemetry.Events.attrs)
+         unthrottles)
+  in
+  Alcotest.(check (list string)) "sites named" [ "hog"; "meek" ] sites;
+  List.iter
+    (fun (e : Core.Telemetry.Events.event) ->
+      Alcotest.(check (option string))
+        "resource attr" (Some "cpu")
+        (List.assoc_opt "resource" e.Core.Telemetry.Events.attrs))
+    unthrottles;
+  Alcotest.(check int) "counter ticked" 2
+    (Core.Telemetry.Metrics.counter_total metrics "monitor.unthrottles")
+
+let test_control_no_unthrottle_event_when_idle () =
+  (* A control cycle that never throttled anyone has nothing to restore:
+     no spurious events. *)
+  let h = make_harness () in
+  let events = Core.Telemetry.Events.create () in
+  let monitor =
+    Monitor.create ~accounting:h.accounting
+      ~is_congested:(fun ~final:_ _ -> false)
+      ~throttle:(fun ~site:_ ~fraction:_ ~resource:_ -> ())
+      ~unthrottle:(fun _ -> ())
+      ~terminate:(fun ~site:_ -> ())
+      ~events ()
+  in
+  ignore (Monitor.begin_control monitor Resource.Cpu);
+  ignore (Monitor.finish_control monitor Resource.Cpu);
+  Alcotest.(check int) "no events" 0 (Core.Telemetry.Events.count events)
+
+(* --- accounting edge cases ------------------------------------------- *)
+
+let test_close_interval_zero_sites () =
+  (* Fig. 6's UPDATE with nothing running: a no-op, not a crash. *)
+  let a = Accounting.create () in
+  Accounting.close_interval a ~congested:(fun _ -> true);
+  Accounting.close_interval a ~congested:(fun _ -> false);
+  Alcotest.(check (list string)) "still no sites" [] (Accounting.active_sites a);
+  Alcotest.(check (float 1e-9)) "no total" 0.0 (Accounting.total_interval a Resource.Cpu)
+
+let test_contribution_with_zero_total () =
+  (* A site whose averaged usage is 0 (and a node whose total is 0)
+     contributes 0, not NaN. *)
+  let a = Accounting.create ~alpha:1.0 () in
+  Alcotest.(check (float 1e-9)) "empty accounting" 0.0
+    (Accounting.contribution a ~site:"s" Resource.Cpu);
+  (* Fold an uncongested interval: renewable usage stays 0 but the site
+     is known — the division by a zero total must still guard. *)
+  Accounting.charge a ~site:"s" Resource.Cpu 5.0;
+  Accounting.close_resource_interval a Resource.Cpu ~congested:false;
+  let c = Accounting.contribution a ~site:"s" Resource.Cpu in
+  Alcotest.(check (float 1e-9)) "zero total guarded" 0.0 c;
+  Alcotest.(check bool) "not nan" false (Float.is_nan c)
+
+(* --- admission control ------------------------------------------------ *)
+
+let make_admission ?(target = 0.1) ?(interval = 0.5) ?(capacity = 8) ?metrics () =
+  let clock = ref 0.0 in
+  let adm = Admission.create ~target ~interval ~capacity ~clock:(fun () -> !clock) ?metrics () in
+  (clock, adm)
+
+let test_admission_admits_when_idle () =
+  let _clock, adm = make_admission () in
+  (match Admission.offer adm ~site:"s" ~queue_delay:0.0 with
+   | Admission.Admitted -> ()
+   | Admission.Shed _ -> Alcotest.fail "idle node must admit");
+  Alcotest.(check int) "slot occupied" 1 (Admission.queue_length adm);
+  Admission.release adm ~site:"s";
+  Alcotest.(check int) "slot freed" 0 (Admission.queue_length adm)
+
+let test_admission_codel_sheds_after_interval () =
+  let clock, adm = make_admission ~target:0.1 ~interval:0.5 () in
+  (* Delay above target, but not yet for a full interval: admitted. *)
+  (match Admission.offer adm ~site:"s" ~queue_delay:0.3 with
+   | Admission.Admitted -> ()
+   | Admission.Shed _ -> Alcotest.fail "burst must not shed immediately");
+  Admission.release adm ~site:"s";
+  clock := 0.6;
+  (* Still above target a full interval later: shedding starts. *)
+  (match Admission.offer adm ~site:"s" ~queue_delay:0.3 with
+   | Admission.Shed { reason; retry_after } ->
+     Alcotest.(check string) "reason" "overload" reason;
+     Alcotest.(check bool) "retry hint positive" true (retry_after > 0.0)
+   | Admission.Admitted -> Alcotest.fail "sustained overload must shed");
+  Alcotest.(check bool) "shedding state" true (Admission.shedding adm);
+  (* Hysteresis: the first arrival that sees delay back under the
+     target flips the controller out of shedding. *)
+  clock := 1.0;
+  (match Admission.offer adm ~site:"s" ~queue_delay:0.05 with
+   | Admission.Admitted -> ()
+   | Admission.Shed _ -> Alcotest.fail "recovered delay must admit");
+  Alcotest.(check bool) "shedding cleared" false (Admission.shedding adm)
+
+let test_admission_queue_full () =
+  let metrics = Core.Telemetry.Metrics.create () in
+  let _clock, adm = make_admission ~capacity:4 ~metrics () in
+  for _ = 1 to 4 do
+    match Admission.offer adm ~site:"s" ~queue_delay:0.0 with
+    | Admission.Admitted -> ()
+    | Admission.Shed _ -> Alcotest.fail "under capacity must admit"
+  done;
+  (match Admission.offer adm ~site:"s" ~queue_delay:0.0 with
+   | Admission.Shed { reason; _ } -> Alcotest.(check string) "reason" "queue-full" reason
+   | Admission.Admitted -> Alcotest.fail "full queue must shed");
+  Alcotest.(check int) "shed counted" 1 (Admission.sheds adm);
+  Alcotest.(check int) "shed metric labeled" 1
+    (Core.Telemetry.Metrics.counter metrics
+       ~labels:[ ("site", "s"); ("reason", "queue-full") ]
+       "admission.sheds");
+  (* Releasing a slot reopens the queue. *)
+  Admission.release adm ~site:"s";
+  match Admission.offer adm ~site:"s" ~queue_delay:0.0 with
+  | Admission.Admitted -> ()
+  | Admission.Shed _ -> Alcotest.fail "freed slot must admit"
+
+let test_admission_fair_share () =
+  (* Once the queue is contended, a site already over [capacity /
+     active sites] is shed even though the node is not in delay
+     overload — one hot site cannot starve the rest. *)
+  let _clock, adm = make_admission ~capacity:8 () in
+  (* hog takes 4 slots, meek takes 1: queue is half full. *)
+  for _ = 1 to 4 do
+    ignore (Admission.offer adm ~site:"hog" ~queue_delay:0.0)
+  done;
+  ignore (Admission.offer adm ~site:"meek" ~queue_delay:0.0);
+  Alcotest.(check int) "hog occupancy" 4 (Admission.site_occupancy adm ~site:"hog");
+  (* hog wants a 5th slot: fair share with 2 active sites is 4. *)
+  (match Admission.offer adm ~site:"hog" ~queue_delay:0.0 with
+   | Admission.Shed { reason; _ } -> Alcotest.(check string) "reason" "fair-share" reason
+   | Admission.Admitted -> Alcotest.fail "hog over its share must shed");
+  (* meek still gets in. *)
+  match Admission.offer adm ~site:"meek" ~queue_delay:0.0 with
+  | Admission.Admitted -> ()
+  | Admission.Shed _ -> Alcotest.fail "meek under its share must admit"
+
+let test_admission_shed_rate_window () =
+  let clock, adm = make_admission ~capacity:2 () in
+  ignore (Admission.offer adm ~site:"s" ~queue_delay:0.0);
+  ignore (Admission.offer adm ~site:"s" ~queue_delay:0.0);
+  ignore (Admission.offer adm ~site:"s" ~queue_delay:0.0);
+  ignore (Admission.offer adm ~site:"s" ~queue_delay:0.0);
+  (* 2 admitted + 2 shed in the current window. *)
+  Alcotest.(check (float 1e-9)) "rate in window" 0.5 (Admission.shed_rate adm);
+  (* After the window rolls with no arrivals, the last completed
+     window's rate is still reported (the redirector reads this). *)
+  clock := 6.0;
+  Alcotest.(check (float 1e-9)) "rate carries over" 0.5 (Admission.shed_rate adm)
+
+let test_admission_reset () =
+  let _clock, adm = make_admission ~capacity:2 () in
+  ignore (Admission.offer adm ~site:"s" ~queue_delay:0.0);
+  ignore (Admission.offer adm ~site:"s" ~queue_delay:0.0);
+  Admission.reset adm;
+  Alcotest.(check int) "occupancy cleared" 0 (Admission.queue_length adm);
+  match Admission.offer adm ~site:"s" ~queue_delay:0.0 with
+  | Admission.Admitted -> ()
+  | Admission.Shed _ -> Alcotest.fail "reset queue must admit"
+
+(* --- circuit breaker -------------------------------------------------- *)
+
+let make_breaker ?(failure_threshold = 3) ?(cooldown = 5.0) ?(max_cooldown = 20.0) ?metrics () =
+  let clock = ref 0.0 in
+  let b =
+    Breaker.create ~name:"origin:test" ~failure_threshold ~cooldown ~max_cooldown
+      ~clock:(fun () -> !clock)
+      ?metrics ()
+  in
+  (clock, b)
+
+let test_breaker_trips_on_consecutive_failures () =
+  let metrics = Core.Telemetry.Metrics.create () in
+  let _clock, b = make_breaker ~metrics () in
+  Alcotest.(check bool) "starts closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.failure b;
+  Breaker.failure b;
+  Alcotest.(check bool) "two failures stay closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.failure b;
+  Alcotest.(check bool) "third failure trips" true (Breaker.state b = Breaker.Open);
+  (match Breaker.acquire b with
+   | `Reject retry -> Alcotest.(check bool) "retry hint" true (retry > 0.0)
+   | `Proceed -> Alcotest.fail "open breaker must reject");
+  Alcotest.(check int) "opens counted" 1 (Breaker.opens b);
+  Alcotest.(check int) "opens metric labeled" 1
+    (Core.Telemetry.Metrics.counter metrics
+       ~labels:[ ("upstream", "origin:test") ]
+       "breaker.opens")
+
+let test_breaker_success_resets_consecutive () =
+  let _clock, b = make_breaker () in
+  Breaker.failure b;
+  Breaker.failure b;
+  Breaker.success b;
+  Breaker.failure b;
+  Breaker.failure b;
+  Alcotest.(check bool) "success broke the streak" true (Breaker.state b = Breaker.Closed)
+
+let test_breaker_half_open_single_probe () =
+  let clock, b = make_breaker ~cooldown:5.0 () in
+  for _ = 1 to 3 do Breaker.failure b done;
+  clock := 5.0;
+  (* Cooldown elapsed: exactly one probe is admitted. *)
+  (match Breaker.acquire b with
+   | `Proceed -> ()
+   | `Reject _ -> Alcotest.fail "cooldown elapsed: probe must proceed");
+  Alcotest.(check bool) "half-open" true (Breaker.state b = Breaker.Half_open);
+  (match Breaker.acquire b with
+   | `Reject _ -> ()
+   | `Proceed -> Alcotest.fail "second concurrent probe must be rejected");
+  Alcotest.(check int) "one probe granted" 1 (Breaker.probes b);
+  (* The probe succeeds: closed, and the backoff is forgiven. *)
+  Breaker.success b;
+  Alcotest.(check bool) "closed again" true (Breaker.state b = Breaker.Closed);
+  match Breaker.acquire b with
+  | `Proceed -> ()
+  | `Reject _ -> Alcotest.fail "closed breaker must admit"
+
+let test_breaker_probe_failure_doubles_cooldown () =
+  let clock, b = make_breaker ~cooldown:5.0 ~max_cooldown:20.0 () in
+  for _ = 1 to 3 do Breaker.failure b done;
+  (* trip 1: open until t=5 *)
+  clock := 5.0;
+  (match Breaker.acquire b with `Proceed -> () | `Reject _ -> Alcotest.fail "probe 1");
+  Breaker.failure b;
+  (* probe failed: open again with a doubled (10 s) cooldown *)
+  (match Breaker.acquire b with
+   | `Reject retry -> Alcotest.(check (float 1e-6)) "doubled" 10.0 retry
+   | `Proceed -> Alcotest.fail "must re-open");
+  clock := 15.0;
+  (match Breaker.acquire b with `Proceed -> () | `Reject _ -> Alcotest.fail "probe 2");
+  Breaker.failure b;
+  (* 20 s now, and capped there on every subsequent trip *)
+  (match Breaker.acquire b with
+   | `Reject retry -> Alcotest.(check (float 1e-6)) "capped" 20.0 retry
+   | `Proceed -> Alcotest.fail "must re-open");
+  clock := 35.0;
+  (match Breaker.acquire b with `Proceed -> () | `Reject _ -> Alcotest.fail "probe 3");
+  (* A successful probe resets the backoff to the base cooldown. *)
+  Breaker.success b;
+  for _ = 1 to 3 do Breaker.failure b done;
+  match Breaker.acquire b with
+  | `Reject retry -> Alcotest.(check (float 1e-6)) "backoff forgiven" 5.0 retry
+  | `Proceed -> Alcotest.fail "must be open"
+
+let test_breaker_error_rate_trip () =
+  let clock = ref 0.0 in
+  let b =
+    Breaker.create ~name:"origin:rate" ~failure_threshold:100 ~error_rate:0.5
+      ~min_samples:8 ~window:10.0
+      ~clock:(fun () -> !clock)
+      ()
+  in
+  (* Alternate success/failure: the consecutive counter never reaches
+     the threshold, but the windowed rate does once enough samples
+     accumulate. *)
+  for _ = 1 to 4 do
+    Breaker.success b;
+    Breaker.failure b
+  done;
+  Alcotest.(check bool) "50% over 8 samples trips" true (Breaker.state b = Breaker.Open)
+
+(* --- quarantine ------------------------------------------------------- *)
+
+let make_quarantine ?(base = 30.0) ?(max_window = 240.0) ?(decay = 60.0) ?metrics () =
+  let clock = ref 0.0 in
+  let q = Quarantine.create ~base ~max_window ~decay ~clock:(fun () -> !clock) ?metrics () in
+  (clock, q)
+
+let test_quarantine_ban_expires () =
+  let clock, q = make_quarantine ~base:30.0 () in
+  Alcotest.(check bool) "clean site unbanned" false (Quarantine.is_banned q ~site:"s");
+  let w = Quarantine.punish q ~site:"s" in
+  Alcotest.(check (float 1e-9)) "first offense gets the base window" 30.0 w;
+  Alcotest.(check bool) "banned" true (Quarantine.is_banned q ~site:"s");
+  Alcotest.(check (float 1e-9)) "remaining" 30.0 (Quarantine.remaining q ~site:"s");
+  clock := 30.0;
+  Alcotest.(check bool) "expired" false (Quarantine.is_banned q ~site:"s");
+  Alcotest.(check (float 1e-9)) "nothing remaining" 0.0 (Quarantine.remaining q ~site:"s")
+
+let test_quarantine_escalates_and_caps () =
+  let metrics = Core.Telemetry.Metrics.create () in
+  let clock, q = make_quarantine ~base:30.0 ~max_window:240.0 ~decay:0.0 ~metrics () in
+  let w1 = Quarantine.punish q ~site:"s" in
+  clock := !clock +. w1;
+  let w2 = Quarantine.punish q ~site:"s" in
+  clock := !clock +. w2;
+  let w3 = Quarantine.punish q ~site:"s" in
+  Alcotest.(check (float 1e-9)) "doubles" 60.0 w2;
+  Alcotest.(check (float 1e-9)) "doubles again" 120.0 w3;
+  clock := !clock +. w3;
+  let w4 = Quarantine.punish q ~site:"s" in
+  clock := !clock +. w4;
+  let w5 = Quarantine.punish q ~site:"s" in
+  Alcotest.(check (float 1e-9)) "reaches the cap" 240.0 w4;
+  Alcotest.(check (float 1e-9)) "stays at the cap" 240.0 w5;
+  Alcotest.(check int) "bans counted" 5 (Quarantine.bans q);
+  Alcotest.(check int) "ban metric labeled" 5
+    (Core.Telemetry.Metrics.counter metrics ~labels:[ ("site", "s") ] "quarantine.bans")
+
+let test_quarantine_strikes_decay () =
+  let clock, q = make_quarantine ~base:30.0 ~decay:60.0 () in
+  ignore (Quarantine.punish q ~site:"s");
+  ignore (Quarantine.punish q ~site:"s");
+  Alcotest.(check int) "two strikes" 2 (Quarantine.strikes q ~site:"s");
+  (* The second ban expires at t=60 (the 30 s window was granted at t=0
+     against 1 prior strike... the ban runs 60 s); good behaviour only
+     counts after expiry. Two decay periods later, both strikes are
+     gone and the next offense gets the base window again. *)
+  clock := Quarantine.remaining q ~site:"s" +. 120.0;
+  Alcotest.(check int) "strikes decayed" 0 (Quarantine.strikes q ~site:"s");
+  let w = Quarantine.punish q ~site:"s" in
+  Alcotest.(check (float 1e-9)) "recovered to the base window" 30.0 w
+
+let test_quarantine_active_and_forgive () =
+  let clock, q = make_quarantine ~base:30.0 () in
+  ignore (Quarantine.punish q ~site:"b");
+  ignore (Quarantine.punish q ~site:"a");
+  Alcotest.(check (list string)) "active sorted" [ "a"; "b" ]
+    (List.map fst (Quarantine.active q));
+  Quarantine.forgive q ~site:"a";
+  Alcotest.(check (list string)) "forgiven" [ "b" ] (List.map fst (Quarantine.active q));
+  clock := 31.0;
+  Alcotest.(check (list string)) "expired bans drop out" [] (List.map fst (Quarantine.active q))
+
+let admission_slots_balance_prop =
+  QCheck.Test.make ~name:"admission: queue length equals admits minus releases" ~count:200
+    QCheck.(list (pair (int_range 0 3) bool))
+    (fun ops ->
+      let _clock, adm = make_admission ~capacity:1000 () in
+      let outstanding = ref 0 in
+      List.iter
+        (fun (site_idx, release_after) ->
+          let site = Printf.sprintf "s%d" site_idx in
+          (match Admission.offer adm ~site ~queue_delay:0.0 with
+           | Admission.Admitted -> incr outstanding
+           | Admission.Shed _ -> ());
+          if release_after && !outstanding > 0 then begin
+            Admission.release adm ~site;
+            decr outstanding
+          end)
+        ops;
+      Admission.queue_length adm = !outstanding)
+
 let throttle_fractions_sum_to_one_prop =
   QCheck.Test.make ~name:"throttle fractions over active sites sum to 1" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 10) (float_range 0.1 50.0))
@@ -210,5 +584,42 @@ let suite =
       test_control_no_ghost_kill;
     Alcotest.test_case "CONTROL: resources are independent" `Quick
       test_control_per_resource_isolation;
+    Alcotest.test_case "CONTROL: unthrottle emits structured events" `Quick
+      test_control_unthrottle_event;
+    Alcotest.test_case "CONTROL: idle cycle emits no unthrottle events" `Quick
+      test_control_no_unthrottle_event_when_idle;
+    Alcotest.test_case "close_interval with zero active sites" `Quick
+      test_close_interval_zero_sites;
+    Alcotest.test_case "contribution with zero total usage" `Quick
+      test_contribution_with_zero_total;
+    Alcotest.test_case "ADMISSION: idle node admits" `Quick test_admission_admits_when_idle;
+    Alcotest.test_case "ADMISSION: CoDel sheds after a full interval" `Quick
+      test_admission_codel_sheds_after_interval;
+    Alcotest.test_case "ADMISSION: bounded queue sheds when full" `Quick
+      test_admission_queue_full;
+    Alcotest.test_case "ADMISSION: fair share under contention" `Quick
+      test_admission_fair_share;
+    Alcotest.test_case "ADMISSION: shed rate over the reporting window" `Quick
+      test_admission_shed_rate_window;
+    Alcotest.test_case "ADMISSION: reset clears occupancy after a crash" `Quick
+      test_admission_reset;
+    Alcotest.test_case "BREAKER: trips on consecutive failures" `Quick
+      test_breaker_trips_on_consecutive_failures;
+    Alcotest.test_case "BREAKER: success resets the failure streak" `Quick
+      test_breaker_success_resets_consecutive;
+    Alcotest.test_case "BREAKER: half-open admits a single probe" `Quick
+      test_breaker_half_open_single_probe;
+    Alcotest.test_case "BREAKER: probe failure doubles the cooldown" `Quick
+      test_breaker_probe_failure_doubles_cooldown;
+    Alcotest.test_case "BREAKER: windowed error rate trips" `Quick
+      test_breaker_error_rate_trip;
+    Alcotest.test_case "QUARANTINE: bans expire" `Quick test_quarantine_ban_expires;
+    Alcotest.test_case "QUARANTINE: windows escalate to a cap" `Quick
+      test_quarantine_escalates_and_caps;
+    Alcotest.test_case "QUARANTINE: strikes decay with good behaviour" `Quick
+      test_quarantine_strikes_decay;
+    Alcotest.test_case "QUARANTINE: active list and forgive" `Quick
+      test_quarantine_active_and_forgive;
+    QCheck_alcotest.to_alcotest admission_slots_balance_prop;
     QCheck_alcotest.to_alcotest throttle_fractions_sum_to_one_prop;
   ]
