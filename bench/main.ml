@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 micro-costs capacity resource-controls
    figure7 simm-local specweb extensions integrity ablations faults
-   overload micro *)
+   overload diffusion micro *)
 
 let experiments =
   [
@@ -23,6 +23,7 @@ let experiments =
     ("ablations", Bench_ablations.ablations);
     ("faults", Bench_faults.faults);
     ("overload", Bench_overload.overload);
+    ("diffusion", Bench_diffusion.diffusion);
     ("micro", Bench_micro.micro);
   ]
 

@@ -215,7 +215,8 @@ p.register();
   proxy
 
 (* The overload scenario behind [stats --health]: a flash crowd swamps
-   one of two proxies (its admission queue sheds), and a handful of
+   one of two proxies (its admission queue sheds, and with diffusion on
+   it offloads executions toward the idle one), and a handful of
    fetches toward a dead origin trip that origin's circuit breaker. *)
 let health_scenario () =
   let epoch = 1_136_073_600.0 in
@@ -228,13 +229,19 @@ let health_scenario () =
     "<html>hello from the origin</html>";
   let dead = Core.Node.Cluster.add_origin cluster ~name:"dead.example.org" () in
   Core.Node.Origin.set_static dead ~path:"/index.html" ~max_age:0 "<html>unreachable</html>";
-  let p1 = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
-  let p2 = Core.Node.Cluster.add_proxy cluster ~name:"nk2.nakika.net" () in
+  let config =
+    { Core.Node.Config.default with Core.Node.Config.enable_diffusion = true }
+  in
+  let p1 = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config () in
+  let p2 = Core.Node.Cluster.add_proxy cluster ~name:"nk2.nakika.net" ~config () in
   let client = Core.Node.Cluster.add_client cluster ~name:"client" in
   let sim = Core.Node.Cluster.sim cluster in
+  (* The crowd starts after the first load-report cycle (1 s) so the
+     proxies have gossiped pressure once and diffusion has a neighbor
+     table to offload into. *)
   for i = 0 to 299 do
     Core.Sim.Sim.schedule_at sim
-      (epoch +. 0.5 +. (0.001 *. float_of_int i))
+      (epoch +. 1.5 +. (0.001 *. float_of_int i))
       (fun () ->
         Core.Node.Cluster.fetch cluster ~client ~proxy:p1
           (Core.Http.Message.request "http://www.example.edu.nakika.net/index.html")
@@ -252,21 +259,28 @@ let health_scenario () =
   [ p1; p2 ]
 
 let print_health proxies =
-  Printf.printf "%-18s %12s %10s %7s %9s %14s %12s\n" "node" "queue-delay" "shed-rate"
-    "sheds" "shedding" "open-breakers" "quarantined";
+  Printf.printf "%-18s %12s %10s %7s %9s %14s %12s %9s %9s %8s\n" "node" "queue-delay"
+    "shed-rate" "sheds" "shedding" "open-breakers" "quarantined" "pressure" "offloads"
+    "rejects";
   List.iter
     (fun p ->
       (* The table reads the [health.*] gauges the node publishes each
-         report interval; name lists come from the live health view. *)
+         report interval; name lists come from the live health view.
+         Diffusion columns: current pressure plus cumulative executions
+         this node moved elsewhere / refused from elsewhere. *)
       let m = Core.Node.Node.metrics p in
       let h = Core.Node.Node.health p in
-      Printf.printf "%-18s %12.4f %10.3f %7d %9s %14.0f %12.0f\n" (Core.Node.Node.name p)
+      Printf.printf "%-18s %12.4f %10.3f %7d %9s %14.0f %12.0f %9.3f %9d %8d\n"
+        (Core.Node.Node.name p)
         (Core.Telemetry.Metrics.gauge m "health.queue_delay")
         (Core.Telemetry.Metrics.gauge m "health.shed_rate")
         (Core.Telemetry.Metrics.counter_total m "admission.sheds")
         (if h.Core.Node.Node.shedding then "yes" else "no")
         (Core.Telemetry.Metrics.gauge m "health.open_breakers")
-        (Core.Telemetry.Metrics.gauge m "health.quarantined_sites"))
+        (Core.Telemetry.Metrics.gauge m "health.quarantined_sites")
+        (Core.Node.Node.pressure p)
+        (Core.Telemetry.Metrics.counter_total m "diffusion.offloads")
+        (Core.Telemetry.Metrics.counter_total m "diffusion.rejects"))
     proxies;
   List.iter
     (fun p ->

@@ -62,6 +62,10 @@ module Resource = Nk_resource
 module Overlay = Nk_overlay
 (** The structured overlay: ring, DHT soft state, DNS redirection. *)
 
+module Diffusion = Nk_diffusion
+(** Proactive computation diffusion (C3PO): pressure signal, neighbor
+    table, offload policy, and the hash-addressed migration protocol. *)
+
 module Replication = Nk_replication
 (** Hard state: per-site stores, reliable messaging, replication. *)
 

@@ -1,0 +1,29 @@
+type decision = Local | Offload of Neighbors.info list
+
+let margin = 0.05
+
+let decide ~pressure ~low_water ~candidates =
+  if pressure < low_water then Local
+  else
+    match
+      List.filter (fun (c : Neighbors.info) -> c.pressure +. margin <= pressure) candidates
+    with
+    | [] -> Local
+    | eligible -> Offload eligible
+
+let pick ~rng = function
+  | [] -> None
+  | candidates ->
+    let weighted =
+      List.map
+        (fun (c : Neighbors.info) -> (Float.max 0.05 (1.0 -. c.pressure), c))
+        candidates
+    in
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+    let roll = Nk_util.Prng.float rng total in
+    let rec choose acc = function
+      | [] -> None
+      | [ (_, c) ] -> Some c
+      | (w, c) :: rest -> if roll < acc +. w then Some c else choose (acc +. w) rest
+    in
+    choose 0.0 weighted

@@ -79,7 +79,20 @@ let start_health_reports t node =
           | None -> 0
         in
         Nk_overlay.Redirector.report t.redirector ~host:name ~incarnation
-          ~queue_delay:h.Node.queue_delay ~shed_rate:h.Node.shed_rate ()
+          ~queue_delay:h.Node.queue_delay ~shed_rate:h.Node.shed_rate ();
+        (* The same report, as diffusion gossip: every other proxy
+           learns this node's pressure (and how far away it is), which
+           is the whole neighbor table the offload policy runs on — no
+           separate protocol, the health plane carries it. *)
+        let p = Node.pressure node in
+        List.iter
+          (fun other ->
+            if Nk_sim.Net.host_name (Node.host other) <> name then
+              Node.observe_neighbor other ~name ~pressure:p ~incarnation
+                ~distance:
+                  (Nk_sim.Net.transfer_time_estimate t.net ~src:(Node.host other)
+                     ~dst:host ~size:1024))
+          t.proxies
       end;
       Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
     in
@@ -89,6 +102,13 @@ let start_health_reports t node =
 let add_proxy t ~name ?(cpu_speed = 1.0) ?config () =
   let host = Nk_sim.Net.add_host t.net ~name ~cpu_speed () in
   let node = Node.create ~web:t.web ~host ~dht:t.dht ~bus:t.bus ?config () in
+  (* Diffusion deployments also bound how long the redirector trusts a
+     load report: a silent node must stop attracting clients just as it
+     stops attracting offloads. Gated on the flag so a diffusion-free
+     cluster keeps its exact pre-diffusion redirect behavior. *)
+  let cfg = Node.config node in
+  if cfg.Config.enable_diffusion then
+    Nk_overlay.Redirector.set_staleness t.redirector cfg.Config.diffusion_staleness;
   Nk_overlay.Redirector.add_proxy t.redirector host;
   t.proxies <- node :: t.proxies;
   start_health_reports t node;

@@ -55,6 +55,13 @@ type t = {
   quarantine_max : float;
   quarantine_decay : float;
   health_report_interval : float;
+  enable_diffusion : bool;
+  diffusion_low_water : float;
+  diffusion_high_water : float;
+  diffusion_fanout : int;
+  diffusion_offload_timeout : float;
+  diffusion_fetch_timeout : float;
+  diffusion_staleness : float;
   costs : costs;
   seed : int;
 }
@@ -133,6 +140,16 @@ let default =
     quarantine_max = 240.0;
     quarantine_decay = 60.0;
     health_report_interval = 1.0;
+    enable_diffusion = false;
+    (* Proactive: well below the 0.5 crossing the pressure signal hits
+       at the admission delay target, so diffusion starts moving work
+       before admission control starts shedding it. *)
+    diffusion_low_water = 0.3;
+    diffusion_high_water = 0.8;
+    diffusion_fanout = 3;
+    diffusion_offload_timeout = 3.0;
+    diffusion_fetch_timeout = 2.0;
+    diffusion_staleness = 3.0;
     costs = default_costs;
     seed = 7;
   }

@@ -90,6 +90,28 @@ type t = {
                                 quarantine strike *)
   health_report_interval : float; (** period of load reports to the
                                       redirector; 0 disables them *)
+  enable_diffusion : bool; (** proactive computation diffusion (C3PO):
+                               offload pipeline executions to
+                               lower-pressure neighbors before admission
+                               control starts shedding *)
+  diffusion_low_water : float; (** pressure below which a node never
+                                   offloads (proactive threshold; the
+                                   signal crosses 0.5 at the admission
+                                   delay target) *)
+  diffusion_high_water : float; (** pressure at or above which a node
+                                    refuses incoming offloads *)
+  diffusion_fanout : int; (** max lower-pressure neighbors considered
+                              per offload decision *)
+  diffusion_offload_timeout : float; (** seconds to wait for an offload
+                                         reply before falling back to
+                                         local execution *)
+  diffusion_fetch_timeout : float; (** receiver's bound on fetching a
+                                       script from the origin after a
+                                       compile-cache hash miss *)
+  diffusion_staleness : float; (** neighbor pressure reports older than
+                                   this are ignored; also the
+                                   redirector's load-report staleness
+                                   bound *)
   costs : costs;
   seed : int;
 }

@@ -1,4 +1,19 @@
-type stage_entry = { stage : Nk_pipeline.Stage.t; site : string }
+type stage_entry = {
+  stage : Nk_pipeline.Stage.t;
+  site : string;
+  hash : string;
+      (* SHA-256 of the script source — the name an offload envelope
+         ships instead of the body; "" for stages not built from a
+         fetched source *)
+}
+
+(* Proactive computation diffusion (C3PO): the neighbor pressure table
+   fed by the cluster's load-report gossip, plus the offload protocol
+   instance (envelope codec, pending table, reply matching). *)
+type diffusion = {
+  neighbors : Nk_diffusion.Neighbors.t;
+  offload : Nk_diffusion.Offload.t;
+}
 
 type t = {
   web : Nk_sim.Httpd.t;
@@ -19,8 +34,10 @@ type t = {
   quarantine : Nk_resource.Quarantine.t;
   (* terminated sites serve escalating, decaying ban windows *)
   admission : Nk_resource.Admission.t option;
+  diffusion : diffusion option;
   breakers : (string, Nk_resource.Breaker.t) Hashtbl.t;
-  (* per upstream ("origin:<site>" / "peer:<node>") circuit breaker *)
+  (* per upstream ("origin:<site>" / "peer:<node>" / "offload:<node>")
+     circuit breaker *)
   store : Nk_replication.Store.t;
   replicas : (string, Nk_replication.Replication.node) Hashtbl.t; (* per site *)
   log_urls : (string, string) Hashtbl.t; (* site -> posting URL *)
@@ -159,6 +176,49 @@ let health t =
       |> List.sort compare;
     quarantined = List.map fst (Nk_resource.Quarantine.active t.quarantine);
   }
+
+(* Liveness epoch under fault injection: bumped by every crash/restart
+   of this host. Offload envelopes and neighbor observations are
+   guarded by it, so nothing from a pre-crash epoch can act. *)
+let incarnation t =
+  match Nk_sim.Net.faults t.net with
+  | Some plan -> Nk_faults.Plan.incarnation plan ~now:(now t) (name t)
+  | None -> 0
+
+(* The scalar load signal diffusion decisions run on: admission queue
+   delay (CPU backlog), shed rate, and admission-queue occupancy,
+   combined so that any one saturating input saturates the whole
+   signal. Crosses 0.5 exactly at the admission delay target — the
+   diffusion low water sits below that, which is what makes diffusion
+   proactive rather than a shedding echo. *)
+let pressure t =
+  let shed_rate, queue_frac =
+    match t.admission with
+    | Some adm ->
+      ( Nk_resource.Admission.shed_rate adm,
+        float_of_int (Nk_resource.Admission.queue_length adm)
+        /. float_of_int (max 1 t.cfg.Config.admission_capacity) )
+    | None -> (0.0, 0.0)
+  in
+  Nk_diffusion.Pressure.compute ~target:t.cfg.Config.admission_target
+    ~queue_delay:(Nk_sim.Net.cpu_backlog t.net t.host)
+    ~shed_rate ~queue_frac
+
+let observe_neighbor t ~name:peer ~pressure ~incarnation ~distance =
+  match t.diffusion with
+  | None -> ()
+  | Some d ->
+    if peer <> name t then
+      Nk_diffusion.Neighbors.observe d.neighbors ~name:peer ~incarnation ~pressure
+        ~distance ~now:(now t)
+
+let neighbor_pressures t =
+  match t.diffusion with
+  | None -> []
+  | Some d ->
+    List.map
+      (fun (i : Nk_diffusion.Neighbors.info) -> (i.Nk_diffusion.Neighbors.name, i.pressure))
+      (Nk_diffusion.Neighbors.all d.neighbors)
 
 let retry_after_response ?(status = 503) seconds =
   let resp = Nk_http.Message.error_response status in
@@ -672,7 +732,11 @@ and load_stage t ?span url =
               | None -> now t +. t.cfg.Config.script_ttl
             in
             Nk_cache.Memo_cache.put t.stage_cache ~key:url ~expiry
-              { stage; site = site_of_stage_url url };
+              {
+                stage;
+                site = site_of_stage_url url;
+                hash = Nk_crypto.Sha256.digest source;
+              };
             Some stage
           | Error msg ->
             Nk_sim.Trace.incr t.trace "script-errors";
@@ -686,8 +750,43 @@ let warm_stage t ~url ~site ~source =
   match build_stage t ~url ~source () with
   | Ok stage ->
     Nk_cache.Memo_cache.put t.stage_cache ~key:url ~expiry:(now t +. t.cfg.Config.script_ttl)
-      { stage; site }
+      { stage; site; hash = Nk_crypto.Sha256.digest source }
   | Error msg -> invalid_arg (Printf.sprintf "warm_stage %s: %s" url msg)
+
+(* Install a stage straight from a compiled program (the diffusion
+   receiver's path: the offload envelope named the script by SHA-256 and
+   the compile cache still holds it — no source, no parse, no lint; the
+   node that compiled it linted it). *)
+let install_stage_from_program t ~url ~site ~hash program =
+  ignore (replica t site);
+  let load_wall t =
+    if url = Nk_pipeline.Pipeline.well_known_server_wall then None
+    else load_stage t Nk_pipeline.Pipeline.well_known_server_wall
+  in
+  let host = hostcall t ~site ~load_wall in
+  charge_cpu t t.cfg.Config.costs.Config.context_create;
+  match
+    Nk_pipeline.Stage.of_program ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
+      ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed program
+  with
+  | Ok stage ->
+    Nk_script.Interp.set_usage_observer (Nk_pipeline.Stage.context stage)
+      (fun ~fuel ~heap ->
+        let labels = [ ("site", site) ] in
+        if fuel > 0 then
+          Nk_telemetry.Metrics.observe t.metrics ~labels "script.fuel" (float_of_int fuel);
+        if heap > 0 then
+          Nk_telemetry.Metrics.observe t.metrics ~labels "script.heap" (float_of_int heap));
+    Nk_cache.Memo_cache.put t.stage_cache ~key:url
+      ~expiry:(now t +. t.cfg.Config.script_ttl)
+      { stage; site; hash };
+    true
+  | Error msg ->
+    Nk_sim.Trace.incr t.trace "script-errors";
+    Logs.warn (fun m -> m "[%s] offloaded stage %s failed: %s" (name t) url msg);
+    Nk_cache.Memo_cache.put t.negative ~key:url
+      ~expiry:(now t +. t.cfg.Config.negative_ttl) ();
+    false
 
 let invalidate_stage t ~url = Nk_cache.Memo_cache.remove t.stage_cache url
 
@@ -730,7 +829,9 @@ let account t ~site ~cpu ~heap ~bytes ~elapsed =
   t.mem_window <- t.mem_window +. heap;
   t.bw_window <- t.bw_window +. bytes
 
-(* Process one client request inside a cothread; returns the response. *)
+(* Process one client request inside a cothread; returns the response
+   plus the interpreter fuel and heap the pipeline consumed (offload
+   replies ship those, so a remote execution stays accountable). *)
 let process t ?span (req : Nk_http.Message.request) =
   let started = now t in
   let site = Nk_http.Url.site req.Nk_http.Message.url in
@@ -801,7 +902,217 @@ let process t ?span (req : Nk_http.Message.request) =
   let labels = [ ("site", site) ] in
   Nk_telemetry.Metrics.incr t.metrics ~labels "site.requests";
   Nk_telemetry.Metrics.observe t.metrics ~labels "site.latency" elapsed;
-  response
+  (response, fuel, heap)
+
+(* --- computation diffusion (C3PO over the health plane) --------------- *)
+
+let site_script_url site = Printf.sprintf "http://%s/nakika.js" site
+
+(* The name of the work this site's requests would run, offloadable only
+   once known locally: [Some hash] when the stage is cached (a previous
+   request warmed it), [Some ""] when the site is known to publish no
+   script (walls-only pipeline), [None] when we have never looked — the
+   first request must execute here and warm the caches. *)
+let offload_hash t site =
+  let url = site_script_url site in
+  match Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url with
+  | Some entry -> Some entry.hash
+  | None -> (
+    match Nk_cache.Memo_cache.find t.negative ~now:(now t) url with
+    | Some () -> Some ""
+    | None -> None)
+
+(* Decide whether this request should diffuse. Entirely inert when
+   diffusion is disabled — no rng draws, no metrics — so a disabled node
+   behaves bit-identically to one built before diffusion existed. *)
+let offload_plan t ~site =
+  match t.diffusion with
+  | None -> None
+  | Some d -> (
+    let p = pressure t in
+    if p < t.cfg.Config.diffusion_low_water then None
+    else
+      match offload_hash t site with
+      | None -> None
+      | Some script_hash -> (
+        let candidates =
+          Nk_diffusion.Neighbors.candidates d.neighbors ~now:(now t)
+            ~staleness:t.cfg.Config.diffusion_staleness
+            ~fanout:t.cfg.Config.diffusion_fanout
+        in
+        match
+          Nk_diffusion.Policy.decide ~pressure:p
+            ~low_water:t.cfg.Config.diffusion_low_water ~candidates
+        with
+        | Nk_diffusion.Policy.Local -> None
+        | Nk_diffusion.Policy.Offload eligible -> (
+          match Nk_diffusion.Policy.pick ~rng:t.rng eligible with
+          | None -> None
+          | Some target -> Some (d, p, script_hash, target))))
+
+(* Ship the request to [target]; any failure — open breaker, rejection,
+   timeout — falls back to [fallback] (the normal local admission path),
+   so diffusion can never lose a request, only decline to help. *)
+let attempt_offload t ~site ~plan:(d, p, script_hash, target) req k ~fallback =
+  let target_name = target.Nk_diffusion.Neighbors.name in
+  let fall_back reason =
+    Nk_telemetry.Metrics.incr t.metrics ~labels:[ ("reason", reason) ]
+      "diffusion.fallbacks";
+    fallback ()
+  in
+  let breaker = breaker_for t ("offload:" ^ target_name) in
+  match Nk_resource.Breaker.acquire breaker with
+  | `Reject _ ->
+    Nk_sim.Trace.incr t.trace "breaker-short-circuits";
+    fall_back "breaker-open"
+  | `Proceed ->
+    let span = start_request_span t "request" req in
+    set_attr span "pressure" (Printf.sprintf "%.3f" p);
+    let ospan =
+      match span with
+      | None -> None
+      | Some s ->
+        Some
+          (Nk_telemetry.Tracer.start_span t.tracer ~parent:s
+             ~attrs:[ ("target", target_name) ]
+             "offload")
+    in
+    let range =
+      Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
+    in
+    Nk_diffusion.Offload.send d.offload ~target:target_name
+      ~target_incarnation:target.Nk_diffusion.Neighbors.incarnation ~site ~script_hash
+      ~timeout:t.cfg.Config.diffusion_offload_timeout ~request:req
+      ~on_done:(fun outcome ->
+        match outcome with
+        | Some (Nk_diffusion.Offload.Executed { response; fuel = _; heap = _ }) ->
+          Nk_resource.Breaker.success breaker;
+          Nk_telemetry.Metrics.incr t.metrics
+            ~labels:[ ("target", target_name) ]
+            "diffusion.offloads";
+          Nk_sim.Trace.incr t.trace "responses";
+          (match range with
+           | Some r ->
+             if Nk_http.Range.apply r response then
+               Nk_sim.Trace.incr t.trace "range-responses"
+           | None -> ());
+          set_attr ospan "outcome" "executed";
+          (match ospan with Some s -> Nk_telemetry.Tracer.finish t.tracer s | None -> ());
+          set_attr span "status" (string_of_int response.Nk_http.Message.status);
+          set_attr span "source" ("offload:" ^ target_name);
+          finish_span t span;
+          k response
+        | Some (Nk_diffusion.Offload.Rejected reason) ->
+          (* The target answered: it is alive, just unwilling. Not a
+             breaker failure — tripping on a loaded-but-healthy neighbor
+             would blind us to it for a whole cooldown. *)
+          Nk_resource.Breaker.success breaker;
+          set_attr ospan "outcome" ("rejected:" ^ reason);
+          (match ospan with Some s -> Nk_telemetry.Tracer.finish t.tracer s | None -> ());
+          set_attr span "source" "offload-fallback";
+          finish_span t span;
+          fall_back "rejected"
+        | None ->
+          Nk_resource.Breaker.failure breaker;
+          set_attr ospan "outcome" "timeout";
+          (match ospan with Some s -> Nk_telemetry.Tracer.finish t.tracer s | None -> ());
+          set_attr span "source" "offload-fallback";
+          finish_span t span;
+          fall_back "timeout")
+
+(* Receiver side: resolve the shipped hash to a runnable stage before
+   the pipeline goes looking for a script. Runs inside the request's
+   cothread (the hash-miss path awaits a bounded origin fetch). *)
+let resolve_offload_stage t (env : Nk_diffusion.Offload.request_envelope) =
+  let site = env.Nk_diffusion.Offload.site in
+  let url = site_script_url site in
+  let hash = env.Nk_diffusion.Offload.script_hash in
+  if hash = "" then begin
+    (* The sender knows the site publishes no script; spare the pipeline
+       the origin probe it would otherwise pay to learn the same. *)
+    if
+      Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url = None
+      && Nk_cache.Memo_cache.find t.negative ~now:(now t) url = None
+    then
+      Nk_cache.Memo_cache.put t.negative ~key:url
+        ~expiry:(now t +. t.cfg.Config.negative_ttl) ()
+  end
+  else if Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url <> None then ()
+  else
+    match Nk_script.Compile.find_cached_by_hash hash with
+    | Some program -> ignore (install_stage_from_program t ~url ~site ~hash program)
+    | None ->
+      (* Hash miss: the program fell out of the (LRU-bounded) compile
+         cache, or was never compiled in this process. Fetch the script
+         from the origin under its own — short — deadline and warm the
+         HTTP cache so the pipeline's stage load finds it without paying
+         [origin_timeout]. *)
+      Nk_telemetry.Metrics.incr t.metrics "diffusion.hash_misses";
+      let req = Nk_http.Message.request url in
+      (match
+         await_fetch_opt t ~via:None ~timeout:t.cfg.Config.diffusion_fetch_timeout req
+       with
+       | Some resp when Nk_http.Status.is_success resp.Nk_http.Message.status ->
+         insert_if_cacheable t req resp
+       | _ -> ())
+
+let handle_offload_request t d ~payload =
+  match Nk_diffusion.Offload.decode_request_envelope payload with
+  | Error msg ->
+    Logs.debug (fun m -> m "[%s] undecodable offload request: %s" (name t) msg)
+  | Ok env ->
+    let site = env.Nk_diffusion.Offload.site in
+    let reject reason =
+      Nk_telemetry.Metrics.incr t.metrics ~labels:[ ("reason", reason) ]
+        "diffusion.rejects";
+      Nk_diffusion.Offload.reply d.offload ~to_:env (Nk_diffusion.Offload.Rejected reason)
+    in
+    (* The sender addressed an incarnation of us that no longer exists:
+       whatever it believed about our load died with it. *)
+    if env.Nk_diffusion.Offload.target_incarnation <> incarnation t then
+      reject "incarnation"
+    else if Nk_resource.Quarantine.is_banned t.quarantine ~site then
+      reject "banned-site"
+    else if pressure t >= t.cfg.Config.diffusion_high_water then reject "pressure"
+    else begin
+      let verdict =
+        match t.admission with
+        | None -> Nk_resource.Admission.Admitted
+        | Some adm ->
+          Nk_resource.Admission.offer adm ~site
+            ~queue_delay:(Nk_sim.Net.cpu_backlog t.net t.host)
+      in
+      match verdict with
+      | Nk_resource.Admission.Shed { reason; _ } -> reject ("admission-" ^ reason)
+      | Nk_resource.Admission.Admitted ->
+        let release () =
+          match t.admission with
+          | Some adm -> Nk_resource.Admission.release adm ~site
+          | None -> ()
+        in
+        let req = env.Nk_diffusion.Offload.request in
+        let span = start_request_span t "offload-request" req in
+        set_attr span "origin" env.Nk_diffusion.Offload.origin_node;
+        Nk_util.Cothread.spawn
+          (fun () ->
+            resolve_offload_stage t env;
+            process t ?span req)
+          ~on_done:(fun (resp, fuel, heap) ->
+            release ();
+            Nk_sim.Trace.incr t.trace "responses";
+            set_attr span "status" (string_of_int resp.Nk_http.Message.status);
+            finish_span t span;
+            Nk_diffusion.Offload.reply d.offload ~to_:env
+              (Nk_diffusion.Offload.Executed { response = resp; fuel; heap }))
+          ~on_error:(fun exn ->
+            release ();
+            Nk_sim.Trace.incr t.trace "script-errors";
+            Logs.warn (fun m ->
+                m "[%s] offloaded pipeline error: %s" (name t) (Printexc.to_string exn));
+            set_attr span "error" (Printexc.to_string exn);
+            finish_span t span;
+            reject "error")
+    end
 
 let handle t (req : Nk_http.Message.request) k =
   Nk_sim.Trace.incr t.trace "requests";
@@ -861,50 +1172,58 @@ let handle t (req : Nk_http.Message.request) k =
       reject "rejected-throttle"
     end
     else begin
-      (* Front-door admission control: the host's CPU backlog is the
-         queueing delay a newly admitted request would see. *)
-      let verdict =
-        match t.admission with
-        | None -> Nk_resource.Admission.Admitted
-        | Some adm ->
-          Nk_resource.Admission.offer adm ~site
-            ~queue_delay:(Nk_sim.Net.cpu_backlog t.net t.host)
-      in
-      match verdict with
-      | Nk_resource.Admission.Shed { retry_after; reason } ->
-        Nk_sim.Trace.incr t.trace "admission-sheds";
-        reject ~retry_after ("admission-" ^ reason)
-      | Nk_resource.Admission.Admitted ->
-        let release () =
+      let local () =
+        (* Front-door admission control: the host's CPU backlog is the
+           queueing delay a newly admitted request would see. *)
+        let verdict =
           match t.admission with
-          | Some adm -> Nk_resource.Admission.release adm ~site
-          | None -> ()
+          | None -> Nk_resource.Admission.Admitted
+          | Some adm ->
+            Nk_resource.Admission.offer adm ~site
+              ~queue_delay:(Nk_sim.Net.cpu_backlog t.net t.host)
         in
-        (* §3.1: a Range request is processed on the entire instance (the
-           pipeline may transcode it); the requested slice is cut out only
-           for the final client response. *)
-        let range =
-          Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
-        in
-        let span = start_request_span t "request" req in
-        Nk_util.Cothread.spawn
-          (fun () -> process t ?span req)
-          ~on_done:(fun resp ->
-            release ();
-            Nk_sim.Trace.incr t.trace "responses";
-            (match range with
-             | Some r -> if Nk_http.Range.apply r resp then Nk_sim.Trace.incr t.trace "range-responses"
-             | None -> ());
-            set_attr span "status" (string_of_int resp.Nk_http.Message.status);
-            finish_span t span;
-            k resp)
-          ~on_error:(fun exn ->
-            release ();
-            Nk_sim.Trace.incr t.trace "script-errors";
-            Logs.warn (fun m -> m "[%s] pipeline error: %s" (name t) (Printexc.to_string exn));
-            set_attr span "error" (Printexc.to_string exn);
-            finish_span t span;
-            k (Nk_http.Message.error_response 500))
+        match verdict with
+        | Nk_resource.Admission.Shed { retry_after; reason } ->
+          Nk_sim.Trace.incr t.trace "admission-sheds";
+          reject ~retry_after ("admission-" ^ reason)
+        | Nk_resource.Admission.Admitted ->
+          let release () =
+            match t.admission with
+            | Some adm -> Nk_resource.Admission.release adm ~site
+            | None -> ()
+          in
+          (* §3.1: a Range request is processed on the entire instance (the
+             pipeline may transcode it); the requested slice is cut out only
+             for the final client response. *)
+          let range =
+            Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
+          in
+          let span = start_request_span t "request" req in
+          Nk_util.Cothread.spawn
+            (fun () -> process t ?span req)
+            ~on_done:(fun (resp, _fuel, _heap) ->
+              release ();
+              Nk_sim.Trace.incr t.trace "responses";
+              (match range with
+               | Some r -> if Nk_http.Range.apply r resp then Nk_sim.Trace.incr t.trace "range-responses"
+               | None -> ());
+              set_attr span "status" (string_of_int resp.Nk_http.Message.status);
+              finish_span t span;
+              k resp)
+            ~on_error:(fun exn ->
+              release ();
+              Nk_sim.Trace.incr t.trace "script-errors";
+              Logs.warn (fun m -> m "[%s] pipeline error: %s" (name t) (Printexc.to_string exn));
+              set_attr span "error" (Printexc.to_string exn);
+              finish_span t span;
+              k (Nk_http.Message.error_response 500))
+      in
+      (* Proactive diffusion sits after quarantine/throttle but before
+         admission: an offloaded request never takes a local queue slot,
+         which is exactly the relief a pressured node needs. *)
+      match offload_plan t ~site with
+      | None -> local ()
+      | Some plan -> attempt_offload t ~site ~plan req k ~fallback:local
     end
   end
 
@@ -1050,7 +1369,10 @@ let start_health_gauges t =
         set "health.queue_delay" h.queue_delay;
         set "health.shed_rate" h.shed_rate;
         set "health.open_breakers" (float_of_int (List.length h.open_breakers));
-        set "health.quarantined_sites" (float_of_int (List.length h.quarantined))
+        set "health.quarantined_sites" (float_of_int (List.length h.quarantined));
+        match t.diffusion with
+        | Some _ -> set "diffusion.pressure" (pressure t)
+        | None -> ()
       end;
       Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
     in
@@ -1062,6 +1384,31 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
   let sim = Nk_sim.Net.sim net in
   let clock () = Nk_sim.Sim.now sim in
   let metrics = Nk_telemetry.Metrics.create () in
+  let node_name = Nk_sim.Net.host_name host in
+  let diffusion =
+    match bus with
+    | Some b when config.Config.enable_diffusion ->
+      let incarnation () =
+        match Nk_sim.Net.faults net with
+        | Some plan -> Nk_faults.Plan.incarnation plan ~now:(clock ()) node_name
+        | None -> 0
+      in
+      Some
+        {
+          neighbors = Nk_diffusion.Neighbors.create ();
+          offload =
+            Nk_diffusion.Offload.create ~name:node_name ~incarnation ~clock
+              (* Non-daemon: a pending offload's timeout is the fallback
+                 guarantee, so it must fire even when the target's crash
+                 has left no other events (a daemon timer would let the
+                 simulation drain and strand the request). *)
+              ~schedule:(fun delay k -> Nk_sim.Sim.schedule sim ~delay k)
+              ~publish:(fun ~topic ~payload ->
+                Nk_replication.Message_bus.publish b ~from:node_name ~topic ~payload)
+              ~metrics ();
+        }
+    | _ -> None
+  in
   let t =
     {
       web;
@@ -1089,6 +1436,7 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
                 ~interval:config.Config.admission_interval
                 ~capacity:config.Config.admission_capacity ~clock ~metrics ())
          else None);
+      diffusion;
       breakers = Hashtbl.create 8;
       store = Nk_replication.Store.create ();
       replicas = Hashtbl.create 4;
@@ -1119,6 +1467,21 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
      start_reannouncer t dht
    | _ -> ());
   if config.Config.enable_resource_controls then start_monitor t;
+  (* The offload protocol rides the bus: each node owns a request topic
+     (work addressed to it) and a reply topic (answers to work it
+     shipped). Point-to-point semantics over pub/sub, with the bus's
+     acked-retry reliability for free. *)
+  (match (t.diffusion, bus) with
+   | Some d, Some b ->
+     Nk_replication.Message_bus.attach b ~name:node_name ~host;
+     Nk_replication.Message_bus.subscribe b ~name:node_name
+       ~topic:(Nk_diffusion.Offload.reply_topic node_name)
+       ~handler:(fun ~payload ~from:_ ->
+         Nk_diffusion.Offload.handle_reply d.offload ~payload);
+     Nk_replication.Message_bus.subscribe b ~name:node_name
+       ~topic:(Nk_diffusion.Offload.request_topic node_name)
+       ~handler:(fun ~payload ~from:_ -> handle_offload_request t d ~payload)
+   | _ -> ());
   start_log_poster t;
   start_health_gauges t;
   t

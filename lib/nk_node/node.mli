@@ -76,6 +76,27 @@ val health : t -> health
     and exports as [health.*] gauges every
     [Config.health_report_interval]. *)
 
+val pressure : t -> float
+(** The scalar diffusion load signal in [0, 1]: queueing delay, shed
+    rate and admission-queue occupancy combined (monotone in each;
+    crosses 0.5 at the admission delay target). Meaningful whether or
+    not diffusion is enabled. *)
+
+val incarnation : t -> int
+(** Current liveness epoch under fault injection (0 without a fault
+    plan). *)
+
+val observe_neighbor :
+  t -> name:string -> pressure:float -> incarnation:int -> distance:float -> unit
+(** Feed one neighbor load observation into the diffusion pressure
+    table (the cluster calls this from its load-report cycle).
+    Incarnation-guarded; self-observations and calls on a
+    diffusion-disabled node are no-ops. *)
+
+val neighbor_pressures : t -> (string * float) list
+(** Snapshot of the neighbor pressure table, name-sorted ([] when
+    diffusion is disabled). *)
+
 val terminated_sites : t -> string list
 (** Sites whose pipelines the monitor has terminated (most recent
     first; a site may appear more than once). *)

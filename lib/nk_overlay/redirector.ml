@@ -9,9 +9,13 @@ type t = {
   net : Nk_sim.Net.t;
   mutable proxies : Nk_sim.Net.host list;
   reports : (string, health) Hashtbl.t;
+  mutable staleness : float;
 }
 
-let create net = { net; proxies = []; reports = Hashtbl.create 8 }
+let create net =
+  { net; proxies = []; reports = Hashtbl.create 8; staleness = infinity }
+
+let set_staleness t bound = t.staleness <- bound
 
 let add_proxy t host =
   if not (List.exists (fun h -> Nk_sim.Net.host_name h = Nk_sim.Net.host_name host) t.proxies)
@@ -50,9 +54,18 @@ let headroom t host =
   match Hashtbl.find_opt t.reports (Nk_sim.Net.host_name host) with
   | None -> 1.0
   | Some h ->
-    let delay_factor = 1.0 /. (1.0 +. (h.queue_delay /. 0.1)) in
-    let shed_factor = 1.0 -. Float.min 0.95 h.shed_rate in
-    Float.max 0.02 (delay_factor *. shed_factor)
+    let age = Nk_sim.Sim.now (Nk_sim.Net.sim t.net) -. h.reported_at in
+    if age > t.staleness then
+      (* A node that stopped reporting is suspect, not idle: its last
+         report says nothing about its load now. Dropping the report
+         entirely would hand it the unknown-node headroom of 1.0 —
+         attracting MORE traffic to a silent node — so instead it gets
+         the recovery-probe floor until it speaks again. *)
+      0.02
+    else
+      let delay_factor = 1.0 /. (1.0 +. (h.queue_delay /. 0.1)) in
+      let shed_factor = 1.0 -. Float.min 0.95 h.shed_rate in
+      Float.max 0.02 (delay_factor *. shed_factor)
 
 let pick t ?(spread = 1) ~rng ~client () =
   (* A crashed proxy must not receive redirections, whatever its last

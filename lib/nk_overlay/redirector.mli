@@ -43,6 +43,14 @@ val report :
 
 val health : t -> host:string -> health option
 
+val set_staleness : t -> float -> unit
+(** Bound on load-report age. A proxy whose last report is older than
+    the bound is scored at the recovery-probe headroom floor (0.02)
+    rather than as unknown/idle, so a node that went silent — partition,
+    crash the liveness filter hasn't caught, wedged reporter — stops
+    attracting redirected traffic beyond a trickle. Default: [infinity]
+    (reports never go stale). *)
+
 val pick : t -> ?spread:int -> rng:Nk_util.Prng.t -> client:Nk_sim.Net.host -> unit -> Nk_sim.Net.host option
 (** The nearest live proxy, or with [spread = k > 1] a headroom-weighted
     choice among the [k] nearest ([spread] is clamped to the close-by

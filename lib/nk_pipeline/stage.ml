@@ -80,6 +80,22 @@ let of_script ~url ~host ?max_fuel ?max_heap_bytes ?seed ?on_compile_cache
     | exception Nk_script.Interp.Resource_exhausted msg ->
       Error (Printf.sprintf "%s: %s" url msg))
 
+let of_program ~url ~host ?max_fuel ?max_heap_bytes ?seed program =
+  (* Diffusion receivers resolve a script by SHA-256 against the
+     compile cache and never see the source, so there is nothing to
+     lint here — the node that first compiled the program already ran
+     the admission-time analysis. *)
+  let ctx = Nk_script.Interp.create ?max_fuel ?max_heap_bytes () in
+  Nk_vocab.Platform_v.install_all host ?seed ctx;
+  Nk_vocab.Eval_v.install ctx;
+  let registry = Nk_policy.Script_bridge.create_registry () in
+  Nk_policy.Script_bridge.install registry ctx;
+  match Nk_script.Compile.run ctx program with
+  | _ -> Ok (of_policies ~url ~ctx (Nk_policy.Script_bridge.policies registry))
+  | exception Nk_script.Value.Script_error msg -> Error (Printf.sprintf "%s: %s" url msg)
+  | exception Nk_script.Interp.Resource_exhausted msg ->
+    Error (Printf.sprintf "%s: %s" url msg)
+
 let select t req = Nk_policy.Decision_tree.find_closest t.tree req
 
 let acquire t =

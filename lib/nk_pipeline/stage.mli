@@ -42,6 +42,19 @@ val of_script :
     [of_script] return [Error] without executing the script; the
     default [`Permissive] only reports; [`Off] skips analysis. *)
 
+val of_program :
+  url:string ->
+  host:Nk_vocab.Hostcall.t ->
+  ?max_fuel:int ->
+  ?max_heap_bytes:int ->
+  ?seed:int ->
+  Nk_script.Compile.program ->
+  (t, string) result
+(** Like {!of_script} but from an already-compiled program (resolved
+    from the compile cache by SHA-256 — the diffusion receiver's path,
+    where the source is not available). Skips lint: the node that
+    compiled the program ran the admission-time analysis. *)
+
 val of_policies : url:string -> ctx:Nk_script.Interp.ctx -> Nk_policy.Policy.t list -> t
 (** Assemble a stage from pre-built policies (used by tests and
     OCaml-authored stages). *)

@@ -751,39 +751,88 @@ let run ctx (p : program) : Value.t =
    no matter how many stages or simulated nodes load them (§4's context
    amortization taken one step further). Only successful compilations
    are cached — failing scripts are negative-cached upstream by the
-   node. *)
+   node.
 
-type cache_stats = { hits : int; misses : int; entries : int }
+   The table is bounded with LRU eviction. Diffusion's hash-miss
+   offload traffic makes unbounded growth reachable (every distinct
+   script body a peer ever names lands here), and flushing the whole
+   table on overflow — the previous policy — would throw away the hot
+   wall scripts along with the flood. *)
 
-let cache : (string, program) Hashtbl.t = Hashtbl.create 64
+type cache_stats = { hits : int; misses : int; entries : int; evictions : int }
+
+type cache_entry = { program : program; mutable last_used : int }
+
+let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 64
 
 let cache_hits = ref 0
 
 let cache_misses = ref 0
 
-let max_cache_entries = 1024
+let cache_evictions = ref 0
+
+let cache_capacity = ref 1024
+
+(* Monotone access clock: cheaper than timestamps and immune to the
+   simulated-vs-wall clock question (the cache is process-wide). *)
+let cache_tick = ref 0
+
+let touch entry =
+  incr cache_tick;
+  entry.last_used <- !cache_tick
+
+let set_cache_capacity n = cache_capacity := max 1 n
 
 let cache_stats () =
-  { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache }
+  {
+    hits = !cache_hits;
+    misses = !cache_misses;
+    entries = Hashtbl.length cache;
+    evictions = !cache_evictions;
+  }
 
 let cache_clear () = Hashtbl.reset cache
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= entry.last_used -> acc
+        | _ -> Some (key, entry))
+      cache None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove cache key;
+    incr cache_evictions
+  | None -> ()
+
+let find_cached_by_hash hash =
+  match Hashtbl.find_opt cache hash with
+  | Some entry ->
+    touch entry;
+    Some entry.program
+  | None -> None
 
 let get_program ?on_cache source =
   let key = Nk_crypto.Sha256.digest source in
   match Hashtbl.find_opt cache key with
-  | Some p ->
+  | Some entry ->
     incr cache_hits;
+    touch entry;
     (match on_cache with Some f -> f `Hit | None -> ());
-    p
+    entry.program
   | None ->
     incr cache_misses;
     (match on_cache with Some f -> f `Miss | None -> ());
     let p = compile (Parser.parse source) in
-    (* Crude but sufficient bound: the working set is a handful of wall
-       and site scripts; a pathological flood of distinct bodies just
-       flushes the table. *)
-    if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
-    Hashtbl.replace cache key p;
+    while Hashtbl.length cache >= !cache_capacity do
+      evict_lru ()
+    done;
+    let entry = { program = p; last_used = 0 } in
+    touch entry;
+    Hashtbl.replace cache key entry;
     p
 
 let run_string ?on_cache ctx source = run ctx (get_program ?on_cache source)

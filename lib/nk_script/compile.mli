@@ -40,10 +40,24 @@ val run_string : ?on_cache:([ `Hit | `Miss ] -> unit) -> Interp.ctx -> string ->
 (** [run] ∘ [get_program]: the production entry point used by stages,
     [evalScript] and NKP. *)
 
-type cache_stats = { hits : int; misses : int; entries : int }
+type cache_stats = { hits : int; misses : int; entries : int; evictions : int }
 
 val cache_stats : unit -> cache_stats
 
 val cache_clear : unit -> unit
 (** Drop all cached programs (tests/benchmarks). Counters are not
     reset. *)
+
+val set_cache_capacity : int -> unit
+(** Bound on cached programs (default 1024, clamped to >= 1). On
+    overflow the least-recently-used entry is evicted — counted in
+    [cache_stats.evictions] — so a flood of distinct script bodies
+    (e.g. diffusion hash-miss traffic) cannot grow the table without
+    bound or flush the hot wall scripts. *)
+
+val find_cached_by_hash : string -> program option
+(** Resolve an already-known SHA-256 digest (as produced by
+    {!Nk_crypto.Sha256.digest}) against the cache without having the
+    source — the diffusion receiver's lookup when an offload envelope
+    names a program by hash. Counts as an LRU touch but not as a
+    hit/miss (the caller accounts hash misses itself). *)

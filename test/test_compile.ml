@@ -325,6 +325,40 @@ let test_stage_sharing_reports_hit () =
   Alcotest.(check bool) "second load is a cache hit" true (List.mem `Hit !outcomes);
   Alcotest.(check bool) "first load was a miss" true (List.mem `Miss !outcomes)
 
+let test_cache_lru_eviction () =
+  (* With a capacity of 2, loading a third distinct body must evict
+     exactly the least-recently-used entry — not flush the table. *)
+  Compile.cache_clear ();
+  Compile.set_cache_capacity 2;
+  let load source =
+    let ctx = Interp.create () in
+    Builtins.install ctx;
+    ignore (Compile.run_string ctx source)
+  in
+  let a = "var a = 1; a" and b = "var b = 2; b" and c = "var c = 3; c" in
+  let before = Compile.cache_stats () in
+  load a;
+  load b;
+  (* Touch [a] so [b] is the LRU victim. *)
+  load a;
+  load c;
+  let after = Compile.cache_stats () in
+  Alcotest.(check int) "one eviction" 1 (after.Compile.evictions - before.Compile.evictions);
+  Alcotest.(check int) "table stays at capacity" 2 after.Compile.entries;
+  let hash s = Core.Crypto.Sha256.digest s in
+  Alcotest.(check bool) "a survived (recently used)" true
+    (Compile.find_cached_by_hash (hash a) <> None);
+  Alcotest.(check bool) "b evicted (least recently used)" true
+    (Compile.find_cached_by_hash (hash b) = None);
+  Alcotest.(check bool) "c resident" true (Compile.find_cached_by_hash (hash c) <> None);
+  (* Reloading the victim is a fresh miss, not an error. *)
+  let miss_before = (Compile.cache_stats ()).Compile.misses in
+  load b;
+  Alcotest.(check int) "victim recompiles as a miss" 1
+    ((Compile.cache_stats ()).Compile.misses - miss_before);
+  Compile.set_cache_capacity 1024;
+  Compile.cache_clear ()
+
 let test_compiled_handler_apply () =
   (* Event handlers produced by compiled scripts are plain function
      values; [Interp.apply] must invoke them (the pipeline does). *)
@@ -362,6 +396,7 @@ let suite =
     Alcotest.test_case "program cache: one compile per distinct body" `Quick test_cache_hits;
     Alcotest.test_case "program cache: stages share compilations" `Quick
       test_stage_sharing_reports_hit;
+    Alcotest.test_case "program cache: bounded LRU eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "compiled handlers respond to apply" `Quick test_compiled_handler_apply;
     Alcotest.test_case "fuel parity on handler invocation" `Quick test_fuel_parity_on_handler_apply;
   ]

@@ -12,6 +12,7 @@ let () =
       ("sim", Test_sim.suite);
       ("cache", Test_cache.suite);
       ("overlay", Test_overlay.suite);
+    ("diffusion", Test_diffusion.suite);
       ("resource", Test_resource.suite);
       ("replication", Test_replication.suite);
       ("integrity", Test_integrity.suite);

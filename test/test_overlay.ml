@@ -351,6 +351,52 @@ let test_redirector_incarnation_guard () =
   | Some h -> Alcotest.(check (float 1e-9)) "refreshed" 0.5 h.Redirector.queue_delay
   | None -> Alcotest.fail "report stored"
 
+let test_redirector_staleness_bound () =
+  (* A node that stops reporting must stop attracting traffic once its
+     last report ages past the staleness bound — it gets the recovery
+     trickle, not the unknown-node benefit of the doubt. *)
+  let sim = Core.Sim.Sim.create () in
+  let net = Core.Sim.Net.create sim () in
+  let red = Redirector.create net in
+  Redirector.set_staleness red 3.0;
+  let silent = Core.Sim.Net.add_host net ~name:"silent" () in
+  let fresh = Core.Sim.Net.add_host net ~name:"fresh" () in
+  let client = Core.Sim.Net.add_host net ~name:"c" () in
+  Core.Sim.Net.connect net client silent ~latency:0.01 ~bandwidth:1e7;
+  Core.Sim.Net.connect net client fresh ~latency:0.01 ~bandwidth:1e7;
+  Redirector.add_proxy red silent;
+  Redirector.add_proxy red fresh;
+  (* Both report idle at t=0; only [fresh] keeps reporting. *)
+  Redirector.report red ~host:"silent" ~queue_delay:0.0 ~shed_rate:0.0 ();
+  Redirector.report red ~host:"fresh" ~queue_delay:0.0 ~shed_rate:0.0 ();
+  Core.Sim.Sim.schedule sim ~delay:10.0 (fun () ->
+      Redirector.report red ~host:"fresh" ~queue_delay:0.0 ~shed_rate:0.0 ());
+  Core.Sim.Sim.run sim;
+  let rng = Core.Util.Prng.create 13 in
+  let silent_picks = ref 0 in
+  let draws = 400 in
+  for _ = 1 to draws do
+    match Redirector.pick red ~spread:2 ~rng ~client () with
+    | Some h -> if Core.Sim.Net.host_name h = "silent" then incr silent_picks
+    | None -> Alcotest.fail "pool is non-empty"
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "silent node got %d/%d picks (< 10%%)" !silent_picks draws)
+    true
+    (float_of_int !silent_picks < 0.1 *. float_of_int draws);
+  (* A fresh report brings it straight back into rotation. *)
+  Redirector.report red ~host:"silent" ~queue_delay:0.0 ~shed_rate:0.0 ();
+  let silent_after = ref 0 in
+  for _ = 1 to draws do
+    match Redirector.pick red ~spread:2 ~rng ~client () with
+    | Some h -> if Core.Sim.Net.host_name h = "silent" then incr silent_after
+    | None -> Alcotest.fail "pool is non-empty"
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered node got %d/%d picks (> 30%%)" !silent_after draws)
+    true
+    (float_of_int !silent_after > 0.3 *. float_of_int draws)
+
 let suite =
   [
     Alcotest.test_case "node ids are deterministic" `Quick test_node_id_deterministic;
@@ -386,4 +432,6 @@ let suite =
       test_redirector_health_weighting;
     Alcotest.test_case "redirector: stale incarnation reports ignored" `Quick
       test_redirector_incarnation_guard;
+    Alcotest.test_case "redirector: silent nodes age out of rotation" `Quick
+      test_redirector_staleness_bound;
   ]
