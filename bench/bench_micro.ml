@@ -94,6 +94,23 @@ let tw_ctx = fresh_ctx ()
 
 let cp_ctx = fresh_ctx ()
 
+(* Named so the regression guard can re-run exactly these two. *)
+let test_cached_execute =
+  Test.make ~name:"C1: cached execute (compiled)"
+    (Staged.stage (fun () ->
+         Core.Script.Interp.reset_usage cp_ctx;
+         ignore (Core.Script.Compile.run cp_ctx workload_prog)))
+
+let test_transcode =
+  Test.make ~name:"Fig2: transcode 352x416 -> 176x208"
+    (Staged.stage (fun () ->
+         match Core.Vocab.Image.decode image_352x416 with
+         | Ok (img, _) ->
+           Core.Vocab.Image.encode
+             (Core.Vocab.Image.scale img ~width:176 ~height:208)
+             Core.Vocab.Image.Rle
+         | Error e -> failwith e))
+
 let tests =
   Test.make_grouped ~name:"nakika"
     [
@@ -115,10 +132,7 @@ let tests =
         (Staged.stage (fun () ->
              Core.Script.Interp.reset_usage tw_ctx;
              ignore (Core.Script.Interp.run tw_ctx workload_ast)));
-      Test.make ~name:"C1: cached execute (compiled)"
-        (Staged.stage (fun () ->
-             Core.Script.Interp.reset_usage cp_ctx;
-             ignore (Core.Script.Compile.run cp_ctx workload_prog)));
+      test_cached_execute;
       Test.make ~name:"C1: first execute (parse+compile+run)"
         (Staged.stage (fun () ->
              ignore
@@ -139,14 +153,7 @@ let tests =
         (Staged.stage (fun () ->
              Core.Vocab.Xml.to_html Core.Workload.Simm.stylesheet
                (Core.Vocab.Xml.parse_exn lecture_xml)));
-      Test.make ~name:"Fig2: transcode 352x416 -> 176x208"
-        (Staged.stage (fun () ->
-             match Core.Vocab.Image.decode image_352x416 with
-             | Ok (img, _) ->
-               Core.Vocab.Image.encode
-                 (Core.Vocab.Image.scale img ~width:176 ~height:208)
-                 Core.Vocab.Image.Rle
-             | Error e -> failwith e));
+      test_transcode;
       Test.make ~name:"E2: render register.nkp page"
         (Staged.stage (fun () ->
              let ctx = Core.Script.Interp.create () in
@@ -157,21 +164,85 @@ let tests =
              ignore (Core.Pipeline.Nkp.render ctx "x<?nkp 1 + 1 ?>y")));
     ]
 
-let micro () =
-  Harness.header "Bechamel micro-benchmarks (real implementation, this machine)";
+(* The dynamic rows (bechamel Test.t values built at [micro ()] time,
+   not module load time): the registry warm-start row must enable the
+   persistent registry, and doing that at module initialization would
+   turn it on for every experiment in the binary — it defaults off. *)
+let registry_bench_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "nakika-bench-registry"
+
+let warm_start_test () =
+  (* Model a node restart with a warm registry: the entry is on disk,
+     the in-memory cache is dropped, and [preload_registry] (what node
+     creation runs) compiles it back in. The measured op is then the
+     site's first execute on the request path — hash lookup + run, no
+     parse and no disk. The restart cost itself (disk load + compile)
+     happens once, off the request path; it is printed separately. *)
+  Core.Script.Registry.set_dir (Some registry_bench_dir);
+  Core.Script.Compile.cache_clear ();
+  ignore (Core.Script.Compile.get_program workload_script);
+  Core.Script.Compile.cache_clear ();
+  let t0 = Unix.gettimeofday () in
+  let loaded = Core.Script.Compile.preload_registry () in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "  %-44s %d entr%s in %8.2f us\n" "C1: registry preload (node start)" loaded
+    (if loaded = 1 then "y" else "ies")
+    ((t1 -. t0) *. 1e6);
+  let ctx = fresh_ctx () in
+  Test.make ~name:"C1: warm-start first execute (registry)"
+    (Staged.stage (fun () ->
+         Core.Script.Interp.reset_usage ctx;
+         ignore (Core.Script.Compile.run ctx (Core.Script.Compile.get_program workload_script))))
+
+let run_tests tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> (name, est) :: acc
+      | _ -> (name, nan) :: acc)
+    results []
+  |> List.sort compare
+
+(* Allocation rates for the rows the fast-path work targets. *)
+let words_rows () =
+  [
+    ( "C1: cached execute (compiled)",
+      Harness.words_per_op (fun () ->
+          Core.Script.Interp.reset_usage cp_ctx;
+          Core.Script.Compile.run cp_ctx workload_prog) );
+    ( "C1: tree-walk execute",
+      Harness.words_per_op (fun () ->
+          Core.Script.Interp.reset_usage tw_ctx;
+          Core.Script.Interp.run tw_ctx workload_ast) );
+    ( "F7: parse+render lecture XML",
+      Harness.words_per_op (fun () ->
+          Core.Vocab.Xml.to_html Core.Workload.Simm.stylesheet
+            (Core.Vocab.Xml.parse_exn lecture_xml)) );
+    ( "Fig2: transcode 352x416 -> 176x208",
+      Harness.words_per_op (fun () ->
+          match Core.Vocab.Image.decode image_352x416 with
+          | Ok (img, _) ->
+            Core.Vocab.Image.encode
+              (Core.Vocab.Image.scale img ~width:176 ~height:208)
+              Core.Vocab.Image.Rle
+          | Error e -> failwith e) );
+  ]
+
+let micro () =
+  Harness.header "Bechamel micro-benchmarks (real implementation, this machine)";
+  let rows = run_tests tests in
   let rows =
-    Hashtbl.fold
-      (fun name ols_result acc ->
-        match Analyze.OLS.estimates ols_result with
-        | Some (est :: _) -> (name, est) :: acc
-        | _ -> (name, nan) :: acc)
-      results []
-    |> List.sort compare
+    let registry_rows =
+      Fun.protect
+        ~finally:(fun () -> Core.Script.Registry.set_dir None)
+        (fun () -> run_tests (Test.make_grouped ~name:"nakika" [ warm_start_test () ]))
+    in
+    List.sort compare (rows @ registry_rows)
   in
   List.iter
     (fun (name, ns) ->
@@ -196,9 +267,18 @@ let micro () =
   (match speedup with
    | Some s -> Printf.printf "  %-44s %8.2f x\n" "C1: compiled speedup over tree-walk" s
    | None -> ());
+  let words = words_rows () in
+  List.iter
+    (fun (name, w) -> Printf.printf "  %-44s %8.0f minor words/op\n" name w)
+    words;
   let stats = Core.Script.Compile.cache_stats () in
   Printf.printf "  %-44s %d hits / %d misses / %d entries\n" "C1: compiled-program cache" stats.Core.Script.Compile.hits
     stats.Core.Script.Compile.misses stats.Core.Script.Compile.entries;
+  let rstats = Core.Script.Registry.stats () in
+  Printf.printf "  %-44s %d hits / %d misses / %d stores / %d rejects\n"
+    "C1: persistent program registry" rstats.Core.Script.Registry.hits
+    rstats.Core.Script.Registry.misses rstats.Core.Script.Registry.stores
+    rstats.Core.Script.Registry.rejects;
   match Harness.registry () with
   | None -> ()
   | Some m ->
@@ -206,9 +286,111 @@ let micro () =
       (fun (name, ns) ->
         Core.Telemetry.Metrics.set_gauge m ~labels:[ ("test", name) ] "micro.ns_per_op" ns)
       rows;
+    List.iter
+      (fun (name, w) ->
+        Core.Telemetry.Metrics.set_gauge m ~labels:[ ("test", name) ] "micro.words_per_op" w)
+      words;
     (match speedup with
      | Some s -> Core.Telemetry.Metrics.set_gauge m "micro.compiled_speedup" s
      | None -> ());
     Core.Telemetry.Metrics.set_gauge m "micro.compile_cache.hits" (float_of_int stats.Core.Script.Compile.hits);
     Core.Telemetry.Metrics.set_gauge m "micro.compile_cache.misses"
-      (float_of_int stats.Core.Script.Compile.misses)
+      (float_of_int stats.Core.Script.Compile.misses);
+    Core.Telemetry.Metrics.set_gauge m "micro.registry.hits"
+      (float_of_int rstats.Core.Script.Registry.hits);
+    Core.Telemetry.Metrics.set_gauge m "micro.registry.rejects"
+      (float_of_int rstats.Core.Script.Registry.rejects)
+
+(* --- bench-regression guard ------------------------------------------- *)
+
+(* CI gate: re-measure the two headline fast-path rows and fail if
+   either regressed more than [tolerance] against the committed
+   BENCH_micro.json. Noise discipline: each row is measured three times
+   and the *minimum* is compared — "has the code gotten slower" is a
+   question about the best case, not the scheduler. Escape hatch:
+   NAKIKA_BENCH_GUARD_SKIP=1 (for machines with incomparable baselines). *)
+
+let guard_rows =
+  [ "nakika/C1: cached execute (compiled)"; "nakika/Fig2: transcode 352x416 -> 176x208" ]
+
+let guard_tolerance = 1.25
+
+let baseline_ns path =
+  (* BENCH_micro.json is JSON-lines; pick out micro.ns_per_op gauges. *)
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match Core.Vocab.Json.parse line with
+       | Ok (Core.Vocab.Json.Obj fields) ->
+         let str k =
+           match List.assoc_opt k fields with
+           | Some (Core.Vocab.Json.Str s) -> Some s
+           | _ -> None
+         in
+         if str "name" = Some "micro.ns_per_op" then begin
+           match (List.assoc_opt "labels" fields, List.assoc_opt "value" fields) with
+           | Some (Core.Vocab.Json.Obj labels), Some (Core.Vocab.Json.Num v) -> (
+             match List.assoc_opt "test" labels with
+             | Some (Core.Vocab.Json.Str test) -> entries := (test, v) :: !entries
+             | _ -> ())
+           | _ -> ()
+         end
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  !entries
+
+let guard () =
+  Harness.header "Bench-regression guard (fast-path rows vs committed BENCH_micro.json)";
+  match Sys.getenv_opt "NAKIKA_BENCH_GUARD_SKIP" with
+  | Some _ -> print_endline "  NAKIKA_BENCH_GUARD_SKIP set; skipping."
+  | None ->
+    let path = "BENCH_micro.json" in
+    if not (Sys.file_exists path) then
+      Printf.printf "  no %s baseline; nothing to guard.\n" path
+    else begin
+      let baseline = baseline_ns path in
+      let guard_tests =
+        Test.make_grouped ~name:"nakika" [ test_cached_execute; test_transcode ]
+      in
+      (* min over three measurement rounds, per row *)
+      let fresh_rows =
+        List.fold_left
+          (fun acc _ ->
+            List.map
+              (fun (name, ns) ->
+                match List.assoc_opt name acc with
+                | Some prev -> (name, Float.min prev ns)
+                | None -> (name, ns))
+              (run_tests guard_tests))
+          (run_tests guard_tests)
+          [ (); () ]
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun name ->
+          match List.assoc_opt name baseline with
+          | None -> Printf.printf "  %-44s no baseline row; skipped\n" name
+          | Some base ->
+            let now = List.assoc_opt name fresh_rows |> Option.value ~default:nan in
+            let ratio = now /. base in
+            let verdict =
+              if Float.is_nan now then "UNMEASURED"
+              else if ratio > guard_tolerance then begin
+                incr failures;
+                "REGRESSED"
+              end
+              else "ok"
+            in
+            Printf.printf "  %-44s %8.2f us -> %8.2f us  (%.2fx)  %s\n" name
+              (base /. 1e3) (now /. 1e3) ratio verdict)
+        guard_rows;
+      if !failures > 0 then begin
+        Printf.eprintf
+          "bench guard: %d row(s) regressed >%.0f%%; set NAKIKA_BENCH_GUARD_SKIP=1 to bypass.\n"
+          !failures ((guard_tolerance -. 1.0) *. 100.0);
+        exit 1
+      end
+    end

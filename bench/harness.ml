@@ -48,6 +48,19 @@ let fetch_sync cluster ~client ?proxy req =
   | Some r -> r
   | None -> failwith "harness: request never completed"
 
+(* Allocation accounting: minor-heap words allocated per operation.
+   [Gc.minor_words] counts every minor allocation (including values
+   later promoted), so this is the allocation *rate* the op puts on the
+   GC — the number the arena/zero-copy work drives down — not live
+   memory. *)
+let words_per_op ?(runs = 100) f =
+  ignore (Sys.opaque_identity (f ()));
+  let w0 = Gc.minor_words () in
+  for _ = 1 to runs do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int runs
+
 let ms x = x *. 1000.0
 
 let header title =

@@ -6,7 +6,12 @@
 
    Experiments: table1 table2 micro-costs capacity resource-controls
    figure7 simm-local specweb extensions integrity ablations faults
-   overload diffusion micro *)
+   overload diffusion micro
+
+   "micro-guard" is special: it re-measures the fast-path micro rows
+   against the committed BENCH_micro.json and exits non-zero on a >25%
+   regression (NAKIKA_BENCH_GUARD_SKIP=1 bypasses). It runs outside the
+   experiment registry so it never rewrites a BENCH_*.json. *)
 
 let experiments =
   [
@@ -49,11 +54,13 @@ let () =
    | names ->
      List.iter
        (fun name ->
-         match List.assoc_opt name experiments with
-         | Some run -> run_experiment name run
-         | None ->
-           Printf.eprintf "unknown experiment %S; available: %s\n" name
-             (String.concat " " (List.map fst experiments));
-           exit 1)
+         if name = "micro-guard" then Bench_micro.guard ()
+         else
+           match List.assoc_opt name experiments with
+           | Some run -> run_experiment name run
+           | None ->
+             Printf.eprintf "unknown experiment %S; available: %s micro-guard\n" name
+               (String.concat " " (List.map fst experiments));
+             exit 1)
        names);
   print_profile ()

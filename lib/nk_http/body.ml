@@ -8,7 +8,12 @@ let of_chunks cs =
   let cs = List.filter (fun c -> c <> "") cs in
   { chunks = cs; length = List.fold_left (fun n c -> n + String.length c) 0 cs }
 
-let to_string t = String.concat "" t.chunks
+let to_string t =
+  (* Single-chunk bodies (whole responses, transcoded images) are the
+     overwhelmingly common case; return the chunk itself rather than
+     paying String.concat's copy. Chunks are immutable strings, so the
+     alias is safe. *)
+  match t.chunks with [] -> "" | [ c ] -> c | cs -> String.concat "" cs
 
 let length t = t.length
 
@@ -16,7 +21,10 @@ let is_empty t = t.length = 0
 
 let chunks t = t.chunks
 
-let append a b = { chunks = a.chunks @ b.chunks; length = a.length + b.length }
+let append a b =
+  if a.length = 0 then b
+  else if b.length = 0 then a
+  else { chunks = a.chunks @ b.chunks; length = a.length + b.length }
 
 type reader = { mutable remaining : string list; mutable offset : int }
 

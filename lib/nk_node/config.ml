@@ -62,6 +62,11 @@ type t = {
   diffusion_offload_timeout : float;
   diffusion_fetch_timeout : float;
   diffusion_staleness : float;
+  (* Directory for the persistent program registry (marshalled ASTs
+     keyed by script-body SHA-256). [None] — the default — leaves the
+     registry disabled: no disk I/O, behavior identical to builds
+     without it. *)
+  program_registry_dir : string option;
   costs : costs;
   seed : int;
 }
@@ -150,6 +155,7 @@ let default =
     diffusion_offload_timeout = 3.0;
     diffusion_fetch_timeout = 2.0;
     diffusion_staleness = 3.0;
+    program_registry_dir = None;
     costs = default_costs;
     seed = 7;
   }

@@ -112,6 +112,11 @@ type t = {
                                    this are ignored; also the
                                    redirector's load-report staleness
                                    bound *)
+  program_registry_dir : string option;
+      (** directory for the persistent program registry (marshalled
+          parsed scripts keyed by body SHA-256); [None] (default)
+          disables it. Process-wide: the first node configured with a
+          directory enables it for every node in the process. *)
   costs : costs;
   seed : int;
 }

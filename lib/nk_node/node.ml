@@ -1039,8 +1039,15 @@ let resolve_offload_stage t (env : Nk_diffusion.Offload.request_envelope) =
   end
   else if Nk_cache.Memo_cache.find t.stage_cache ~now:(now t) url <> None then ()
   else
+    let registry_hits_before = (Nk_script.Registry.stats ()).Nk_script.Registry.hits in
     match Nk_script.Compile.find_cached_by_hash hash with
-    | Some program -> ignore (install_stage_from_program t ~url ~site ~hash program)
+    | Some program ->
+      (* [find_cached_by_hash] falls through to the persistent registry:
+         if its hit counter moved, this program was rescued from disk
+         rather than found in memory — an origin fetch avoided. *)
+      if (Nk_script.Registry.stats ()).Nk_script.Registry.hits > registry_hits_before
+      then Nk_telemetry.Metrics.incr t.metrics "diffusion.registry_rescues";
+      ignore (install_stage_from_program t ~url ~site ~hash program)
     | None ->
       (* Hash miss: the program fell out of the (LRU-bounded) compile
          cache, or was never compiled in this process. Fetch the script
@@ -1385,6 +1392,17 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
   let clock () = Nk_sim.Sim.now sim in
   let metrics = Nk_telemetry.Metrics.create () in
   let node_name = Nk_sim.Net.host_name host in
+  (* The registry is process-wide (like the compile cache it extends);
+     a node configured with a directory enables it, a node with the
+     default [None] leaves whatever is already configured alone. *)
+  (match config.Config.program_registry_dir with
+  | Some dir ->
+    Nk_script.Registry.set_dir (Some dir);
+    let loaded = Nk_script.Compile.preload_registry () in
+    if loaded > 0 then
+      Logs.debug (fun m ->
+          m "[%s] program registry: preloaded %d compiled program(s)" node_name loaded)
+  | None -> ());
   let diffusion =
     match bus with
     | Some b when config.Config.enable_diffusion ->

@@ -8,6 +8,8 @@ type ctx = Value.ctx = {
   mutable heap_used : int;
   mutable killed : bool;
   mutable usage_observer : (fuel:int -> heap:int -> unit) option;
+  frame_pool : Value.t array list array;
+  frame_pool_count : int array;
 }
 
 exception Resource_exhausted = Value.Resource_exhausted
@@ -35,6 +37,8 @@ let create ?(max_fuel = 5_000_000) ?(max_heap_bytes = 64 * 1024 * 1024) () =
     heap_used = 0;
     killed = false;
     usage_observer = None;
+    frame_pool = Array.make Value.frame_pool_sizes [];
+    frame_pool_count = Array.make Value.frame_pool_sizes 0;
   }
 
 let define_global ctx name v = Hashtbl.replace ctx.globals name (ref v)
@@ -258,7 +262,7 @@ let rec eval ctx env (e : Ast.expr) : Value.t =
   | Ast.Delete (obj_e, field) -> (
     match eval ctx env obj_e with
     | Vobj o ->
-      Hashtbl.remove o.props field;
+      obj_delete o field;
       Vbool true
     | v -> error "cannot delete property '%s' of a %s" field (type_name v))
 
@@ -297,10 +301,10 @@ and eval_binop ctx op a b =
 
 and compare_values a b test =
   match (a, b) with
-  | Vstr x, Vstr y -> Vbool (test (compare x y))
+  | Vstr x, Vstr y -> Vbool (test (String.compare x y))
   | _ ->
     let x = to_number a and y = to_number b in
-    if Float.is_nan x || Float.is_nan y then Vbool false else Vbool (test (compare x y))
+    if Float.is_nan x || Float.is_nan y then Vbool false else Vbool (test (Float.compare x y))
 
 and member_get ctx obj name =
   match obj with
@@ -406,7 +410,7 @@ and array_method ctx a name args =
         fun x y ->
           let r = to_number (apply_fn ctx ~this:Vundefined f [ x; y ]) in
           if r < 0.0 then -1 else if r > 0.0 then 1 else 0
-      | _ -> fun x y -> compare (to_string x) (to_string y)
+      | _ -> fun x y -> String.compare (to_string x) (to_string y)
     in
     Array.sort cmp items;
     Array.blit items 0 a.items 0 a.len;

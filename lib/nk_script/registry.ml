@@ -1,0 +1,167 @@
+(* Persistent program registry: marshalled ASTs keyed by script-body
+   SHA-256, stored one file per entry under a configured directory.
+
+   Entry layout:
+
+     "NKREG1\n"            7-byte magic; doubles as the format version.
+                           Any change to the AST type or the layout
+                           below must bump it (NKREG2 ...), which makes
+                           every old entry an automatic reject.
+     checksum              8 bytes, big-endian 63-bit FNV-1a over payload.
+     payload               Marshal.to_string of the Ast.program.
+
+   Marshal is only safe on bytes we wrote ourselves, so the checksum is
+   verified *before* unmarshalling: a truncated or bit-flipped entry is
+   rejected without ever reaching Marshal. The checksum is FNV-1a, not
+   SHA-256 — this is corruption detection on a local disk, not an
+   integrity boundary (the filename already binds the entry to the
+   script body's SHA-256; an attacker who can write the registry
+   directory owns the node anyway), and FNV keeps validation well under
+   the cost of the parse it saves. *)
+
+let magic = "NKREG1\n"
+
+let magic_len = String.length magic
+
+type stats = { hits : int; misses : int; stores : int; rejects : int }
+
+let registry_dir : string option ref = ref None
+
+let hits = ref 0
+
+let misses = ref 0
+
+let stores = ref 0
+
+let rejects = ref 0
+
+let stats () =
+  { hits = !hits; misses = !misses; stores = !stores; rejects = !rejects }
+
+let reset_stats () =
+  hits := 0;
+  misses := 0;
+  stores := 0;
+  rejects := 0
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+  end
+
+let set_dir d =
+  (match d with Some dir -> mkdir_p dir | None -> ());
+  registry_dir := d
+
+let dir () = !registry_dir
+
+let entry_path ~hash =
+  match !registry_dir with
+  | None -> None
+  | Some d -> Some (Filename.concat d (Nk_crypto.Sha256.hex hash ^ ".nkc"))
+
+(* FNV-1a folded in native 63-bit ints (wrapping mod 2^63): boxed Int64
+   arithmetic costs an allocation per operation without flambda, which
+   would put the checksum on par with the parse it is meant to replace.
+   Same prime and offset basis as the 64-bit variant, just truncated —
+   still plenty for corruption detection, and deterministic across runs
+   on any 64-bit platform. *)
+let fnv1a_63 (s : string) : int64 =
+  let prime = 0x100000001b3 in
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * prime
+  done;
+  Int64.of_int !h
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let unhex s =
+  let n = String.length s in
+  if n = 0 || n mod 2 <> 0 then None
+  else begin
+    let out = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      let hi = hex_val s.[2 * i] and lo = hex_val s.[(2 * i) + 1] in
+      if hi < 0 || lo < 0 then ok := false
+      else Bytes.unsafe_set out i (Char.unsafe_chr ((hi lsl 4) lor lo))
+    done;
+    if !ok then Some (Bytes.unsafe_to_string out) else None
+  end
+
+let entries () =
+  match !registry_dir with
+  | None -> []
+  | Some d ->
+    let names = try Sys.readdir d with Sys_error _ -> [||] in
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if Filename.check_suffix name ".nkc" then
+             unhex (Filename.chop_suffix name ".nkc")
+           else None)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+let load ~hash : Ast.program option =
+  match entry_path ~hash with
+  | None -> None
+  | Some path -> (
+    match read_file path with
+    | None ->
+      incr misses;
+      None
+    | Some raw ->
+      let reject () =
+        incr rejects;
+        None
+      in
+      if String.length raw < magic_len + 8 then reject ()
+      else if not (String.equal (String.sub raw 0 magic_len) magic) then
+        reject ()
+      else begin
+        let stored = String.get_int64_be raw magic_len in
+        let payload =
+          String.sub raw (magic_len + 8) (String.length raw - magic_len - 8)
+        in
+        if not (Int64.equal stored (fnv1a_63 payload)) then reject ()
+        else
+          match (Marshal.from_string payload 0 : Ast.program) with
+          | ast ->
+            incr hits;
+            Some ast
+          | exception _ -> reject ()
+      end)
+
+let store ~hash (ast : Ast.program) : unit =
+  match entry_path ~hash with
+  | None -> ()
+  | Some path -> (
+    try
+      let payload = Marshal.to_string ast [] in
+      let sum = Bytes.create 8 in
+      Bytes.set_int64_be sum 0 (fnv1a_63 payload);
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc magic;
+          output_bytes oc sum;
+          output_string oc payload);
+      Sys.rename tmp path;
+      incr stores
+    with Sys_error _ -> ())

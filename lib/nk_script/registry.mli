@@ -1,0 +1,49 @@
+(** Persistent program registry.
+
+    An on-disk extension of the in-memory compiled-program cache: parsed
+    ASTs are marshalled under the script body's SHA-256, so a restarted
+    node (or a diffusion peer that has never seen the body) can skip the
+    parser entirely and go straight to compilation. Disabled unless a
+    directory is configured — with no directory every call is a cheap
+    no-op and behavior is identical to a registry-less build.
+
+    Entries are self-validating: a format-version magic plus a checksum
+    over the marshalled payload. Anything that fails validation —
+    truncated file, stale format version, flipped bits — is rejected
+    (and counted) and the caller falls back to parsing; a corrupt
+    registry can never crash the node or poison the cache. *)
+
+type stats = {
+  hits : int;  (** entries loaded and validated *)
+  misses : int;  (** lookups with no entry on disk *)
+  stores : int;  (** entries written *)
+  rejects : int;  (** entries present but refused: bad magic/checksum/decode *)
+}
+
+val set_dir : string option -> unit
+(** Enable the registry rooted at the given directory (created if
+    missing), or disable it with [None]. Disabled by default. *)
+
+val dir : unit -> string option
+
+val load : hash:string -> Ast.program option
+(** Look up the marshalled AST for a raw 32-byte script-body SHA-256.
+    Returns [None] when disabled, absent, or invalid — never raises. *)
+
+val store : hash:string -> Ast.program -> unit
+(** Persist a parsed program under its body hash. Atomic (write to a
+    temp file, then rename); best-effort — I/O failures are swallowed
+    so a read-only or full disk never breaks request handling. *)
+
+val entries : unit -> string list
+(** The raw 32-byte hashes of every entry currently on disk (decoded
+    from the hex file names; malformed names are ignored). Empty when
+    disabled. Used by {!Compile.preload_registry} at node start. *)
+
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+
+val entry_path : hash:string -> string option
+(** The on-disk path an entry for [hash] would use (None when
+    disabled). Exposed for tests and diagnostics. *)

@@ -1,6 +1,17 @@
 (* Runtime values of NKScript. Byte arrays are a core type — the paper
    added them to SpiderMonkey "to avoid unnecessarily copying data"
-   (§3.1, §4) — and native functions are how vocabularies surface. *)
+   (§3.1, §4) — and native functions are how vocabularies surface.
+
+   Objects use a shape (hidden-class) representation: a shape is an
+   interned-atom -> slot layout shared by every object built with the
+   same property-insertion history, and values live in a compact slot
+   array. Property lookup compares ints down the shape chain instead of
+   hashing strings, and — the point of the exercise — gives compiled
+   code a single word to compare in its inline caches: if an object's
+   shape is physically the cached shape, the cached slot index is valid
+   and the access is one array load. [delete] demotes the object to a
+   plain atom-keyed dictionary (shapes cannot express holes cheaply);
+   nothing observable changes, only the fast paths stop applying. *)
 
 type t =
   | Vundefined
@@ -13,7 +24,21 @@ type t =
   | Varr of arr
   | Vfun of func
 
-and obj = { props : (string, t) Hashtbl.t; oid : int }
+and obj = {
+  oid : int;
+  mutable shape : shape;
+  mutable slots : t array; (* valid for indices < shape.snslots *)
+  mutable dict : (int, t) Hashtbl.t option; (* Some after a delete: dictionary mode *)
+}
+
+and shape = {
+  sid : int;
+  satom : int; (* atom appended at this step; -1 at the root *)
+  sslot : int; (* its slot index; -1 at the root *)
+  snslots : int; (* total slots an object of this shape uses *)
+  sparent : shape;
+  mutable stransitions : (int * shape) list;
+}
 
 and arr = { mutable items : t array; mutable len : int }
 
@@ -55,6 +80,14 @@ and ctx = {
   mutable heap_used : int;
   mutable killed : bool;
   mutable usage_observer : (fuel:int -> heap:int -> unit) option;
+  frame_pool : t array list array;
+  (* Per-context arena of recycled call frames, indexed by slot count:
+     compiled calls to functions whose frame provably cannot escape
+     (no nested function literals or declarations capture it) draw
+     from and return to these free lists instead of allocating. Frames
+     are wiped to [undeclared] on reuse, so no value leaks between
+     requests or sandboxes. *)
+  frame_pool_count : int array;
 }
 (* The sandboxed scripting context. Defined here (rather than in
    [Interp]) so compiled code in [Compile] can close over it; [Interp]
@@ -68,11 +101,142 @@ exception Terminated
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Script_error msg)) fmt
 
+(* --- shapes ---------------------------------------------------------- *)
+
+let next_sid = ref 2
+
+let rec root_shape =
+  { sid = 0; satom = -1; sslot = -1; snslots = 0; sparent = root_shape; stransitions = [] }
+
+(* Dictionary-mode objects point here; never has transitions or slots. *)
+let rec dict_shape =
+  { sid = 1; satom = -1; sslot = -1; snslots = 0; sparent = dict_shape; stransitions = [] }
+
+(* A shape no object ever carries: inline caches initialize to it so a
+   fresh cache can never spuriously hit (not even on an empty or
+   dictionary-mode object). *)
+let rec ic_sentinel_shape =
+  { sid = -1; satom = -1; sslot = -1; snslots = 0; sparent = ic_sentinel_shape; stransitions = [] }
+
+(* Slot of [atom] under [shape], or -1. Atoms are >= 0 and the root's
+   [satom] is -1, so the walk terminates at the root without an extra
+   depth check. *)
+let shape_find shape atom =
+  let rec go s = if s.satom = atom then s.sslot else if s.sslot < 0 then -1 else go s.sparent in
+  go shape
+
+let shape_transition shape atom =
+  let rec find = function
+    | [] -> None
+    | (a, s) :: rest -> if a = atom then Some s else find rest
+  in
+  match find shape.stransitions with
+  | Some next -> next
+  | None ->
+    let next =
+      {
+        sid =
+          (incr next_sid;
+           !next_sid);
+        satom = atom;
+        sslot = shape.snslots;
+        snslots = shape.snslots + 1;
+        sparent = shape;
+        stransitions = [];
+      }
+    in
+    shape.stransitions <- (atom, next) :: shape.stransitions;
+    next
+
+(* --- objects --------------------------------------------------------- *)
+
 let next_oid = ref 0
+
+let no_slots : t array = [||]
 
 let new_obj () =
   incr next_oid;
-  { props = Hashtbl.create 8; oid = !next_oid }
+  { oid = !next_oid; shape = root_shape; slots = no_slots; dict = None }
+
+(* An object born with a precomputed shape (compiled object literals):
+   the slot array is exact-sized and the shape chain was resolved at
+   compile time. Slots must be fully initialized by the caller before
+   the object escapes. *)
+let new_obj_with_shape shape =
+  incr next_oid;
+  { oid = !next_oid; shape; slots = Array.make shape.snslots Vundefined; dict = None }
+
+let obj_get_atom o atom =
+  match o.dict with
+  | None ->
+    let i = shape_find o.shape atom in
+    if i >= 0 then Array.unsafe_get o.slots i else Vundefined
+  | Some d -> ( match Hashtbl.find_opt d atom with Some v -> v | None -> Vundefined)
+
+let obj_set_atom o atom v =
+  match o.dict with
+  | None ->
+    let i = shape_find o.shape atom in
+    if i >= 0 then Array.unsafe_set o.slots i v
+    else begin
+      let next = shape_transition o.shape atom in
+      let slot = next.sslot in
+      if slot >= Array.length o.slots then begin
+        let ncap = max 4 (2 * Array.length o.slots) in
+        let nslots = Array.make ncap Vundefined in
+        Array.blit o.slots 0 nslots 0 o.shape.snslots;
+        o.slots <- nslots
+      end;
+      o.slots.(slot) <- v;
+      o.shape <- next
+    end
+  | Some d -> Hashtbl.replace d atom v
+
+let obj_has_atom o atom =
+  match o.dict with None -> shape_find o.shape atom >= 0 | Some d -> Hashtbl.mem d atom
+
+let obj_get o name = obj_get_atom o (Atom.intern name)
+
+let obj_set o name v = obj_set_atom o (Atom.intern name) v
+
+let obj_has o name = obj_has_atom o (Atom.intern name)
+
+let obj_delete o name =
+  let atom = Atom.intern name in
+  match o.dict with
+  | Some d -> Hashtbl.remove d atom
+  | None ->
+    (* Demote to dictionary mode; shapes cannot express holes. *)
+    let d = Hashtbl.create 8 in
+    let rec copy s =
+      if s.sslot >= 0 then begin
+        copy s.sparent;
+        Hashtbl.replace d s.satom o.slots.(s.sslot)
+      end
+    in
+    copy o.shape;
+    Hashtbl.remove d atom;
+    o.dict <- Some d;
+    o.shape <- dict_shape;
+    o.slots <- no_slots
+
+let obj_keys o =
+  (* stable order: sort for determinism *)
+  let keys =
+    match o.dict with
+    | None ->
+      let rec go s acc = if s.sslot < 0 then acc else go s.sparent (Atom.to_string s.satom :: acc) in
+      go o.shape []
+    | Some d -> Hashtbl.fold (fun a _ acc -> Atom.to_string a :: acc) d []
+  in
+  List.sort String.compare keys
+
+let obj_of_list kvs =
+  let o = new_obj () in
+  List.iter (fun (k, v) -> obj_set o k v) kvs;
+  o
+
+(* --- arrays, bytes ---------------------------------------------------- *)
 
 let new_arr items = { items = Array.of_list items; len = List.length items }
 
@@ -96,6 +260,11 @@ let arr_to_list a = Array.to_list (Array.sub a.items 0 a.len)
 let new_bytes () = { data = Bytes.create 0; blen = 0 }
 
 let bytes_of_string s = { data = Bytes.of_string s; blen = String.length s }
+
+let bytes_of_bytes b = { data = b; blen = Bytes.length b }
+(* Zero-copy adoption: the byte array takes ownership of [b] (the
+   caller must not retain it) — the transcode path hands freshly
+   encoded frames to scripts without a round-trip through [string]. *)
 
 let bytes_to_string b = Bytes.sub_string b.data 0 b.blen
 
@@ -191,17 +360,32 @@ let alloc_size = function
   | Vfun _ -> 48
   | Vundefined | Vnull | Vbool _ | Vnum _ -> 0
 
-let obj_get o name = match Hashtbl.find_opt o.props name with Some v -> v | None -> Vundefined
+(* --- call-frame arena -------------------------------------------------- *)
 
-let obj_set o name v = Hashtbl.replace o.props name v
+(* Marks a frame slot whose declaration has not executed yet; compared
+   with physical equality and never visible to scripts ([Compile]'s
+   temporal-shadowing sentinel). Lives here so the per-context frame
+   arena can wipe recycled frames. *)
+let undeclared : t = Vstr "<nk-undeclared-slot>"
 
-let obj_has o name = Hashtbl.mem o.props name
+let frame_pool_sizes = 33 (* pooled frame sizes: 1 .. 32 slots *)
 
-let obj_keys o =
-  (* stable order: sort for determinism *)
-  Hashtbl.fold (fun k _ acc -> k :: acc) o.props [] |> List.sort compare
+let frame_pool_depth = 16 (* recycled frames kept per size class *)
 
-let obj_of_list kvs =
-  let o = new_obj () in
-  List.iter (fun (k, v) -> obj_set o k v) kvs;
-  o
+let frame_acquire ctx n =
+  if n > 0 && n < frame_pool_sizes then
+    match ctx.frame_pool.(n) with
+    | f :: rest ->
+      ctx.frame_pool.(n) <- rest;
+      ctx.frame_pool_count.(n) <- ctx.frame_pool_count.(n) - 1;
+      Array.fill f 0 n undeclared;
+      f
+    | [] -> Array.make n undeclared
+  else Array.make n undeclared
+
+let frame_release ctx f =
+  let n = Array.length f in
+  if n > 0 && n < frame_pool_sizes && ctx.frame_pool_count.(n) < frame_pool_depth then begin
+    ctx.frame_pool.(n) <- f :: ctx.frame_pool.(n);
+    ctx.frame_pool_count.(n) <- ctx.frame_pool_count.(n) + 1
+  end

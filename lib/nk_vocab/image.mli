@@ -20,7 +20,15 @@ val synthesize : width:int -> height:int -> seed:int -> t
 
 val encode : t -> format -> string
 
+val encode_bytes : t -> format -> Bytes.t
+(** As {!encode}, but returns the freshly built buffer itself so a
+    caller that wants mutable bytes (e.g. the script engine's [Vbytes])
+    can take ownership without a copy. The buffer is exact-size and
+    never aliased by this module. *)
+
 val decode : string -> (t * format, string) result
+(** Wire bytes -> image. RLE payloads are decompressed directly into
+    the exact-size pixel buffer (no intermediate buffer or copy). *)
 
 val dimensions : string -> (int * int) option
 (** Header-only peek, as [ImageTransformer.dimensions] does. *)

@@ -3,7 +3,12 @@ open Nk_script.Value
 let arg i args = match List.nth_opt args i with Some v -> v | None -> Vundefined
 
 let body_string = function
-  | Vbytes b -> bytes_to_string b
+  | Vbytes b ->
+    (* Zero-copy read view: the decoder only reads the string within
+       this native call, and nothing can mutate the Vbytes while the
+       call runs, so a full-length buffer can be frozen in place. *)
+    if Bytes.length b.data = b.blen then Bytes.unsafe_to_string b.data
+    else Bytes.sub_string b.data 0 b.blen
   | v -> to_string v
 
 let format_of_type_string s =
@@ -46,7 +51,9 @@ let install ctx =
          | Ok (img, _) ->
            charge_pixels ((img.Image.width * img.Image.height) + (width * height));
            let scaled = Image.scale img ~width ~height in
-           Vbytes (bytes_of_string (Image.encode scaled to_type))));
+           (* [encode_bytes] hands over a fresh buffer; adopt it as the
+              Vbytes payload instead of stringifying and re-copying. *)
+           Vbytes (bytes_of_bytes (Image.encode_bytes scaled to_type))));
   obj_set o "mimeType"
     (native "mimeType" (fun _ args ->
          match format_of_type_string (to_string (arg 0 args)) with

@@ -1,20 +1,49 @@
 type node = Element of string * (string * string) list * node list | Text of string
 
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '<' -> Buffer.add_string buf "&lt;"
-      | '>' -> Buffer.add_string buf "&gt;"
-      | '&' -> Buffer.add_string buf "&amp;"
-      | '"' -> Buffer.add_string buf "&quot;"
-      | '\'' -> Buffer.add_string buf "&apos;"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Append [s] to [buf], escaping markup characters. Unescaped spans are
+   copied with a single [add_substring] per span rather than char by
+   char. *)
+let escape_into buf s =
+  let n = String.length s in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    match String.unsafe_get s i with
+    | ('<' | '>' | '&' | '"' | '\'') as c ->
+      Buffer.add_substring buf s !start (i - !start);
+      Buffer.add_string buf
+        (match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | '"' -> "&quot;"
+         | _ -> "&apos;");
+      start := i + 1
+    | _ -> ()
+  done;
+  Buffer.add_substring buf s !start (n - !start)
 
-let unescape s =
+let needs_escape s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    &&
+    match String.unsafe_get s i with
+    | '<' | '>' | '&' | '"' | '\'' -> true
+    | _ -> go (i + 1)
+  in
+  go 0
+
+let escape s =
+  (* Most text nodes contain no markup characters: return the input
+     itself rather than round-tripping through a Buffer. *)
+  if not (needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    escape_into buf s;
+    Buffer.contents buf
+  end
+
+let unescape_slow s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let rec go i =
@@ -47,6 +76,10 @@ let unescape s =
   go 0;
   Buffer.contents buf
 
+let unescape s =
+  (* No ampersand, no entities: the common case for element text. *)
+  match String.index_opt s '&' with None -> s | Some _ -> unescape_slow s
+
 exception Xml_error of string
 
 type parser_state = { src : string; mutable pos : int }
@@ -55,18 +88,38 @@ let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else No
 
 let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
+(* The scanning loops below index the source directly instead of going
+   through [peek]: [Some c] allocates, and these loops run once per
+   character of the document. *)
 let skip_spaces st =
-  while (match peek st with Some c when is_space c -> true | _ -> false) do
+  let src = st.src in
+  let n = String.length src in
+  while st.pos < n && is_space (String.unsafe_get src st.pos) do
     st.pos <- st.pos + 1
   done
+
+(* Allocation-free equivalent of [String.trim s <> ""] (same character
+   set as [String.trim], which also strips form feeds). *)
+let has_non_space s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    &&
+    match String.unsafe_get s i with
+    | ' ' | '\t' | '\n' | '\r' | '\012' -> go (i + 1)
+    | _ -> true
+  in
+  go 0
 
 let is_name_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
   || c = '_' || c = ':' || c = '.'
 
 let read_name st =
+  let src = st.src in
+  let n = String.length src in
   let start = st.pos in
-  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+  while st.pos < n && is_name_char (String.unsafe_get src st.pos) do
     st.pos <- st.pos + 1
   done;
   if st.pos = start then raise (Xml_error (Printf.sprintf "expected name at %d" st.pos));
@@ -101,7 +154,8 @@ let read_attributes st =
         | _ -> raise (Xml_error "expected quoted attribute value")
       in
       let start = st.pos in
-      while (match peek st with Some c when c <> quote -> true | _ -> false) do
+      let n = String.length st.src in
+      while st.pos < n && String.unsafe_get st.src st.pos <> quote do
         st.pos <- st.pos + 1
       done;
       expect st quote;
@@ -165,11 +219,12 @@ and parse_children st parent =
       else raise (Xml_error "stray '<' at end of input")
     | Some _ ->
       let start = st.pos in
-      while (match peek st with Some c when c <> '<' -> true | _ -> false) do
+      let n = String.length st.src in
+      while st.pos < n && String.unsafe_get st.src st.pos <> '<' do
         st.pos <- st.pos + 1
       done;
       let text = unescape (String.sub st.src start (st.pos - start)) in
-      if String.trim text <> "" then children := Text text :: !children;
+      if has_non_space text then children := Text text :: !children;
       go ()
   in
   go ();
@@ -210,18 +265,35 @@ let parse src =
 let parse_exn src =
   match parse src with Ok n -> n | Error e -> invalid_arg ("Xml.parse_exn: " ^ e)
 
-let rec serialize = function
-  | Text t -> escape t
+(* One buffer threads the whole tree: the old per-node
+   Printf/String.concat construction allocated an intermediate string
+   per element per level. *)
+let rec serialize_into buf = function
+  | Text t -> escape_into buf t
   | Element (name, attrs, children) ->
-    let attr_str =
-      String.concat ""
-        (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) attrs)
-    in
-    if children = [] then Printf.sprintf "<%s%s/>" name attr_str
-    else
-      Printf.sprintf "<%s%s>%s</%s>" name attr_str
-        (String.concat "" (List.map serialize children))
-        name
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape_into buf v;
+        Buffer.add_char buf '"')
+      attrs;
+    if children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (serialize_into buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+
+let serialize node =
+  let buf = Buffer.create 256 in
+  serialize_into buf node;
+  Buffer.contents buf
 
 let rec text_content = function
   | Text t -> t
@@ -253,4 +325,8 @@ let rec transform sheet node =
      | None -> Element ("div", [ ("class", name) ], children))
 
 let to_html sheet node =
-  "<html><body>" ^ serialize (transform sheet node) ^ "</body></html>"
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<html><body>";
+  serialize_into buf (transform sheet node);
+  Buffer.add_string buf "</body></html>";
+  Buffer.contents buf

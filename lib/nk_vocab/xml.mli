@@ -13,6 +13,11 @@ val parse_exn : string -> node
 
 val serialize : node -> string
 
+val serialize_into : Buffer.t -> node -> unit
+(** As {!serialize}, appending into a caller-owned buffer — a renderer
+    that wraps the tree (e.g. {!to_html}) builds the whole page in one
+    buffer instead of concatenating per-node strings. *)
+
 val text_content : node -> string
 (** Concatenated text of the subtree. *)
 
@@ -34,3 +39,5 @@ val to_html : stylesheet -> node -> string
     shell. *)
 
 val escape : string -> string
+(** Entity-escape markup characters. Returns the input itself (no
+    copy) when nothing needs escaping. *)

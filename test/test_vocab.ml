@@ -58,6 +58,166 @@ let rle_roundtrip_prop =
     QCheck.(string_of_size (QCheck.Gen.int_bound 500))
     (fun s -> Image.rle_decompress (Image.rle_compress s) = Ok s)
 
+(* The pre-optimization codec (Buffer-based, byte-at-a-time), kept
+   verbatim as the behavioral reference: the zero-copy implementation in
+   [Image] must match it bit-for-bit — wire bytes, decoded pixels, and
+   error messages (the resource monitor and the differential suite both
+   observe errors, so even failure text is part of the contract). *)
+module Ref_image = struct
+  let magic = "NKI1"
+
+  let rle_compress s =
+    let buf = Buffer.create (String.length s / 2) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      let c = s.[!i] in
+      let run = ref 1 in
+      while !i + !run < n && s.[!i + !run] = c && !run < 255 do
+        incr run
+      done;
+      Buffer.add_char buf (Char.chr !run);
+      Buffer.add_char buf c;
+      i := !i + !run
+    done;
+    Buffer.contents buf
+
+  let rle_decompress s =
+    if String.length s mod 2 <> 0 then Error "RLE payload has odd length"
+    else begin
+      let buf = Buffer.create (String.length s * 2) in
+      let rec go i =
+        if i >= String.length s then Ok (Buffer.contents buf)
+        else begin
+          let run = Char.code s.[i] in
+          if run = 0 then Error "zero-length RLE run"
+          else begin
+            for _ = 1 to run do
+              Buffer.add_char buf s.[i + 1]
+            done;
+            go (i + 2)
+          end
+        end
+      in
+      go 0
+    end
+
+  let encode (t : Image.t) format =
+    let buf = Buffer.create (16 + Bytes.length t.Image.pixels) in
+    Buffer.add_string buf magic;
+    Buffer.add_char buf (Char.chr ((t.Image.width lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (t.Image.width land 0xFF));
+    Buffer.add_char buf (Char.chr ((t.Image.height lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (t.Image.height land 0xFF));
+    (match format with
+    | Image.Raw ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_bytes buf t.Image.pixels
+    | Image.Rle ->
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf (rle_compress (Bytes.to_string t.Image.pixels)));
+    Buffer.contents buf
+
+  let decode s =
+    if String.length s < 9 then Error "truncated NKI image"
+    else if String.sub s 0 4 <> magic then Error "bad NKI magic"
+    else begin
+      let w = (Char.code s.[4] lsl 8) lor Char.code s.[5] in
+      let h = (Char.code s.[6] lsl 8) lor Char.code s.[7] in
+      if w <= 0 || h <= 0 then Error "bad NKI dimensions"
+      else begin
+        let payload = String.sub s 9 (String.length s - 9) in
+        match s.[8] with
+        | '\x00' ->
+          if String.length payload <> w * h then Error "raw payload size mismatch"
+          else Ok ({ Image.width = w; height = h; pixels = Bytes.of_string payload }, Image.Raw)
+        | '\x01' -> (
+          match rle_decompress payload with
+          | Error e -> Error e
+          | Ok raw ->
+            if String.length raw <> w * h then Error "RLE payload size mismatch"
+            else Ok ({ Image.width = w; height = h; pixels = Bytes.of_string raw }, Image.Rle))
+        | c -> Error (Printf.sprintf "unknown NKI format byte %d" (Char.code c))
+      end
+    end
+
+  let scale (t : Image.t) ~width ~height =
+    let pixels = Bytes.create (width * height) in
+    for y = 0 to height - 1 do
+      let sy = y * t.Image.height / height in
+      for x = 0 to width - 1 do
+        let sx = x * t.Image.width / width in
+        Bytes.set pixels ((y * width) + x) (Bytes.get t.Image.pixels ((sy * t.Image.width) + sx))
+      done
+    done;
+    { Image.width; height; pixels }
+end
+
+let same_decode a b =
+  match (a, b) with
+  | Ok ((i1 : Image.t), f1), Ok ((i2 : Image.t), f2) ->
+    f1 = f2 && i1.Image.width = i2.Image.width && i1.Image.height = i2.Image.height
+    && i1.Image.pixels = i2.Image.pixels
+  | Error e1, Error e2 -> (e1 : string) = e2
+  | _ -> false
+
+let transcode_parity_prop =
+  (* The full Fig. 2 pipeline (decode -> scale -> re-encode) through the
+     optimized codec, compared bit-for-bit with the reference. *)
+  QCheck.Test.make ~name:"image: transcode pipeline bit-identical to reference codec" ~count:150
+    QCheck.(
+      quad (int_range 1 80) (int_range 1 60) (int_bound 999)
+        (pair (pair (int_range 1 80) (int_range 1 60)) (pair bool bool)))
+    (fun (w, h, seed, ((tw, th), (in_rle, out_rle))) ->
+      let img = Image.synthesize ~width:w ~height:h ~seed in
+      let fmt_in = if in_rle then Image.Rle else Image.Raw in
+      let fmt_out = if out_rle then Image.Rle else Image.Raw in
+      let wire = Image.encode img fmt_in in
+      wire = Ref_image.encode img fmt_in
+      && same_decode (Image.decode wire) (Ref_image.decode wire)
+      &&
+      match Image.decode wire with
+      | Error e -> QCheck.Test.fail_reportf "decode of own encode failed: %s" e
+      | Ok (decoded, _) ->
+        let scaled = Image.scale decoded ~width:tw ~height:th in
+        let ref_scaled = Ref_image.scale decoded ~width:tw ~height:th in
+        scaled.Image.pixels = ref_scaled.Image.pixels
+        && Image.encode scaled fmt_out = Ref_image.encode ref_scaled fmt_out)
+
+let decode_parity_prop =
+  (* Adversarial wire bytes: mutate a valid encoding (bit flip,
+     truncation, zeroed run length, bogus format byte) and require the
+     two decoders to agree exactly — same pixels or the same error
+     string, with the same precedence between failure modes. *)
+  QCheck.Test.make ~name:"image: decode of corrupted wire agrees with reference codec" ~count:300
+    QCheck.(
+      quad (int_range 1 48) (int_range 1 32) (int_bound 999)
+        (pair (int_bound 3) (pair (int_bound 99_999) (int_bound 255))))
+    (fun (w, h, seed, (kind, (pos_seed, byte))) ->
+      let img = Image.synthesize ~width:w ~height:h ~seed in
+      let wire = Image.encode img Image.Rle in
+      let n = String.length wire in
+      let mutated =
+        let b = Bytes.of_string wire in
+        match kind with
+        | 0 ->
+          (* arbitrary byte flip anywhere, header included *)
+          let i = pos_seed mod n in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor byte));
+          Bytes.to_string b
+        | 1 -> String.sub wire 0 (pos_seed mod (n + 1))
+        | 2 when n > 9 ->
+          (* zero a run-length byte: even payload offset *)
+          let i = 9 + (pos_seed mod (n - 9)) / 2 * 2 in
+          if i < n then Bytes.set b i '\x00';
+          Bytes.to_string b
+        | _ ->
+          Bytes.set b 8 (Char.chr byte);
+          Bytes.to_string b
+      in
+      same_decode (Image.decode mutated) (Ref_image.decode mutated)
+      || QCheck.Test.fail_reportf "decoders disagree on %S" mutated)
+
 let test_image_mime () =
   Alcotest.(check bool) "jpeg is rle" true (Image.format_of_mime "image/jpeg" = Some Image.Rle);
   Alcotest.(check bool) "nki raw" true (Image.format_of_mime "image/nki" = Some Image.Raw);
@@ -344,6 +504,8 @@ let suite =
     Alcotest.test_case "image: decode errors" `Quick test_image_decode_errors;
     Alcotest.test_case "image: rle cases" `Quick test_rle_roundtrip;
     QCheck_alcotest.to_alcotest rle_roundtrip_prop;
+    QCheck_alcotest.to_alcotest transcode_parity_prop;
+    QCheck_alcotest.to_alcotest decode_parity_prop;
     Alcotest.test_case "image: mime mapping" `Quick test_image_mime;
     Alcotest.test_case "xml: parse/serialize roundtrip" `Quick test_xml_parse_serialize;
     Alcotest.test_case "xml: entities" `Quick test_xml_entities;
