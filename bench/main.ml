@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 micro-costs capacity resource-controls
    figure7 simm-local specweb extensions integrity ablations faults
-   overload diffusion micro
+   overload provision diffusion micro
 
    "micro-guard" is special: it re-measures the fast-path micro rows
    against the committed BENCH_micro.json and exits non-zero on a >25%
@@ -28,6 +28,7 @@ let experiments =
     ("ablations", Bench_ablations.ablations);
     ("faults", Bench_faults.faults);
     ("overload", Bench_overload.overload);
+    ("provision", Bench_provision.provision);
     ("diffusion", Bench_diffusion.diffusion);
     ("micro", Bench_micro.micro);
   ]

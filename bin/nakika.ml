@@ -9,6 +9,8 @@
      nakika policies SCRIPT.js      show the policies a script registers
      nakika lint SCRIPT.js          static analysis: scope, call shapes,
                                     cost bounds, taint (exit 0/1/2)
+     nakika plan check PLAN.nkp     verify a capacity plan (exit 0/1/2);
+                                    also: plan compile, plan explain
      nakika fmt SCRIPT.js           pretty-print a script in canonical form
      nakika nkp PAGE.nkp            render a Na Kika Page
      nakika demo                    run a small end-to-end deployment
@@ -214,6 +216,22 @@ p.register();
     ];
   proxy
 
+(* The proxies behind [stats --health] are provisioned from a capacity
+   plan rather than a hand-built config, so the health table can show
+   the plan hash each node runs under — the audit handle an operator
+   compares against the plan text they think they deployed. *)
+let health_plan_text =
+  "# stats --health provisioning\n\
+   node \"*.nakika.net\" {\n\
+  \  diffusion { enabled = on }\n\
+   }\n"
+
+let health_config () =
+  let report = Core.Provision.Provision.compile health_plan_text in
+  match Core.Provision.Provision.config_for report ~node:"nk1.nakika.net" with
+  | Some config -> config
+  | None -> failwith "stats --health: embedded capacity plan failed to compile"
+
 (* The overload scenario behind [stats --health]: a flash crowd swamps
    one of two proxies (its admission queue sheds, and with diffusion on
    it offloads executions toward the idle one), and a handful of
@@ -229,9 +247,7 @@ let health_scenario () =
     "<html>hello from the origin</html>";
   let dead = Core.Node.Cluster.add_origin cluster ~name:"dead.example.org" () in
   Core.Node.Origin.set_static dead ~path:"/index.html" ~max_age:0 "<html>unreachable</html>";
-  let config =
-    { Core.Node.Config.default with Core.Node.Config.enable_diffusion = true }
-  in
+  let config = health_config () in
   let p1 = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config () in
   let p2 = Core.Node.Cluster.add_proxy cluster ~name:"nk2.nakika.net" ~config () in
   let client = Core.Node.Cluster.add_client cluster ~name:"client" in
@@ -291,6 +307,13 @@ let print_health proxies =
       List.iter
         (fun site -> Printf.printf "%s: quarantined: %s\n" (Core.Node.Node.name p) site)
         h.Core.Node.Node.quarantined)
+    proxies;
+  List.iter
+    (fun p ->
+      Printf.printf "%s: plan %s\n" (Core.Node.Node.name p)
+        (match (Core.Node.Node.config p).Core.Node.Config.plan_hash with
+         | Some hash -> hash
+         | None -> "(none)"))
     proxies
 
 let stats_cmd =
@@ -376,17 +399,6 @@ let lint_cmd =
   in
   let module D = Core.Analysis.Diagnostic in
   let module J = Core.Vocab.Json in
-  let severity_of d = D.severity_label d.D.severity in
-  let json_of_diag (d : D.t) =
-    J.Obj
-      [
-        ("severity", J.Str (severity_of d));
-        ("code", J.Str d.D.code);
-        ("line", J.Num (float_of_int d.D.pos.Core.Script.Ast.line));
-        ("col", J.Num (float_of_int d.D.pos.Core.Script.Ast.col));
-        ("message", J.Str d.D.message);
-      ]
-  in
   let json_of_cost (it : Core.Analysis.Cost.item) =
     let base =
       [
@@ -438,7 +450,7 @@ let lint_cmd =
                 J.Num (float_of_int (Core.Analysis.Analysis.errors report)) );
               ( "warnings",
                 J.Num (float_of_int (Core.Analysis.Analysis.warnings report)) );
-              ("diagnostics", J.Arr (List.map json_of_diag diags));
+              ("diagnostics", J.Arr (List.map D.to_json diags));
               ( "costs",
                 J.Arr (List.map json_of_cost report.Core.Analysis.Analysis.costs)
               );
@@ -459,6 +471,159 @@ let lint_cmd =
           taint flows. Exit status is 0 when clean, 1 with warnings only, 2 with \
           errors.")
     Term.(const run $ json_arg $ errors_only_arg $ files_arg)
+
+(* nakika plan: the capacity-plan toolchain. Mirrors `nakika lint` —
+   same diagnostic format, same JSON schema (one encoder,
+   [Diagnostic.to_json]), same 0/1/2 exit convention. *)
+let plan_cmd =
+  let module D = Core.Analysis.Diagnostic in
+  let module J = Core.Vocab.Json in
+  let module P = Core.Provision.Provision in
+  let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"PLAN") in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let exit_of (reports : P.report list) =
+    List.fold_left
+      (fun worst r ->
+        if P.errors r > 0 then 2 else if P.warnings r > 0 then max worst 1 else worst)
+      0 reports
+  in
+  let print_reports ~json pairs =
+    if json then
+      print_endline
+        (J.print
+           (J.Arr
+              (List.map
+                 (fun (path, (r : P.report)) ->
+                   J.Obj
+                     [
+                       ("file", J.Str path);
+                       ( "hash",
+                         match P.hash r with Some h -> J.Str h | None -> J.Null );
+                       ("errors", J.Num (float_of_int (P.errors r)));
+                       ("warnings", J.Num (float_of_int (P.warnings r)));
+                       ("diagnostics", J.Arr (List.map D.to_json r.P.diagnostics));
+                     ])
+                 pairs)))
+    else begin
+      List.iter
+        (fun (path, (r : P.report)) ->
+          List.iter
+            (fun d -> Printf.printf "%s:%s\n" path (D.to_string d))
+            r.P.diagnostics)
+        pairs;
+      let worst = exit_of (List.map snd pairs) in
+      if worst = 0 then
+        Printf.printf "%d plan%s clean\n" (List.length pairs)
+          (if List.length pairs = 1 then "" else "s")
+    end
+  in
+  let check_cmd =
+    let run json paths =
+      let pairs = List.map (fun path -> (path, P.check (read_file path))) paths in
+      print_reports ~json pairs;
+      exit_of (List.map snd pairs)
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Statically verify capacity plans: units and ranges, threshold ordering, \
+            share feasibility against admission capacity, rule shadowing. Exit status \
+            is 0 when clean, 1 with warnings only, 2 with errors.")
+      Term.(const run $ json_arg $ files_arg)
+  in
+  let compile_cmd =
+    let run json paths =
+      let pairs = List.map (fun path -> (path, P.compile (read_file path))) paths in
+      if json then
+        print_endline
+          (J.print
+             (J.Arr
+                (List.map
+                   (fun (path, (r : P.report)) ->
+                     J.Obj
+                       [
+                         ("file", J.Str path);
+                         ( "hash",
+                           match P.hash r with Some h -> J.Str h | None -> J.Null );
+                         ("errors", J.Num (float_of_int (P.errors r)));
+                         ("warnings", J.Num (float_of_int (P.warnings r)));
+                         ("diagnostics", J.Arr (List.map D.to_json r.P.diagnostics));
+                         ( "nodes",
+                           J.Arr
+                             (List.map
+                                (fun (l : Core.Provision.Lower.lowered) ->
+                                  let c = l.Core.Provision.Lower.config in
+                                  J.Obj
+                                    [
+                                      ("pattern", J.Str l.Core.Provision.Lower.node_pattern);
+                                      ( "admission_capacity",
+                                        J.Num
+                                          (float_of_int c.Core.Node.Config.admission_capacity)
+                                      );
+                                      ( "shares",
+                                        J.Arr
+                                          (List.map
+                                             (fun (site, f) ->
+                                               J.Obj
+                                                 [
+                                                   ("site", J.Str site);
+                                                   ("fraction", J.Num f);
+                                                 ])
+                                             c.Core.Node.Config.site_shares) );
+                                    ])
+                                r.P.lowered) );
+                       ])
+                   pairs)))
+      else
+        List.iter
+          (fun (path, (r : P.report)) ->
+            List.iter
+              (fun d -> Printf.printf "%s:%s\n" path (D.to_string d))
+              r.P.diagnostics;
+            match P.hash r with
+            | Some h when P.errors r = 0 ->
+              Printf.printf "%s: plan %s -> %d node config(s)\n" path h
+                (List.length r.P.lowered)
+            | _ -> ())
+          pairs;
+      exit_of (List.map snd pairs)
+    in
+    Cmd.v
+      (Cmd.info "compile"
+         ~doc:
+           "Verify capacity plans and lower them to node configurations; the lowered \
+            configs additionally pass the node-construction validator, so a clean \
+            compile is a config every node accepts.")
+      Term.(const run $ json_arg $ files_arg)
+  in
+  let explain_cmd =
+    let run paths =
+      let pairs = List.map (fun path -> (path, P.compile (read_file path))) paths in
+      List.iter
+        (fun (path, (r : P.report)) ->
+          List.iter
+            (fun d -> Printf.printf "%s:%s\n" path (D.to_string d))
+            r.P.diagnostics;
+          if P.errors r = 0 then print_string (P.explain r))
+        pairs;
+      exit_of (List.map snd pairs)
+    in
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Show the lowering map of a verified plan: which plan field became which \
+            node-config knob, plus the per-site share, quarantine and sandbox-cap \
+            tables.")
+      Term.(const run $ files_arg)
+  in
+  Cmd.group
+    (Cmd.info "plan"
+       ~doc:
+         "Work with declarative capacity plans: $(b,check) verifies, $(b,compile) \
+          lowers to node configs, $(b,explain) shows the lowering map.")
+    [ check_cmd; compile_cmd; explain_cmd ]
 
 (* A seeded chaos run: same envelope as the test suite's soak (drops
    <= 30%, partitions that always heal, at most one crash per proxy),
@@ -587,6 +752,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            exec_cmd; policies_cmd; lint_cmd; fmt_cmd; nkp_cmd; demo_cmd; stats_cmd;
-            trace_cmd; chaos_cmd; version_cmd;
+            exec_cmd; policies_cmd; lint_cmd; plan_cmd; fmt_cmd; nkp_cmd; demo_cmd;
+            stats_cmd; trace_cmd; chaos_cmd; version_cmd;
           ]))

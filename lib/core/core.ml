@@ -88,4 +88,10 @@ module Node = Nk_node
 module Workload = Nk_workload
 (** Workload generators for every experiment in §5. *)
 
+module Provision = Nk_provision
+(** The declarative capacity-plan language: parse, statically verify
+    (feasibility, ordering, units, shadowing) and lower plans to
+    [Node.Config] values plus per-site fair-share and quarantine
+    parameters. *)
+
 let version = "1.0.0"

@@ -51,3 +51,16 @@ let to_string d =
 
 let count severity diags =
   List.length (List.filter (fun d -> d.severity = severity) diags)
+
+(* The one JSON shape for diagnostics, shared by every CLI surface
+   ([nakika lint --json], [nakika plan --json]) so consumers parse a
+   single schema no matter which analyzer produced the finding. *)
+let to_json d =
+  Nk_vocab.Json.Obj
+    [
+      ("severity", Nk_vocab.Json.Str (severity_label d.severity));
+      ("code", Nk_vocab.Json.Str d.code);
+      ("line", Nk_vocab.Json.Num (float_of_int d.pos.Nk_script.Ast.line));
+      ("col", Nk_vocab.Json.Num (float_of_int d.pos.Nk_script.Ast.col));
+      ("message", Nk_vocab.Json.Str d.message);
+    ]

@@ -67,6 +67,20 @@ type t = {
      registry disabled: no disk I/O, behavior identical to builds
      without it. *)
   program_registry_dir : string option;
+  (* Per-site parameters lowered from a provisioning plan
+     (lib/nk_provision). Each list is ordered: patterns ("host", "*",
+     "*.suffix") resolve first-match, the order the plan declared them
+     in. Empty lists — the default — leave behavior identical to a
+     plan-free node. *)
+  site_shares : (string * float) list;
+      (* (pattern, fraction of admission_capacity) guaranteed slices *)
+  site_quarantine : (string * float * float) list;
+      (* (pattern, base, max) ban-window overrides *)
+  site_fuel : (string * int) list; (* (pattern, per-request fuel cap) *)
+  site_heap : (string * int) list; (* (pattern, script-heap cap, bytes) *)
+  plan_hash : string option;
+  (* SHA-256 (hex) of the plan text this config was lowered from; None
+     for hand-built configs. Surfaced by [nakika stats --health]. *)
   costs : costs;
   seed : int;
 }
@@ -156,6 +170,11 @@ let default =
     diffusion_fetch_timeout = 2.0;
     diffusion_staleness = 3.0;
     program_registry_dir = None;
+    site_shares = [];
+    site_quarantine = [];
+    site_fuel = [];
+    site_heap = [];
+    plan_hash = None;
     costs = default_costs;
     seed = 7;
   }
@@ -168,3 +187,97 @@ let plain_proxy =
     enable_resource_controls = false;
     enable_admission = false;
   }
+
+(* The config checker core. Node construction refuses configs with
+   findings, and the provisioning compiler (lib/nk_provision) runs the
+   same function over every config it lowers — a plan that verifies can
+   never produce a config a node would reject, because rejection and
+   verification are literally the same checks.
+
+   Checks are deliberately limited to values that are wrong under any
+   interpretation (inverted orderings, non-positive capacities, negative
+   timeouts); documented sentinel values (e.g. [stale_if_error = 0]
+   disables degradation) stay legal. *)
+let validate t =
+  let problems = ref [] in
+  let reject fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let positive name v = if v <= 0.0 then reject "%s must be positive (got %g)" name v in
+  let non_negative name v = if v < 0.0 then reject "%s must not be negative (got %g)" name v in
+  if t.admission_capacity <= 0 then
+    reject "admission_capacity must be positive (got %d)" t.admission_capacity;
+  positive "admission_target" t.admission_target;
+  positive "admission_interval" t.admission_interval;
+  if t.script_max_fuel <= 0 then
+    reject "script_max_fuel must be positive (got %d)" t.script_max_fuel;
+  if t.script_max_heap <= 0 then
+    reject "script_max_heap must be positive (got %d)" t.script_max_heap;
+  if t.cache_bytes < 0 then reject "cache_bytes must not be negative (got %d)" t.cache_bytes;
+  positive "origin_timeout" t.origin_timeout;
+  positive "peer_timeout" t.peer_timeout;
+  positive "control_interval" t.control_interval;
+  non_negative "control_timeout" t.control_timeout;
+  positive "script_ttl" t.script_ttl;
+  non_negative "negative_ttl" t.negative_ttl;
+  positive "dht_ttl" t.dht_ttl;
+  non_negative "stale_if_error" t.stale_if_error;
+  non_negative "anti_entropy_interval" t.anti_entropy_interval;
+  non_negative "health_report_interval" t.health_report_interval;
+  positive "termination_penalty" t.termination_penalty;
+  positive "quarantine_max" t.quarantine_max;
+  if t.termination_penalty > t.quarantine_max then
+    reject "termination_penalty (%g) exceeds quarantine_max (%g)" t.termination_penalty
+      t.quarantine_max;
+  if t.breaker_failures <= 0 then
+    reject "breaker_failures must be positive (got %d)" t.breaker_failures;
+  if t.breaker_error_rate <= 0.0 || t.breaker_error_rate > 1.0 then
+    reject "breaker_error_rate must be in (0, 1] (got %g)" t.breaker_error_rate;
+  positive "breaker_window" t.breaker_window;
+  positive "breaker_cooldown" t.breaker_cooldown;
+  if t.breaker_cooldown > t.breaker_max_cooldown then
+    reject "breaker_cooldown (%g) exceeds breaker_max_cooldown (%g)" t.breaker_cooldown
+      t.breaker_max_cooldown;
+  non_negative "diffusion_low_water" t.diffusion_low_water;
+  if t.diffusion_low_water >= t.diffusion_high_water then
+    reject "diffusion_low_water (%g) must be below diffusion_high_water (%g)"
+      t.diffusion_low_water t.diffusion_high_water;
+  if t.diffusion_high_water > 1.0 then
+    reject "diffusion_high_water must be at most 1 (got %g)" t.diffusion_high_water;
+  if t.diffusion_fanout <= 0 then
+    reject "diffusion_fanout must be positive (got %d)" t.diffusion_fanout;
+  positive "diffusion_offload_timeout" t.diffusion_offload_timeout;
+  positive "diffusion_fetch_timeout" t.diffusion_fetch_timeout;
+  positive "diffusion_staleness" t.diffusion_staleness;
+  let share_total = ref 0.0 in
+  List.iter
+    (fun (pattern, f) ->
+      if pattern = "" then reject "site_shares: empty site pattern";
+      if f <= 0.0 || f > 1.0 then
+        reject "site_shares[%s]: share must be in (0, 1] (got %g)" pattern f
+      else begin
+        share_total := !share_total +. f;
+        if f *. float_of_int t.admission_capacity < 0.5 then
+          reject "site_shares[%s]: share %g%% of capacity %d rounds to zero slots" pattern
+            (100.0 *. f) t.admission_capacity
+      end)
+    t.site_shares;
+  if !share_total > 1.0 +. 1e-9 then
+    reject "site_shares: declared shares sum to %g%% of capacity (over 100%%)"
+      (100.0 *. !share_total);
+  List.iter
+    (fun (pattern, base, max_window) ->
+      if pattern = "" then reject "site_quarantine: empty site pattern";
+      if base <= 0.0 then
+        reject "site_quarantine[%s]: base window must be positive (got %g)" pattern base;
+      if base > max_window then
+        reject "site_quarantine[%s]: base window (%g) exceeds max (%g)" pattern base
+          max_window)
+    t.site_quarantine;
+  List.iter
+    (fun (pattern, fuel) ->
+      if fuel <= 0 then reject "site_fuel[%s]: fuel cap must be positive (got %d)" pattern fuel)
+    t.site_fuel;
+  List.iter
+    (fun (pattern, heap) ->
+      if heap <= 0 then reject "site_heap[%s]: heap cap must be positive (got %d)" pattern heap)
+    t.site_heap;
+  List.rev !problems

@@ -117,6 +117,23 @@ type t = {
           parsed scripts keyed by body SHA-256); [None] (default)
           disables it. Process-wide: the first node configured with a
           directory enables it for every node in the process. *)
+  site_shares : (string * float) list;
+      (** ordered [(pattern, fraction)] guaranteed admission-queue
+          slices per site, lowered from a provisioning plan's
+          [site "..." {share >= N%}] rules; patterns are exact hosts,
+          ["*"], or ["*.suffix"], first match wins. Empty (default):
+          active sites split the queue evenly. *)
+  site_quarantine : (string * float * float) list;
+      (** ordered [(pattern, base, max)] per-site quarantine ban-window
+          overrides ([site "..." {quarantine base .. max ..}]) *)
+  site_fuel : (string * int) list;
+      (** ordered [(pattern, fuel)] per-site per-request fuel caps
+          (each effective cap is [min script_max_fuel cap]) *)
+  site_heap : (string * int) list;
+      (** ordered [(pattern, bytes)] per-site script-heap caps *)
+  plan_hash : string option;
+      (** SHA-256 (hex) of the provisioning-plan text this config was
+          lowered from; [None] for hand-built configs *)
   costs : costs;
   seed : int;
 }
@@ -128,3 +145,15 @@ val default : t
 val plain_proxy : t
 (** The micro-benchmarks' "Proxy" baseline: no pipeline, no DHT, no
     resource controls. *)
+
+val validate : t -> string list
+(** The config checker core: every finding is a human-readable
+    description of a value that is wrong under any interpretation —
+    inverted orderings ([diffusion_low_water >= diffusion_high_water],
+    [breaker_cooldown > breaker_max_cooldown],
+    [termination_penalty > quarantine_max]), non-positive capacities,
+    negative timeouts, and per-site share tables that oversubscribe or
+    round to zero slots. [[]] means the config is accepted.
+    {!Node.create} refuses configs with findings, and the provisioning
+    compiler ([Nk_provision]) runs the same checks over every config it
+    lowers — verification and rejection share one core. *)

@@ -612,6 +612,24 @@ let site_of_stage_url url =
   | Ok u -> Nk_http.Url.site u
   | Error _ -> "unknown"
 
+(* Per-site sandbox caps lowered from a provisioning plan
+   ([site "..." { fuel <= N; heap <= N }]): the effective limit is the
+   global cap tightened by the first matching site rule. *)
+let site_limit overrides ~site ~global =
+  match
+    List.find_map
+      (fun (pattern, v) -> if Nk_resource.Shares.matches ~pattern site then Some v else None)
+      overrides
+  with
+  | Some v -> min global v
+  | None -> global
+
+let site_max_fuel t ~site =
+  site_limit t.cfg.Config.site_fuel ~site ~global:t.cfg.Config.script_max_fuel
+
+let site_max_heap t ~site =
+  site_limit t.cfg.Config.site_heap ~site ~global:t.cfg.Config.script_max_heap
+
 let rec build_stage t ?span ~url ~source () =
   let site = site_of_stage_url url in
   (* Join the site's replication group up front so updates published
@@ -675,8 +693,8 @@ let rec build_stage t ?span ~url ~source () =
     | Error _ as e -> e
     | Ok () ->
       in_span t ?parent:span "script.compile" [ ("stage", url) ] (fun _ ->
-          Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
-            ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed
+          Nk_pipeline.Stage.of_script ~url ~host ~max_fuel:(site_max_fuel t ~site)
+            ~max_heap_bytes:(site_max_heap t ~site) ~seed:t.cfg.Config.seed
             ~on_compile_cache ~lint:`Off ~source ())
   with
   | Ok stage ->
@@ -766,8 +784,8 @@ let install_stage_from_program t ~url ~site ~hash program =
   let host = hostcall t ~site ~load_wall in
   charge_cpu t t.cfg.Config.costs.Config.context_create;
   match
-    Nk_pipeline.Stage.of_program ~url ~host ~max_fuel:t.cfg.Config.script_max_fuel
-      ~max_heap_bytes:t.cfg.Config.script_max_heap ~seed:t.cfg.Config.seed program
+    Nk_pipeline.Stage.of_program ~url ~host ~max_fuel:(site_max_fuel t ~site)
+      ~max_heap_bytes:(site_max_heap t ~site) ~seed:t.cfg.Config.seed program
   with
   | Ok stage ->
     Nk_script.Interp.set_usage_observer (Nk_pipeline.Stage.context stage)
@@ -1392,6 +1410,16 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
   let clock () = Nk_sim.Sim.now sim in
   let metrics = Nk_telemetry.Metrics.create () in
   let node_name = Nk_sim.Net.host_name host in
+  (* Startup validation with the same checker core the provisioning
+     verifier runs: a node never silently accepts inverted waters, a
+     non-positive admission capacity, or an oversubscribed share table
+     — it refuses to construct. *)
+  (match Config.validate config with
+  | [] -> ()
+  | problems ->
+    invalid_arg
+      (Printf.sprintf "Node.create %s: invalid config: %s" node_name
+         (String.concat "; " problems)));
   (* The registry is process-wide (like the compile cache it extends);
      a node configured with a directory enables it, a node with the
      default [None] leaves whatever is already configured alone. *)
@@ -1446,13 +1474,15 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
       quarantine =
         Nk_resource.Quarantine.create ~base:config.Config.termination_penalty
           ~max_window:config.Config.quarantine_max ~decay:config.Config.quarantine_decay
-          ~clock ~metrics ();
+          ~site_params:config.Config.site_quarantine ~clock ~metrics ();
       admission =
         (if config.Config.enable_admission then
            Some
              (Nk_resource.Admission.create ~target:config.Config.admission_target
                 ~interval:config.Config.admission_interval
-                ~capacity:config.Config.admission_capacity ~clock ~metrics ())
+                ~capacity:config.Config.admission_capacity
+                ~shares:(Nk_resource.Shares.create config.Config.site_shares)
+                ~clock ~metrics ())
          else None);
       diffusion;
       breakers = Hashtbl.create 8;

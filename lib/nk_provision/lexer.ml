@@ -1,0 +1,146 @@
+(* Tokenizer for the capacity-plan language. Line comments start with
+   '#'; every token carries the 1-based line/column it started at, so
+   downstream diagnostics point at source, not at IR. *)
+
+type token =
+  | Ident of string (* keywords and setting keys: [a-zA-Z][a-zA-Z0-9_-]* *)
+  | Str of string (* "video.example" *)
+  | Value of Ast.value (* 64 / 30% / 500ms / 4mb / on / off *)
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Eq
+  | Ge (* >= *)
+  | Le (* <= *)
+  | Eof
+
+exception Lex_error of string * Ast.pos
+
+let token_label = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Str s -> Printf.sprintf "string %S" s
+  | Value v -> Printf.sprintf "%s %s" (Ast.kind_label v) (Ast.value_to_string v)
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Semi -> "';'"
+  | Eq -> "'='"
+  | Ge -> "'>='"
+  | Le -> "'<='"
+  | Eof -> "end of plan"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* The unit vocabulary. Durations and sizes normalize here; percents
+   stay as written so error messages can echo the source. *)
+let value_of_suffix ~pos magnitude = function
+  | "" -> Ast.Number magnitude
+  | "%" -> Ast.Percent magnitude
+  | "ms" -> Ast.Duration (magnitude /. 1000.0)
+  | "s" -> Ast.Duration magnitude
+  | "m" -> Ast.Duration (magnitude *. 60.0)
+  | "h" -> Ast.Duration (magnitude *. 3600.0)
+  | "b" -> Ast.Size magnitude
+  | "kb" -> Ast.Size (magnitude *. 1024.0)
+  | "mb" -> Ast.Size (magnitude *. 1024.0 *. 1024.0)
+  | "gb" -> Ast.Size (magnitude *. 1024.0 *. 1024.0 *. 1024.0)
+  | unit ->
+    raise
+      (Lex_error
+         ( Printf.sprintf "unknown unit %S (expected %%, ms, s, m, h, b, kb, mb or gb)" unit,
+           pos ))
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 and i = ref 0 in
+  let tokens = ref [] in
+  let pos () = { Nk_script.Ast.line = !line; col = !col } in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let emit tok p = tokens := (tok, p) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '{' then (emit Lbrace p; advance ())
+    else if c = '}' then (emit Rbrace p; advance ())
+    else if c = ';' then (emit Semi p; advance ())
+    else if c = '=' then (emit Eq p; advance ())
+    else if c = '>' || c = '<' then begin
+      advance ();
+      if !i < n && src.[!i] = '=' then begin
+        advance ();
+        emit (if c = '>' then Ge else Le) p
+      end
+      else raise (Lex_error (Printf.sprintf "expected '%c='" c, p))
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '"' then begin
+          advance ();
+          closed := true
+        end
+        else if c = '\n' then raise (Lex_error ("unterminated string", p))
+        else begin
+          Buffer.add_char buf c;
+          advance ()
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", p));
+      emit (Str (Buffer.contents buf)) p
+    end
+    else if is_digit c then begin
+      let buf = Buffer.create 8 in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = '_') do
+        if src.[!i] <> '_' then Buffer.add_char buf src.[!i];
+        advance ()
+      done;
+      let magnitude =
+        match float_of_string_opt (Buffer.contents buf) with
+        | Some f -> f
+        | None -> raise (Lex_error (Printf.sprintf "bad number %S" (Buffer.contents buf), p))
+      in
+      let unit = Buffer.create 2 in
+      if !i < n && src.[!i] = '%' then begin
+        Buffer.add_char unit '%';
+        advance ()
+      end
+      else
+        while !i < n && is_ident_start src.[!i] do
+          Buffer.add_char unit (Char.lowercase_ascii src.[!i]);
+          advance ()
+        done;
+      emit (Value (value_of_suffix ~pos:p magnitude (Buffer.contents unit))) p
+    end
+    else if is_ident_start c then begin
+      let buf = Buffer.create 12 in
+      while !i < n && is_ident_char src.[!i] do
+        Buffer.add_char buf src.[!i];
+        advance ()
+      done;
+      match Buffer.contents buf with
+      | "on" | "true" -> emit (Value (Ast.Flag true)) p
+      | "off" | "false" -> emit (Value (Ast.Flag false)) p
+      | word -> emit (Ident word) p
+    end
+    else raise (Lex_error (Printf.sprintf "unexpected character %C" c, p))
+  done;
+  emit Eof (pos ());
+  List.rev !tokens

@@ -1,0 +1,146 @@
+(* Recursive-descent parser for the capacity-plan language.
+
+     plan      := item* EOF
+     item      := "node" STRING "{" section* "}"
+                | "site" STRING "{" clause* "}"
+     section   := IDENT "{" setting* "}"
+     setting   := IDENT "=" VALUE ";"?
+     clause    := "share" ">=" VALUE ";"?
+                | "fuel" "<=" VALUE ";"?
+                | "heap" "<=" VALUE ";"?
+                | "quarantine" "base" VALUE "max" VALUE ";"?
+
+   The parser checks shape only: any section/setting identifier and any
+   value kind is accepted here, so the verifier's units pass — not a
+   syntax error — reports unknown keys and unit mismatches, with
+   positions preserved by this IR. Plan identity (the hash operators
+   audit and [nakika stats --health] reports) is the SHA-256 of the
+   exact plan text. *)
+
+exception Parse_error of string * Ast.pos
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Parse_error (msg, pos))) fmt
+
+type state = { tokens : (Lexer.token * Ast.pos) array; mutable at : int }
+
+let peek st = st.tokens.(st.at)
+
+let next st =
+  let tok = st.tokens.(st.at) in
+  if fst tok <> Lexer.Eof then st.at <- st.at + 1;
+  tok
+
+let expect st want ~what =
+  let tok, pos = next st in
+  if tok <> want then
+    fail pos "expected %s %s, found %s" (Lexer.token_label want) what (Lexer.token_label tok)
+
+let expect_string st ~what =
+  match next st with
+  | Lexer.Str s, pos -> (s, pos)
+  | tok, pos -> fail pos "expected a quoted %s, found %s" what (Lexer.token_label tok)
+
+let expect_value st ~what =
+  match next st with
+  | Lexer.Value v, pos -> (v, pos)
+  | tok, pos -> fail pos "expected a value for %s, found %s" what (Lexer.token_label tok)
+
+let skip_semi st = match peek st with Lexer.Semi, _ -> ignore (next st) | _ -> ()
+
+let parse_setting st ~key ~key_pos =
+  expect st Lexer.Eq ~what:(Printf.sprintf "after setting %S" key);
+  let value, value_pos = expect_value st ~what:(Printf.sprintf "setting %S" key) in
+  skip_semi st;
+  { Ast.key; key_pos; value; value_pos }
+
+let parse_section st ~name ~name_pos =
+  expect st Lexer.Lbrace ~what:(Printf.sprintf "to open section %S" name);
+  let settings = ref [] in
+  let rec loop () =
+    match next st with
+    | Lexer.Rbrace, _ -> ()
+    | Lexer.Ident key, key_pos ->
+      settings := parse_setting st ~key ~key_pos :: !settings;
+      loop ()
+    | tok, pos ->
+      fail pos "expected a setting or '}' in section %S, found %s" name (Lexer.token_label tok)
+  in
+  loop ();
+  { Ast.section = name; section_pos = name_pos; settings = List.rev !settings }
+
+let parse_node st =
+  let pattern, node_pos = expect_string st ~what:"node pattern" in
+  expect st Lexer.Lbrace ~what:"to open the node block";
+  let sections = ref [] in
+  let rec loop () =
+    match next st with
+    | Lexer.Rbrace, _ -> ()
+    | Lexer.Ident name, name_pos ->
+      sections := parse_section st ~name ~name_pos :: !sections;
+      loop ()
+    | tok, pos ->
+      fail pos "expected a section (capacity/diffusion/breaker/quarantine) or '}', found %s"
+        (Lexer.token_label tok)
+  in
+  loop ();
+  { Ast.node_pattern = pattern; node_pos; sections = List.rev !sections }
+
+let parse_clause st ~keyword ~pos =
+  match keyword with
+  | "share" ->
+    expect st Lexer.Ge ~what:"after 'share' (shares are lower bounds)";
+    let v, _ = expect_value st ~what:"share" in
+    skip_semi st;
+    Ast.Share (v, pos)
+  | "fuel" ->
+    expect st Lexer.Le ~what:"after 'fuel' (fuel is an upper bound)";
+    let v, _ = expect_value st ~what:"fuel" in
+    skip_semi st;
+    Ast.Fuel (v, pos)
+  | "heap" ->
+    expect st Lexer.Le ~what:"after 'heap' (heap is an upper bound)";
+    let v, _ = expect_value st ~what:"heap" in
+    skip_semi st;
+    Ast.Heap (v, pos)
+  | "quarantine" ->
+    expect st (Lexer.Ident "base") ~what:"after 'quarantine'";
+    let base, base_pos = expect_value st ~what:"quarantine base window" in
+    expect st (Lexer.Ident "max") ~what:"after the quarantine base window";
+    let max_, max_pos = expect_value st ~what:"quarantine max window" in
+    skip_semi st;
+    Ast.Quarantine_window { base; base_pos; max_; max_pos }
+  | other -> fail pos "unknown site clause %S (expected share, fuel, heap or quarantine)" other
+
+let parse_site st =
+  let pattern, pattern_pos = expect_string st ~what:"site pattern" in
+  expect st Lexer.Lbrace ~what:"to open the site rule";
+  let clauses = ref [] in
+  let rec loop () =
+    match next st with
+    | Lexer.Rbrace, _ -> ()
+    | Lexer.Ident keyword, pos ->
+      clauses := parse_clause st ~keyword ~pos :: !clauses;
+      loop ()
+    | tok, pos -> fail pos "expected a site clause or '}', found %s" (Lexer.token_label tok)
+  in
+  loop ();
+  { Ast.pattern; pattern_pos; clauses = List.rev !clauses }
+
+let parse source =
+  let st = { tokens = Array.of_list (Lexer.tokenize source); at = 0 } in
+  let items = ref [] in
+  let rec loop () =
+    match next st with
+    | Lexer.Eof, _ -> ()
+    | Lexer.Ident "node", _ ->
+      items := Ast.Node (parse_node st) :: !items;
+      loop ()
+    | Lexer.Ident "site", _ ->
+      items := Ast.Site (parse_site st) :: !items;
+      loop ()
+    | tok, pos ->
+      fail pos "expected a 'node' block or 'site' rule at top level, found %s"
+        (Lexer.token_label tok)
+  in
+  loop ();
+  { Ast.items = List.rev !items; source; hash = Nk_crypto.Sha256.digest_hex source }

@@ -1,0 +1,448 @@
+(* The multi-pass static verifier for capacity plans, in the
+   nk_analysis style: every pass walks the typed IR and reports
+   position-carrying [Nk_analysis.Diagnostic]s; nothing mutates the
+   plan. Passes:
+
+   - {b units}: every setting key is known, carries the right unit
+     kind, and sits in its legal range (percents in (0,100], durations
+     positive, counts at least 1); site patterns are well-formed.
+   - {b ordering}: effective low/high diffusion waters, breaker
+     cooldown vs max, and quarantine base vs max are ordered — checked
+     against the block's own settings with [Config.default] filling
+     unset knobs, so [low = 0.9] alone is caught against the default
+     high water.
+   - {b feasibility}: per node block, the shares declared by site rules
+     sum to at most 100% and each reserves at least one whole slot of
+     that block's admission capacity. Share clauses must name concrete
+     sites: a share on a wildcard pattern reserves capacity for
+     unboundedly many tenants and no static check can make that sound.
+   - {b shadowing}: a site rule (or node block) subsumed by an earlier
+     pattern can never match — a warning, since the plan still has a
+     well-defined meaning.
+
+   The fifth check — that the lowered [Config] is one a node accepts —
+   is [Config.validate], shared verbatim with node construction; the
+   facade ([Provision.compile]) runs it after lowering. *)
+
+module D = Nk_analysis.Diagnostic
+module Config = Nk_node.Config
+
+(* --- the knob vocabulary -------------------------------------------- *)
+
+type kind =
+  | Count (* positive integer: slots, fanout, failures, fuel *)
+  | Duration_pos
+  | Duration_nonneg
+  | Water (* fraction of the pressure scale: 0.3 or 30% *)
+  | Rate (* strictly positive fraction: 50% or 0.5 *)
+  | Bytes (* 64mb or a bare byte count *)
+  | Toggle
+
+(* (section, key, kind, the Config knob it lowers to) — one row per
+   node-level setting the language can express. [Lower] consumes the
+   same table, so "what the verifier accepts" and "what the compiler
+   lowers" cannot drift apart. *)
+let vocabulary =
+  [
+    ("capacity", "admission", Count, "admission_capacity");
+    ("capacity", "target", Duration_pos, "admission_target");
+    ("capacity", "interval", Duration_pos, "admission_interval");
+    ("capacity", "fuel", Count, "script_max_fuel");
+    ("capacity", "heap", Bytes, "script_max_heap");
+    ("capacity", "cache", Bytes, "cache_bytes");
+    ("diffusion", "enabled", Toggle, "enable_diffusion");
+    ("diffusion", "low", Water, "diffusion_low_water");
+    ("diffusion", "high", Water, "diffusion_high_water");
+    ("diffusion", "fanout", Count, "diffusion_fanout");
+    ("diffusion", "timeout", Duration_pos, "diffusion_offload_timeout");
+    ("diffusion", "fetch-timeout", Duration_pos, "diffusion_fetch_timeout");
+    ("diffusion", "staleness", Duration_pos, "diffusion_staleness");
+    ("breaker", "failures", Count, "breaker_failures");
+    ("breaker", "error-rate", Rate, "breaker_error_rate");
+    ("breaker", "window", Duration_pos, "breaker_window");
+    ("breaker", "cooldown", Duration_pos, "breaker_cooldown");
+    ("breaker", "max", Duration_pos, "breaker_max_cooldown");
+    ("quarantine", "base", Duration_pos, "termination_penalty");
+    ("quarantine", "max", Duration_pos, "quarantine_max");
+    ("quarantine", "decay", Duration_nonneg, "quarantine_decay");
+  ]
+
+let sections = [ "capacity"; "diffusion"; "breaker"; "quarantine" ]
+
+let knob_of ~section ~key =
+  List.find_map
+    (fun (s, k, _, knob) -> if s = section && k = key then Some knob else None)
+    vocabulary
+
+let kind_of ~section ~key =
+  List.find_map
+    (fun (s, k, kind, _) -> if s = section && k = key then Some kind else None)
+    vocabulary
+
+(* Normalize a written value to the float the kind lowers to (flags to
+   0/1), or explain why it cannot. *)
+let normalize kind (v : Ast.value) =
+  let wrong expected = Error (Printf.sprintf "expected %s, got %s" expected (Ast.kind_label v)) in
+  match (kind, v) with
+  | Count, Ast.Number f ->
+    if Float.rem f 1.0 <> 0.0 then Error "expected a whole number"
+    else if f < 1.0 then Error "must be at least 1"
+    else Ok f
+  | Count, _ -> wrong "a bare count"
+  | Duration_pos, Ast.Duration s ->
+    if s <= 0.0 then Error "duration must be positive" else Ok s
+  | Duration_nonneg, Ast.Duration s ->
+    if s < 0.0 then Error "duration must not be negative" else Ok s
+  | (Duration_pos | Duration_nonneg), _ -> wrong "a duration (e.g. 500ms, 2s, 5m)"
+  | Water, Ast.Percent p ->
+    if p < 0.0 || p > 100.0 then Error "percent must be between 0% and 100%" else Ok (p /. 100.0)
+  | Water, Ast.Number f ->
+    if f < 0.0 || f > 1.0 then Error "a bare water level must be between 0 and 1" else Ok f
+  | Water, _ -> wrong "a fraction (0.3) or percent (30%)"
+  | Rate, Ast.Percent p ->
+    if p <= 0.0 || p > 100.0 then Error "percent must be in (0%, 100%]" else Ok (p /. 100.0)
+  | Rate, Ast.Number f ->
+    if f <= 0.0 || f > 1.0 then Error "a bare rate must be in (0, 1]" else Ok f
+  | Rate, _ -> wrong "a rate (0.5 or 50%)"
+  | Bytes, Ast.Size b -> if b <= 0.0 then Error "size must be positive" else Ok b
+  | Bytes, Ast.Number b ->
+    if b <= 0.0 then Error "byte count must be positive" else Ok b
+  | Bytes, _ -> wrong "a size (64mb) or byte count"
+  | Toggle, Ast.Flag b -> Ok (if b then 1.0 else 0.0)
+  | Toggle, _ -> wrong "on or off"
+
+(* A site pattern is an exact host, "*", or "*.suffix". *)
+let pattern_problem pattern =
+  if pattern = "" then Some "site pattern is empty"
+  else if pattern = "*" then None
+  else if String.contains pattern '*' then
+    if String.length pattern > 2 && String.sub pattern 0 2 = "*."
+       && not (String.contains_from pattern 2 '*')
+    then None
+    else Some "wildcards must be \"*\" or \"*.suffix\""
+  else None
+
+(* --- units / ranges --------------------------------------------------- *)
+
+let check_share_value v pos diags =
+  match v with
+  | Ast.Percent p ->
+    if p <= 0.0 || p > 100.0 then
+      diags := D.error "share-out-of-range" pos "share must be in (0%%, 100%%], got %g%%" p :: !diags
+  | other ->
+    diags :=
+      D.error "unit-mismatch" pos "share must be a percent (e.g. 30%%), got %s"
+        (Ast.kind_label other)
+      :: !diags
+
+let units_pass (plan : Ast.t) =
+  let diags = ref [] in
+  List.iter
+    (function
+      | Ast.Node block ->
+        (match pattern_problem block.Ast.node_pattern with
+         | Some why ->
+           diags :=
+             D.error "bad-pattern" block.Ast.node_pos "node pattern %S: %s"
+               block.Ast.node_pattern why
+             :: !diags
+         | None -> ());
+        List.iter
+          (fun (sec : Ast.section) ->
+            if not (List.mem sec.Ast.section sections) then
+              diags :=
+                D.error "unknown-section" sec.Ast.section_pos
+                  "unknown section %S (expected %s)" sec.Ast.section
+                  (String.concat ", " sections)
+                :: !diags
+            else
+              List.iter
+                (fun (s : Ast.setting) ->
+                  match kind_of ~section:sec.Ast.section ~key:s.Ast.key with
+                  | None ->
+                    let known =
+                      List.filter_map
+                        (fun (sc, k, _, _) -> if sc = sec.Ast.section then Some k else None)
+                        vocabulary
+                    in
+                    diags :=
+                      D.error "unknown-key" s.Ast.key_pos "unknown %s setting %S (expected %s)"
+                        sec.Ast.section s.Ast.key (String.concat ", " known)
+                      :: !diags
+                  | Some kind -> (
+                    match normalize kind s.Ast.value with
+                    | Ok _ -> ()
+                    | Error why ->
+                      diags :=
+                        D.error "unit-mismatch" s.Ast.value_pos "%s.%s: %s" sec.Ast.section
+                          s.Ast.key why
+                        :: !diags))
+                sec.Ast.settings)
+          block.Ast.sections
+      | Ast.Site rule ->
+        (match pattern_problem rule.Ast.pattern with
+         | Some why ->
+           diags :=
+             D.error "bad-pattern" rule.Ast.pattern_pos "site pattern %S: %s" rule.Ast.pattern
+               why
+             :: !diags
+         | None -> ());
+        List.iter
+          (fun clause ->
+            match clause with
+            | Ast.Share (v, pos) -> check_share_value v pos diags
+            | Ast.Fuel (v, pos) -> (
+              match normalize Count v with
+              | Ok _ -> ()
+              | Error why -> diags := D.error "unit-mismatch" pos "fuel cap: %s" why :: !diags)
+            | Ast.Heap (v, pos) -> (
+              match normalize Bytes v with
+              | Ok _ -> ()
+              | Error why -> diags := D.error "unit-mismatch" pos "heap cap: %s" why :: !diags)
+            | Ast.Quarantine_window { base; base_pos; max_; max_pos } ->
+              (match normalize Duration_pos base with
+               | Ok _ -> ()
+               | Error why ->
+                 diags := D.error "unit-mismatch" base_pos "quarantine base: %s" why :: !diags);
+              (match normalize Duration_pos max_ with
+               | Ok _ -> ()
+               | Error why ->
+                 diags := D.error "unit-mismatch" max_pos "quarantine max: %s" why :: !diags))
+          rule.Ast.clauses)
+    plan.Ast.items;
+  !diags
+
+(* --- ordering --------------------------------------------------------- *)
+
+(* The normalized value of [section.key] in this block, when present
+   and well-formed (malformed settings already carry a units error). *)
+let setting_value (block : Ast.node_block) ~section ~key =
+  List.find_map
+    (fun (sec : Ast.section) ->
+      if sec.Ast.section <> section then None
+      else
+        List.find_map
+          (fun (s : Ast.setting) ->
+            if s.Ast.key <> key then None
+            else
+              match kind_of ~section ~key with
+              | None -> None
+              | Some kind -> (
+                match normalize kind s.Ast.value with
+                | Ok f -> Some (f, s.Ast.value_pos)
+                | Error _ -> None))
+          sec.Ast.settings)
+    block.Ast.sections
+
+let ordering_pass (plan : Ast.t) =
+  let diags = ref [] in
+  let check block ~section ~low_key ~high_key ~low_default ~high_default ~code ~what =
+    let low = setting_value block ~section ~key:low_key in
+    let high = setting_value block ~section ~key:high_key in
+    match (low, high) with
+    | None, None -> ()
+    | _ ->
+      let lv, lpos =
+        match low with Some (v, p) -> (v, Some p) | None -> (low_default, None)
+      in
+      let hv, hpos =
+        match high with Some (v, p) -> (v, Some p) | None -> (high_default, None)
+      in
+      if lv >= hv && not (section = "breaker" && lv = hv) then
+        (* breaker cooldown = max is legal (no backoff growth); waters
+           and quarantine windows must be strictly ordered. *)
+        let pos =
+          match (lpos, hpos) with
+          | Some p, _ -> p
+          | None, Some p -> p
+          | None, None -> block.Ast.node_pos
+        in
+        diags :=
+          D.error code pos "%s: %s (%g) must be below %s (%g)%s" what low_key lv high_key hv
+            (match (low, high) with
+             | Some _, None -> Printf.sprintf " (the default %s)" high_key
+             | None, Some _ -> Printf.sprintf " (the default %s)" low_key
+             | _ -> "")
+          :: !diags
+  in
+  let ok_or_default block ~section ~key ~default =
+    match setting_value block ~section ~key with Some (v, p) -> (v, Some p) | None -> (default, None)
+  in
+  List.iter
+    (fun (block : Ast.node_block) ->
+      check block ~section:"diffusion" ~low_key:"low" ~high_key:"high"
+        ~low_default:Config.default.Config.diffusion_low_water
+        ~high_default:Config.default.Config.diffusion_high_water ~code:"inverted-waters"
+        ~what:"diffusion waters";
+      (let cooldown, cpos =
+         ok_or_default block ~section:"breaker" ~key:"cooldown"
+           ~default:Config.default.Config.breaker_cooldown
+       in
+       let max_cd, mpos =
+         ok_or_default block ~section:"breaker" ~key:"max"
+           ~default:Config.default.Config.breaker_max_cooldown
+       in
+       if (cpos <> None || mpos <> None) && cooldown > max_cd then
+         let pos =
+           match (cpos, mpos) with Some p, _ -> p | _, Some p -> p | _ -> block.Ast.node_pos
+         in
+         diags :=
+           D.error "breaker-cooldown-exceeds-max" pos
+             "breaker cooldown (%gs) exceeds the backoff cap (%gs)" cooldown max_cd
+           :: !diags);
+      let base, bpos =
+        ok_or_default block ~section:"quarantine" ~key:"base"
+          ~default:Config.default.Config.termination_penalty
+      in
+      let max_w, mpos =
+        ok_or_default block ~section:"quarantine" ~key:"max"
+          ~default:Config.default.Config.quarantine_max
+      in
+      if (bpos <> None || mpos <> None) && base > max_w then
+        let pos =
+          match (bpos, mpos) with Some p, _ -> p | _, Some p -> p | _ -> block.Ast.node_pos
+        in
+        diags :=
+          D.error "quarantine-base-exceeds-max" pos
+            "quarantine base window (%gs) exceeds the cap (%gs)" base max_w
+          :: !diags)
+    (Ast.nodes plan);
+  (* Per-site quarantine windows carry both bounds in one clause. *)
+  List.iter
+    (fun (rule : Ast.site_rule) ->
+      List.iter
+        (function
+          | Ast.Quarantine_window { base; base_pos; max_; max_pos = _ } -> (
+            match (normalize Duration_pos base, normalize Duration_pos max_) with
+            | Ok b, Ok m when b > m ->
+              diags :=
+                D.error "quarantine-base-exceeds-max" base_pos
+                  "site %S: quarantine base window (%gs) exceeds its max (%gs)" rule.Ast.pattern
+                  b m
+                :: !diags
+            | _ -> ())
+          | _ -> ())
+        rule.Ast.clauses)
+    (Ast.sites plan);
+  !diags
+
+(* --- shadowing / dominance ------------------------------------------- *)
+
+(* Which earlier rule, if any, makes this one unreachable? *)
+let shadowed_by earlier pattern =
+  List.find_opt (fun (p, _) -> Ast.subsumes ~pattern:p ~other:pattern) earlier
+
+let shadow_pass (plan : Ast.t) =
+  let diags = ref [] in
+  let walk items ~what =
+    ignore
+      (List.fold_left
+         (fun earlier (pattern, pos) ->
+           (match shadowed_by earlier pattern with
+            | Some (by, by_pos) ->
+              diags :=
+                D.warning "shadowed-rule" pos
+                  "%s %S can never match: every site it covers is claimed by %S (line %d)"
+                  what pattern by by_pos.Nk_script.Ast.line
+                :: !diags
+            | None -> ());
+           (pattern, pos) :: earlier)
+         [] items)
+  in
+  walk
+    (List.map (fun (r : Ast.site_rule) -> (r.Ast.pattern, r.Ast.pattern_pos)) (Ast.sites plan))
+    ~what:"site rule";
+  walk
+    (List.map (fun (b : Ast.node_block) -> (b.Ast.node_pattern, b.Ast.node_pos)) (Ast.nodes plan))
+    ~what:"node block";
+  !diags
+
+(* The site rules that can actually fire (not shadowed by an earlier
+   pattern) — what feasibility sums and what the compiler lowers. *)
+let reachable_sites (plan : Ast.t) =
+  List.rev
+    (fst
+       (List.fold_left
+          (fun (kept, earlier) (r : Ast.site_rule) ->
+            let entry = (r.Ast.pattern, r.Ast.pattern_pos) in
+            if shadowed_by earlier r.Ast.pattern <> None then (kept, entry :: earlier)
+            else (r :: kept, entry :: earlier))
+          ([], []) (Ast.sites plan)))
+
+(* --- feasibility ------------------------------------------------------ *)
+
+let declared_share (rule : Ast.site_rule) =
+  List.find_map
+    (function
+      | Ast.Share (Ast.Percent p, pos) when p > 0.0 && p <= 100.0 -> Some (p, pos)
+      | _ -> None)
+    rule.Ast.clauses
+
+(* Admission capacity a block would run with: its own setting, else the
+   compiled default. *)
+let block_capacity (block : Ast.node_block) =
+  match setting_value block ~section:"capacity" ~key:"admission" with
+  | Some (f, _) -> int_of_float f
+  | None -> Config.default.Config.admission_capacity
+
+let feasibility_pass (plan : Ast.t) =
+  let diags = ref [] in
+  let shares =
+    List.filter_map
+      (fun (r : Ast.site_rule) ->
+        match declared_share r with
+        | None -> None
+        | Some (percent, pos) ->
+          if r.Ast.pattern = "*" || String.contains r.Ast.pattern '*' then begin
+            diags :=
+              D.error "share-on-wildcard" pos
+                "site %S: a share on a wildcard pattern reserves capacity for unboundedly \
+                 many tenants; name each tenant site explicitly"
+                r.Ast.pattern
+              :: !diags;
+            None
+          end
+          else Some (r.Ast.pattern, percent, pos))
+      (reachable_sites plan)
+  in
+  let total = List.fold_left (fun acc (_, p, _) -> acc +. p) 0.0 shares in
+  (if total > 100.0 +. 1e-9 then
+     match List.rev shares with
+     | (pattern, _, pos) :: _ ->
+       diags :=
+         D.error "shares-infeasible" pos
+           "declared shares sum to %g%% of admission capacity (over 100%%); site %S is the \
+            rule that crosses the line"
+           total pattern
+         :: !diags
+     | [] -> ());
+  (* Every declared share must also land on at least one whole queue
+     slot on every node block it applies to (all of them: site rules
+     are not node-scoped). *)
+  let blocks =
+    match Ast.nodes plan with
+    | [] ->
+      [ ("(default)", Config.default.Config.admission_capacity) ]
+      (* no node block: shares apply to default-configured nodes *)
+    | blocks -> List.map (fun b -> (b.Ast.node_pattern, block_capacity b)) blocks
+  in
+  List.iter
+    (fun (pattern, percent, pos) ->
+      List.iter
+        (fun (node_pattern, capacity) ->
+          if percent /. 100.0 *. float_of_int capacity < 0.5 then
+            diags :=
+              D.error "share-rounds-to-zero" pos
+                "site %S: a %g%% share of node %S's admission capacity (%d slots) rounds to \
+                 zero slots"
+                pattern percent node_pattern capacity
+              :: !diags)
+        blocks)
+    shares;
+  !diags
+
+(* --- the pass pipeline ------------------------------------------------ *)
+
+let check (plan : Ast.t) =
+  List.sort D.compare
+    (units_pass plan @ ordering_pass plan @ feasibility_pass plan @ shadow_pass plan)

@@ -5,6 +5,7 @@ type t = {
   interval : float;
   capacity : int;
   rate_window : float;
+  shares : Shares.t;
   clock : unit -> float;
   metrics : Nk_telemetry.Metrics.t option;
   occupancy : (string, int ref) Hashtbl.t;
@@ -17,15 +18,22 @@ type t = {
   mutable window_arrivals : int;
   mutable window_sheds : int;
   mutable last_shed_rate : float;
+  (* Shares are enforced with hysteresis: once the queue fills (or a
+     capacity shed fires), declared slices keep binding for a full
+     control interval even if the queue momentarily drains. Without
+     this, a batch of synchronized completions would let a greedy site
+     grab slots past its slice during the refill — and hold them. *)
+  mutable contended_until : float;
 }
 
-let create ?(target = 0.5) ?(interval = 0.5) ?(capacity = 64) ?(rate_window = 5.0) ~clock
-    ?metrics () =
+let create ?(target = 0.5) ?(interval = 0.5) ?(capacity = 64) ?(rate_window = 5.0)
+    ?(shares = Shares.empty) ~clock ?metrics () =
   {
     target;
     interval;
     capacity;
     rate_window;
+    shares;
     clock;
     metrics;
     occupancy = Hashtbl.create 8;
@@ -38,6 +46,7 @@ let create ?(target = 0.5) ?(interval = 0.5) ?(capacity = 64) ?(rate_window = 5.
     window_arrivals = 0;
     window_sheds = 0;
     last_shed_rate = 0.0;
+    contended_until = 0.0;
   }
 
 let queue_length t = t.total
@@ -67,14 +76,32 @@ let shed_rate t =
     float_of_int t.window_sheds /. float_of_int t.window_arrivals
   else t.last_shed_rate
 
-(* Each site's fair slice of the queue is [capacity / active sites]
-   (sites with requests currently queued, the arriving one included). *)
+(* Each site's fair slice of the queue. Without a share table it is
+   [capacity / active sites] (sites with requests currently queued, the
+   arriving one included). With one — a provisioning plan lowered into
+   [Shares] — a declared site gets its reserved fraction of capacity
+   whether or not it is busy, and undeclared sites split whatever the
+   declarations leave unreserved. *)
 let fair_share t ~site =
-  let active =
-    Hashtbl.fold (fun s r acc -> if !r > 0 && s <> site then acc + 1 else acc) t.occupancy 0
-    + 1
-  in
-  max 1 (t.capacity / active)
+  let declared = Shares.fraction t.shares ~site in
+  match declared with
+  | Some f ->
+    max 1 (int_of_float ((f *. float_of_int t.capacity) +. 0.5))
+  | None ->
+    let unreserved =
+      if Shares.is_empty t.shares then float_of_int t.capacity
+      else
+        Float.max 0.0 (float_of_int t.capacity *. (1.0 -. Shares.reserved t.shares))
+    in
+    let active_undeclared =
+      Hashtbl.fold
+        (fun s r acc ->
+          if !r > 0 && s <> site && Shares.fraction t.shares ~site:s = None then acc + 1
+          else acc)
+        t.occupancy 0
+      + 1
+    in
+    max 1 (int_of_float unreserved / active_undeclared)
 
 let slot t site =
   match Hashtbl.find_opt t.occupancy site with
@@ -105,10 +132,15 @@ let offer t ~site ~queue_delay =
     | Some since -> if now -. since >= t.interval then t.shedding_ <- true
   end;
   let occ = slot t site in
+  if t.total >= t.capacity then t.contended_until <- now +. t.interval;
+  let contended =
+    2 * t.total >= t.capacity
+    || ((not (Shares.is_empty t.shares)) && now < t.contended_until)
+  in
   let reason =
     if t.total >= t.capacity then Some "queue-full"
     else if t.shedding_ then Some "overload"
-    else if 2 * t.total >= t.capacity && !occ + 1 > fair_share t ~site then
+    else if contended && !occ + 1 > fair_share t ~site then
       (* The queue is contended and this site is already over its
          slice: shed it before it starves everyone else. *)
       Some "fair-share"

@@ -16,9 +16,16 @@
       estimate of when the backlog will have drained.
     - independently, the queue is bounded at [capacity] concurrent
       admitted requests, with per-site fair shares: once the queue is
-      half full, a site holding more than [capacity / active sites]
-      slots is shed even if the node is not yet in delay overload — one
-      hot site cannot starve the rest.
+      half full, a site holding more than its fair slice is shed even
+      if the node is not yet in delay overload — one hot site cannot
+      starve the rest. By default a site's slice is
+      [capacity / active sites]; with a {!Shares} table (lowered from a
+      provisioning plan) declared sites get their reserved fraction of
+      capacity and undeclared sites split the unreserved remainder.
+      When shares are declared, slice enforcement is sticky: after the
+      queue fills it keeps binding for one [interval] even if the queue
+      momentarily drains, so synchronized completion batches cannot let
+      a greedy site refill past its declared slice.
 
     Every decision is exported ([admission.sheds] counter labeled by
     site and reason, [admission.queue_delay] histogram). The clock is
@@ -33,12 +40,18 @@ val create :
   ?interval:float ->
   ?capacity:int ->
   ?rate_window:float ->
+  ?shares:Shares.t ->
   clock:(unit -> float) ->
   ?metrics:Nk_telemetry.Metrics.t ->
   unit ->
   t
 (** Defaults: 0.5 s delay target, 0.5 s detection interval, 64-slot
-    queue, 5 s shed-rate reporting window. *)
+    queue, 5 s shed-rate reporting window, no declared shares (every
+    active site splits the queue evenly). *)
+
+val fair_share : t -> site:string -> int
+(** The slice of [capacity] the controller currently guarantees [site]
+    under contention (exposed for tests and [nakika plan explain]). *)
 
 val offer : t -> site:string -> queue_delay:float -> verdict
 (** Decide one arrival. On [Admitted] the request occupies a queue slot

@@ -9,14 +9,37 @@ type t = {
   base : float;
   max_window : float;
   decay : float;
+  site_params : (string * (float * float)) list;
+  (* ordered (pattern, (base, max)) overrides from a provisioning plan;
+     first match wins, like the admission share table *)
   clock : unit -> float;
   metrics : Nk_telemetry.Metrics.t option;
   sites : (string, entry) Hashtbl.t;
   mutable bans : int;
 }
 
-let create ?(base = 30.0) ?(max_window = 240.0) ?(decay = 60.0) ~clock ?metrics () =
-  { base; max_window; decay; clock; metrics; sites = Hashtbl.create 8; bans = 0 }
+let create ?(base = 30.0) ?(max_window = 240.0) ?(decay = 60.0) ?(site_params = []) ~clock
+    ?metrics () =
+  {
+    base;
+    max_window;
+    decay;
+    site_params =
+      List.map (fun (pattern, base, max_window) -> (pattern, (base, max_window))) site_params;
+    clock;
+    metrics;
+    sites = Hashtbl.create 8;
+    bans = 0;
+  }
+
+let params t ~site =
+  match
+    List.find_map
+      (fun (pattern, p) -> if Shares.matches ~pattern site then Some p else None)
+      t.site_params
+  with
+  | Some p -> p
+  | None -> (t.base, t.max_window)
 
 let decay_strikes t e now =
   if t.decay > 0.0 && e.strikes > 0 && now > e.anchor then begin
@@ -38,7 +61,8 @@ let punish t ~site =
       e
   in
   decay_strikes t e now;
-  let window = Float.min t.max_window (t.base *. (2.0 ** float_of_int e.strikes)) in
+  let base, max_window = params t ~site in
+  let window = Float.min max_window (base *. (2.0 ** float_of_int e.strikes)) in
   e.strikes <- e.strikes + 1;
   e.expiry <- now +. window;
   (* Good behaviour only starts counting once the ban has expired. *)

@@ -20,13 +20,21 @@ val create :
   ?base:float ->
   ?max_window:float ->
   ?decay:float ->
+  ?site_params:(string * float * float) list ->
   clock:(unit -> float) ->
   ?metrics:Nk_telemetry.Metrics.t ->
   unit ->
   t
 (** Defaults: 30 s base ban doubling up to 240 s; strikes decay per
     60 s of good behaviour. [decay <= 0.0] disables decay (strikes only
-    ever grow). *)
+    ever grow). [site_params] is an ordered [(pattern, base, max)] list
+    of per-site overrides lowered from a provisioning plan
+    ([site "..." { quarantine base ... max ... }]); patterns resolve
+    first-match via {!Shares.matches}. *)
+
+val params : t -> site:string -> float * float
+(** The (base, max) ban window the site would be given, overrides
+    applied (exposed for tests and [nakika plan explain]). *)
 
 val punish : t -> site:string -> float
 (** Record an offense; returns the ban window granted (seconds). *)

@@ -22,6 +22,7 @@ let () =
       ("movie", Test_movie.suite);
       ("pipeline", Test_pipeline.suite);
       ("node", Test_node.suite);
+      ("provision", Test_provision.suite);
       ("faults", Test_faults.suite);
       ("telemetry", Test_telemetry.suite);
       ("workload", Test_workload.suite);

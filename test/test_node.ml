@@ -664,6 +664,68 @@ let test_stale_within_cap_then_beyond () =
   let resp = fetch_sync cluster ~client ~proxy (req ()) in
   Alcotest.(check bool) "beyond cap: hard failure" true (resp.Message.status >= 500)
 
+(* Node construction rejects invalid configs with the same checker the
+   provisioning compiler runs ([Config.validate]); one regression test
+   per rejection class. *)
+let expect_rejected label config needle =
+  let cluster = Cluster.create () in
+  match Cluster.add_proxy cluster ~name:"nk-bad.nakika.net" ~config () with
+  | _ -> Alcotest.fail (label ^ ": invalid config accepted")
+  | exception Invalid_argument msg ->
+    let contains =
+      let n = String.length needle and len = String.length msg in
+      let rec scan i = i + n <= len && (String.sub msg i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    if not contains then
+      Alcotest.fail (Printf.sprintf "%s: rejection message %S lacks %S" label msg needle)
+
+let test_config_rejects_inverted_waters () =
+  expect_rejected "inverted waters"
+    { Config.default with Config.diffusion_low_water = 0.9; diffusion_high_water = 0.8 }
+    "diffusion_low_water";
+  expect_rejected "equal waters"
+    { Config.default with Config.diffusion_low_water = 0.8; diffusion_high_water = 0.8 }
+    "diffusion_low_water"
+
+let test_config_rejects_bad_capacity () =
+  expect_rejected "zero capacity" { Config.default with Config.admission_capacity = 0 }
+    "admission_capacity";
+  expect_rejected "negative capacity" { Config.default with Config.admission_capacity = -4 }
+    "admission_capacity"
+
+let test_config_rejects_negative_timeouts () =
+  expect_rejected "negative origin timeout"
+    { Config.default with Config.origin_timeout = -1.0 }
+    "origin_timeout";
+  expect_rejected "zero peer timeout" { Config.default with Config.peer_timeout = 0.0 }
+    "peer_timeout"
+
+let test_config_rejects_penalty_above_quarantine_max () =
+  expect_rejected "penalty above cap"
+    { Config.default with Config.termination_penalty = 600.0; quarantine_max = 240.0 }
+    "termination_penalty"
+
+let test_config_rejects_bad_site_tables () =
+  expect_rejected "oversubscribed shares"
+    { Config.default with Config.site_shares = [ ("a.example", 0.7); ("b.example", 0.6) ] }
+    "site_shares";
+  expect_rejected "inverted site quarantine"
+    { Config.default with Config.site_quarantine = [ ("a.example", 600.0, 300.0) ] }
+    "site_quarantine";
+  expect_rejected "non-positive site fuel"
+    { Config.default with Config.site_fuel = [ ("a.example", 0) ] }
+    "site_fuel"
+
+let test_valid_config_still_accepted () =
+  (* The validator must not reject the documented sentinel values. *)
+  let cluster = Cluster.create () in
+  let config =
+    { Config.default with Config.stale_if_error = 0.0; anti_entropy_interval = 0.0;
+      health_report_interval = 0.0; quarantine_decay = 0.0 }
+  in
+  ignore (Cluster.add_proxy cluster ~name:"nk-ok.nakika.net" ~config ())
+
 let suite =
   [
     Alcotest.test_case "proxying a static page" `Quick test_plain_proxying;
@@ -716,4 +778,16 @@ let suite =
       test_stale_cap_exceeded_fails_hard;
     Alcotest.test_case "stale-if-error: degrades then fails as the copy ages" `Quick
       test_stale_within_cap_then_beyond;
+    Alcotest.test_case "config validation: inverted diffusion waters" `Quick
+      test_config_rejects_inverted_waters;
+    Alcotest.test_case "config validation: non-positive admission capacity" `Quick
+      test_config_rejects_bad_capacity;
+    Alcotest.test_case "config validation: negative timeouts" `Quick
+      test_config_rejects_negative_timeouts;
+    Alcotest.test_case "config validation: penalty above quarantine max" `Quick
+      test_config_rejects_penalty_above_quarantine_max;
+    Alcotest.test_case "config validation: bad per-site tables" `Quick
+      test_config_rejects_bad_site_tables;
+    Alcotest.test_case "config validation: sentinel values stay legal" `Quick
+      test_valid_config_still_accepted;
   ]
