@@ -111,6 +111,35 @@ let test_transcode =
              Core.Vocab.Image.Rle
          | Error e -> failwith e))
 
+(* O9: overlay membership at planet scale — join/leave and successor
+   lookups on a 1000-node ring. Named (and guarded) so the O(log n)
+   ordered-set membership cannot silently regress to the old
+   re-sort-per-join / array-round-trip-per-leave behavior. *)
+let ring_1000 =
+  let r = Core.Overlay.Ring.create () in
+  for i = 1 to 1000 do
+    Core.Overlay.Ring.join r (Core.Overlay.Node_id.of_string (Printf.sprintf "bench-node-%d" i))
+  done;
+  r
+
+let ring_counter = ref 0
+
+let test_ring_churn =
+  Test.make ~name:"O9: ring join+leave (n=1000)"
+    (Staged.stage (fun () ->
+         incr ring_counter;
+         let id = Core.Overlay.Node_id.of_int (!ring_counter land 0xfffff) in
+         Core.Overlay.Ring.join ring_1000 id;
+         Core.Overlay.Ring.leave ring_1000 id))
+
+let test_ring_successor =
+  Test.make ~name:"O9: ring successor (n=1000)"
+    (Staged.stage (fun () ->
+         incr ring_counter;
+         ignore
+           (Core.Overlay.Ring.successor ring_1000
+              (Core.Overlay.Node_id.of_int (!ring_counter land 0x3fffff)))))
+
 let tests =
   Test.make_grouped ~name:"nakika"
     [
@@ -154,6 +183,8 @@ let tests =
              Core.Vocab.Xml.to_html Core.Workload.Simm.stylesheet
                (Core.Vocab.Xml.parse_exn lecture_xml)));
       test_transcode;
+      test_ring_churn;
+      test_ring_successor;
       Test.make ~name:"E2: render register.nkp page"
         (Staged.stage (fun () ->
              let ctx = Core.Script.Interp.create () in
@@ -303,15 +334,20 @@ let micro () =
 
 (* --- bench-regression guard ------------------------------------------- *)
 
-(* CI gate: re-measure the two headline fast-path rows and fail if
-   either regressed more than [tolerance] against the committed
-   BENCH_micro.json. Noise discipline: each row is measured three times
+(* CI gate: re-measure the guarded fast-path rows (interpreter,
+   transcode, 1000-node ring membership) and fail if any regressed
+   more than [tolerance] against the committed BENCH_micro.json. Noise discipline: each row is measured three times
    and the *minimum* is compared — "has the code gotten slower" is a
    question about the best case, not the scheduler. Escape hatch:
    NAKIKA_BENCH_GUARD_SKIP=1 (for machines with incomparable baselines). *)
 
 let guard_rows =
-  [ "nakika/C1: cached execute (compiled)"; "nakika/Fig2: transcode 352x416 -> 176x208" ]
+  [
+    "nakika/C1: cached execute (compiled)";
+    "nakika/Fig2: transcode 352x416 -> 176x208";
+    "nakika/O9: ring join+leave (n=1000)";
+    "nakika/O9: ring successor (n=1000)";
+  ]
 
 let guard_tolerance = 1.25
 
@@ -353,7 +389,8 @@ let guard () =
     else begin
       let baseline = baseline_ns path in
       let guard_tests =
-        Test.make_grouped ~name:"nakika" [ test_cached_execute; test_transcode ]
+        Test.make_grouped ~name:"nakika"
+          [ test_cached_execute; test_transcode; test_ring_churn; test_ring_successor ]
       in
       (* min over three measurement rounds, per row *)
       let fresh_rows =

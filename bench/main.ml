@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 micro-costs capacity resource-controls
    figure7 simm-local specweb extensions integrity ablations faults
-   overload provision diffusion micro
+   overload provision diffusion micro scale
 
    "micro-guard" is special: it re-measures the fast-path micro rows
    against the committed BENCH_micro.json and exits non-zero on a >25%
@@ -31,6 +31,7 @@ let experiments =
     ("provision", Bench_provision.provision);
     ("diffusion", Bench_diffusion.diffusion);
     ("micro", Bench_micro.micro);
+    ("scale", Bench_scale.scale);
   ]
 
 (* Real (process CPU) time per experiment, reported once at the end. *)

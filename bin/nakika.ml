@@ -224,6 +224,11 @@ let health_plan_text =
   "# stats --health provisioning\n\
    node \"*.nakika.net\" {\n\
   \  diffusion { enabled = on }\n\
+  \  hotspots { enabled = on\n\
+  \             threshold = 3\n\
+  \             replicas = 2\n\
+  \             ttl = 60s\n\
+  \             halflife = 5s }\n\
    }\n"
 
 let health_config () =
@@ -234,8 +239,10 @@ let health_config () =
 
 (* The overload scenario behind [stats --health]: a flash crowd swamps
    one of two proxies (its admission queue sheds, and with diffusion on
-   it offloads executions toward the idle one), and a handful of
-   fetches toward a dead origin trip that origin's circuit breaker. *)
+   it offloads executions toward the idle one), a handful of fetches
+   toward a dead origin trip that origin's circuit breaker, and a
+   steady crowd on an uncacheable live page keeps hitting the DHT so
+   its key crosses the plan's hotspot threshold. *)
 let health_scenario () =
   let epoch = 1_136_073_600.0 in
   let plan = Core.Faults.Plan.create () in
@@ -247,6 +254,8 @@ let health_scenario () =
     "<html>hello from the origin</html>";
   let dead = Core.Node.Cluster.add_origin cluster ~name:"dead.example.org" () in
   Core.Node.Origin.set_static dead ~path:"/index.html" ~max_age:0 "<html>unreachable</html>";
+  let live = Core.Node.Cluster.add_origin cluster ~name:"live.example.net" () in
+  Core.Node.Origin.set_static live ~path:"/scores.html" ~max_age:0 "<html>live scores</html>";
   let config = health_config () in
   let p1 = Core.Node.Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config () in
   let p2 = Core.Node.Cluster.add_proxy cluster ~name:"nk2.nakika.net" ~config () in
@@ -271,10 +280,23 @@ let health_scenario () =
           (Core.Http.Message.request "http://dead.example.org.nakika.net/index.html")
           (fun _ -> ()))
   done;
+  (* The live-page crowd: 10 req/s against an uncacheable URL, so each
+     request misses the local cache and does a DHT lookup — its decayed
+     rate holds above the plan's 3 req/s hotspot threshold right up to
+     the snapshot at t = 30 s. *)
+  for i = 0 to 199 do
+    Core.Sim.Sim.schedule_at sim
+      (epoch +. 10.0 +. (0.1 *. float_of_int i))
+      (fun () ->
+        Core.Node.Cluster.fetch cluster ~client
+          ~proxy:(if i mod 2 = 0 then p1 else p2)
+          (Core.Http.Message.request "http://live.example.net.nakika.net/scores.html")
+          (fun _ -> ()))
+  done;
   Core.Sim.Sim.run ~until:(epoch +. 30.0) sim;
-  [ p1; p2 ]
+  (cluster, [ p1; p2 ])
 
-let print_health proxies =
+let print_health (cluster, proxies) =
   Printf.printf "%-18s %12s %10s %7s %9s %14s %12s %9s %9s %8s\n" "node" "queue-delay"
     "shed-rate" "sheds" "shedding" "open-breakers" "quarantined" "pressure" "offloads"
     "rejects";
@@ -314,7 +336,16 @@ let print_health proxies =
         (match (Core.Node.Node.config p).Core.Node.Config.plan_hash with
          | Some hash -> hash
          | None -> "(none)"))
-    proxies
+    proxies;
+  (* The hotspot view lives in the shared DHT, not any one node: keys
+     whose decayed request rate crossed the plan's threshold, and how
+     many sloppy replicas currently serve them. *)
+  let dht = Core.Node.Cluster.dht cluster in
+  let now = Core.Sim.Sim.now (Core.Node.Cluster.sim cluster) in
+  let hot = Core.Overlay.Dht.hotspots dht ~now in
+  Printf.printf "hotspots: %d hot key(s), %d sloppy replica placement(s)\n" (List.length hot)
+    (Core.Overlay.Dht.sloppy_replicas dht);
+  List.iter (fun (key, rate) -> Printf.printf "hot: %s (%.1f req/s)\n" key rate) hot
 
 let stats_cmd =
   let format_arg =

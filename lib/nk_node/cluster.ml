@@ -8,6 +8,10 @@ type t = {
   nakika_origin : Origin.t;
   rng : Nk_util.Prng.t;
   mutable proxies : Node.t list;
+  (* Host-name index over [proxies]: [pick_proxy] resolves the
+     redirector's choice per request, and a linear scan over 1000
+     proxies per request dominated planet-scale runs. *)
+  by_name : (string, Node.t) Hashtbl.t;
 }
 
 let sim t = t.sim
@@ -58,6 +62,7 @@ let create ?(seed = 11) ?default_latency ?default_bandwidth ?client_wall ?server
     nakika_origin;
     rng = Nk_util.Prng.create (seed * 31);
     proxies = [];
+    by_name = Hashtbl.create 64;
   }
 
 (* Periodic load reports to the redirector: queueing delay, shed rate,
@@ -83,16 +88,22 @@ let start_health_reports t node =
         (* The same report, as diffusion gossip: every other proxy
            learns this node's pressure (and how far away it is), which
            is the whole neighbor table the offload policy runs on — no
-           separate protocol, the health plane carries it. *)
-        let p = Node.pressure node in
-        List.iter
-          (fun other ->
-            if Nk_sim.Net.host_name (Node.host other) <> name then
-              Node.observe_neighbor other ~name ~pressure:p ~incarnation
-                ~distance:
-                  (Nk_sim.Net.transfer_time_estimate t.net ~src:(Node.host other)
-                     ~dst:host ~size:1024))
-          t.proxies
+           separate protocol, the health plane carries it. Gated on
+           the sender's diffusion flag: a diffusion-off node never
+           accepts offloads, so broadcasting its pressure is pure
+           overhead — and at 1000 proxies this loop is the difference
+           between O(n) and O(n^2) work per report interval. *)
+        if (Node.config node).Config.enable_diffusion then begin
+          let p = Node.pressure node in
+          List.iter
+            (fun other ->
+              if Nk_sim.Net.host_name (Node.host other) <> name then
+                Node.observe_neighbor other ~name ~pressure:p ~incarnation
+                  ~distance:
+                    (Nk_sim.Net.transfer_time_estimate t.net ~src:(Node.host other)
+                       ~dst:host ~size:1024))
+            t.proxies
+        end
       end;
       Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
     in
@@ -109,8 +120,16 @@ let add_proxy t ~name ?(cpu_speed = 1.0) ?config () =
   let cfg = Node.config node in
   if cfg.Config.enable_diffusion then
     Nk_overlay.Redirector.set_staleness t.redirector cfg.Config.diffusion_staleness;
+  (* Same pattern for hotspot replication: the first hotspot-enabled
+     proxy configures the cluster's shared DHT index. Gated on the
+     flag so hotspot-free clusters keep their exact prior behavior. *)
+  if cfg.Config.enable_hotspots then
+    Nk_overlay.Dht.set_hotspots t.dht ~halflife:cfg.Config.hotspot_halflife
+      ~threshold:cfg.Config.hotspot_threshold ~replicas:cfg.Config.hotspot_replicas
+      ~ttl:cfg.Config.hotspot_ttl ();
   Nk_overlay.Redirector.add_proxy t.redirector host;
   t.proxies <- node :: t.proxies;
+  Hashtbl.replace t.by_name name node;
   start_health_reports t node;
   node
 
@@ -125,8 +144,7 @@ let connect t a b ~latency ~bandwidth = Nk_sim.Net.connect t.net a b ~latency ~b
 let pick_proxy t ~client =
   match Nk_overlay.Redirector.pick t.redirector ~spread:2 ~rng:t.rng ~client () with
   | None -> None
-  | Some host ->
-    List.find_opt (fun n -> Nk_sim.Net.host_name (Node.host n) = Nk_sim.Net.host_name host) t.proxies
+  | Some host -> Hashtbl.find_opt t.by_name (Nk_sim.Net.host_name host)
 
 let fetch t ~client ?proxy ?timeout req k =
   let proxy = match proxy with Some p -> Some p | None -> pick_proxy t ~client in

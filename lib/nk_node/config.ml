@@ -62,6 +62,17 @@ type t = {
   diffusion_offload_timeout : float;
   diffusion_fetch_timeout : float;
   diffusion_staleness : float;
+  (* Hotspot detection + Coral-style sloppy replication on the shared
+     DHT index: keys whose decayed request rate crosses
+     [hotspot_threshold] req/s get their announcements replicated onto
+     [hotspot_replicas] nodes along the lookup funnel for
+     [hotspot_ttl] seconds. Off by default so small-cluster behavior
+     is unchanged. *)
+  enable_hotspots : bool;
+  hotspot_threshold : float;
+  hotspot_replicas : int;
+  hotspot_ttl : float;
+  hotspot_halflife : float;
   (* Directory for the persistent program registry (marshalled ASTs
      keyed by script-body SHA-256). [None] — the default — leaves the
      registry disabled: no disk I/O, behavior identical to builds
@@ -169,6 +180,11 @@ let default =
     diffusion_offload_timeout = 3.0;
     diffusion_fetch_timeout = 2.0;
     diffusion_staleness = 3.0;
+    enable_hotspots = false;
+    hotspot_threshold = 10.0;
+    hotspot_replicas = 3;
+    hotspot_ttl = 30.0;
+    hotspot_halflife = 10.0;
     program_registry_dir = None;
     site_shares = [];
     site_quarantine = [];
@@ -247,6 +263,11 @@ let validate t =
   positive "diffusion_offload_timeout" t.diffusion_offload_timeout;
   positive "diffusion_fetch_timeout" t.diffusion_fetch_timeout;
   positive "diffusion_staleness" t.diffusion_staleness;
+  positive "hotspot_threshold" t.hotspot_threshold;
+  if t.hotspot_replicas <= 0 then
+    reject "hotspot_replicas must be positive (got %d)" t.hotspot_replicas;
+  positive "hotspot_ttl" t.hotspot_ttl;
+  positive "hotspot_halflife" t.hotspot_halflife;
   let share_total = ref 0.0 in
   List.iter
     (fun (pattern, f) ->

@@ -112,6 +112,19 @@ type t = {
                                    this are ignored; also the
                                    redirector's load-report staleness
                                    bound *)
+  enable_hotspots : bool;
+      (** hotspot detection + Coral-style sloppy replication on the
+          cluster's shared DHT index (default false). The first
+          hotspot-enabled proxy added to a cluster configures the
+          shared DHT with the knobs below. *)
+  hotspot_threshold : float; (** decayed request rate (req/s) at which a
+                                 DHT key counts as hot and gets sloppy
+                                 replicas *)
+  hotspot_replicas : int; (** sloppy copies placed per hot key *)
+  hotspot_ttl : float; (** seconds before a sloppy placement expires and
+                           the ring reconverges *)
+  hotspot_halflife : float; (** decay halflife of the per-key
+                                request-rate estimator *)
   program_registry_dir : string option;
       (** directory for the persistent program registry (marshalled
           parsed scripts keyed by body SHA-256); [None] (default)

@@ -9,11 +9,38 @@
 
 type t
 
-val create : ?values_per_key:int -> ?replicas:int -> unit -> t
+val create : ?values_per_key:int -> ?replicas:int -> ?seed:int -> unit -> t
 (** [values_per_key] caps coexisting announcements (default 16; newest
     win). [replicas] (default 2) is how many ring nodes — the key's
     owner plus its next distinct successors — hold each announcement, so
-    a lookup can fall back when the owner is down. *)
+    a lookup can fall back when the owner is down. [seed] drives the
+    deterministic PRNG used for sloppy replica placement. *)
+
+val set_hotspots :
+  t -> ?halflife:float -> threshold:float -> replicas:int -> ttl:float -> unit -> unit
+(** Enable hotspot detection and Coral-style sloppy replication
+    (off by default). Every {!get} bumps the key's exponentially
+    decayed request-rate estimate ([halflife] seconds, default 10);
+    when a key's rate crosses [threshold] requests/second its
+    announcements are copied onto up to [replicas] random live nodes
+    drawn from the tail of the triggering lookup's path, and later
+    lookups stop at the first live holder on their own path. Holders
+    expire after [ttl] seconds, after which the ring reconverges to
+    the no-replica equilibrium. Raises [Invalid_argument] on
+    non-positive parameters. *)
+
+val hotspots : t -> now:float -> (string * float) list
+(** Keys whose decayed request rate currently meets the hotspot
+    threshold, hottest first, with their estimated requests/second.
+    Empty when hotspot detection is off. *)
+
+val sloppy_replicas : t -> int
+(** Number of keys with an active (unexpired) sloppy placement. *)
+
+val sweep : t -> now:float -> unit
+(** Expire stale sloppy placements (removing the copies from their
+    holders) and prune decayed rate entries. {!get} already expires
+    the placement of the key it touches; [sweep] is for idle keys. *)
 
 val set_liveness : t -> (string -> bool) -> unit
 (** Install the liveness oracle (by node name) that {!get} consults
@@ -25,7 +52,11 @@ val ring : t -> Ring.t
 val metrics : t -> Nk_telemetry.Metrics.t
 (** The overlay's own registry: ["dht.puts"], ["dht.gets"],
     ["dht.get-hits"] counters and the ["dht.hops"] routing-path-length
-    histogram. The bench harness merges it into per-experiment dumps. *)
+    histogram; with hotspots enabled also the ["dht.hotspots"] gauge
+    (active sloppy placements), the ["dht.hotspot_replications"]
+    counter (placements created) and the ["dht.sloppy_hits"] counter
+    (lookups served by a sloppy holder). The bench harness merges it
+    into per-experiment dumps. *)
 
 val join : t -> string -> Node_id.t
 (** Add a node by name; returns its ring id. *)
@@ -43,7 +74,10 @@ val get : t -> now:float -> from:string -> key:string -> lookup
 (** Live values under [key] (newest first), read from the first live
     replica. [fallbacks] counts crashed replicas skipped on the way
     (each also charged as one extra routing hop and counted in the
-    ["dht.fallbacks"] metric). *)
+    ["dht.fallbacks"] metric). With hotspots enabled, a lookup that
+    passes a live sloppy holder on its path stops there instead —
+    fewer hops, bit-identical values (puts write through to active
+    holders). *)
 
 val stored_keys : t -> string -> int
 (** Number of keys currently stored at the named node. *)

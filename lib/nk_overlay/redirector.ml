@@ -10,21 +10,34 @@ type t = {
   mutable proxies : Nk_sim.Net.host list;
   reports : (string, health) Hashtbl.t;
   mutable staleness : float;
+  (* Per-client proximity cache: proxies sorted by estimated transfer
+     time. Transfer estimates depend only on the static topology, so
+     the expensive estimate-and-sort is done once per client instead
+     of once per pick — at 1000 proxies the per-request linear scan
+     plus sort dominated everything else. Invalidated whenever the
+     proxy set changes; liveness and health stay dynamic and are
+     applied at pick time. *)
+  by_client : (string, (float * Nk_sim.Net.host) list) Hashtbl.t;
 }
 
 let create net =
-  { net; proxies = []; reports = Hashtbl.create 8; staleness = infinity }
+  { net; proxies = []; reports = Hashtbl.create 8; staleness = infinity;
+    by_client = Hashtbl.create 64 }
 
 let set_staleness t bound = t.staleness <- bound
 
 let add_proxy t host =
   if not (List.exists (fun h -> Nk_sim.Net.host_name h = Nk_sim.Net.host_name host) t.proxies)
-  then t.proxies <- host :: t.proxies
+  then begin
+    t.proxies <- host :: t.proxies;
+    Hashtbl.reset t.by_client
+  end
 
 let remove_proxy t host =
   t.proxies <-
     List.filter (fun h -> Nk_sim.Net.host_name h <> Nk_sim.Net.host_name host) t.proxies;
-  Hashtbl.remove t.reports (Nk_sim.Net.host_name host)
+  Hashtbl.remove t.reports (Nk_sim.Net.host_name host);
+  Hashtbl.reset t.by_client
 
 let proxies t = t.proxies
 
@@ -67,21 +80,33 @@ let headroom t host =
       let shed_factor = 1.0 -. Float.min 0.95 h.shed_rate in
       Float.max 0.02 (delay_factor *. shed_factor)
 
-let pick t ?(spread = 1) ~rng ~client () =
-  (* A crashed proxy must not receive redirections, whatever its last
-     load report said. *)
-  let live = List.filter (fun p -> not (Nk_sim.Net.host_down t.net p)) t.proxies in
-  match live with
-  | [] -> None
-  | live ->
+let scored_for_client t client =
+  let key = Nk_sim.Net.host_name client in
+  match Hashtbl.find_opt t.by_client key with
+  | Some scored -> scored
+  | None ->
     let probe_size = 1024 in
     let scored =
       List.map
         (fun p ->
           (Nk_sim.Net.transfer_time_estimate t.net ~src:client ~dst:p ~size:probe_size, p))
-        live
+        t.proxies
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
+    Hashtbl.replace t.by_client key scored;
+    scored
+
+let pick t ?(spread = 1) ~rng ~client () =
+  (* A crashed proxy must not receive redirections, whatever its last
+     load report said. *)
+  let scored =
+    List.filter
+      (fun (_, p) -> not (Nk_sim.Net.host_down t.net p))
+      (scored_for_client t client)
+  in
+  match scored with
+  | [] -> None
+  | scored ->
     (* "Close-by": only proxies comparable to the nearest count as
        spread candidates, so load balancing never sends a client across
        the world. *)

@@ -23,7 +23,12 @@ val nodes : t -> Node_id.t list
 
 val successor : t -> Node_id.t -> Node_id.t option
 (** First node at or clockwise after the key; [None] on an empty
-    ring. *)
+    ring. O(log n). *)
+
+val successors : t -> Node_id.t -> k:int -> Node_id.t list
+(** The key's owner plus its next distinct clockwise successors, at
+    most [k] nodes — a key's replica set. O(k log n), so callers no
+    longer materialize the whole membership per lookup. *)
 
 val lookup_path : t -> from:Node_id.t -> key:Node_id.t -> Node_id.t list
 (** The nodes visited routing greedily by fingers from [from] to the

@@ -30,6 +30,11 @@ let apply ~knob ~value (c : Config.t) =
   | "diffusion_offload_timeout" -> { c with Config.diffusion_offload_timeout = value }
   | "diffusion_fetch_timeout" -> { c with Config.diffusion_fetch_timeout = value }
   | "diffusion_staleness" -> { c with Config.diffusion_staleness = value }
+  | "enable_hotspots" -> { c with Config.enable_hotspots = value <> 0.0 }
+  | "hotspot_threshold" -> { c with Config.hotspot_threshold = value }
+  | "hotspot_replicas" -> { c with Config.hotspot_replicas = int_of_float value }
+  | "hotspot_ttl" -> { c with Config.hotspot_ttl = value }
+  | "hotspot_halflife" -> { c with Config.hotspot_halflife = value }
   | "breaker_failures" -> { c with Config.breaker_failures = int_of_float value }
   | "breaker_error_rate" -> { c with Config.breaker_error_rate = value }
   | "breaker_window" -> { c with Config.breaker_window = value }
@@ -179,6 +184,11 @@ let explain (plan : Ast.t) lowered =
               Printf.sprintf "%gs" c.Config.diffusion_offload_timeout
             | "diffusion_fetch_timeout" -> Printf.sprintf "%gs" c.Config.diffusion_fetch_timeout
             | "diffusion_staleness" -> Printf.sprintf "%gs" c.Config.diffusion_staleness
+            | "enable_hotspots" -> if c.Config.enable_hotspots then "on" else "off"
+            | "hotspot_threshold" -> Printf.sprintf "%g req/s" c.Config.hotspot_threshold
+            | "hotspot_replicas" -> Printf.sprintf "%d" c.Config.hotspot_replicas
+            | "hotspot_ttl" -> Printf.sprintf "%gs" c.Config.hotspot_ttl
+            | "hotspot_halflife" -> Printf.sprintf "%gs" c.Config.hotspot_halflife
             | "breaker_failures" -> Printf.sprintf "%d" c.Config.breaker_failures
             | "breaker_error_rate" -> Printf.sprintf "%g" c.Config.breaker_error_rate
             | "breaker_window" -> Printf.sprintf "%gs" c.Config.breaker_window

@@ -57,6 +57,11 @@ let vocabulary =
     ("diffusion", "timeout", Duration_pos, "diffusion_offload_timeout");
     ("diffusion", "fetch-timeout", Duration_pos, "diffusion_fetch_timeout");
     ("diffusion", "staleness", Duration_pos, "diffusion_staleness");
+    ("hotspots", "enabled", Toggle, "enable_hotspots");
+    ("hotspots", "threshold", Count, "hotspot_threshold");
+    ("hotspots", "replicas", Count, "hotspot_replicas");
+    ("hotspots", "ttl", Duration_pos, "hotspot_ttl");
+    ("hotspots", "halflife", Duration_pos, "hotspot_halflife");
     ("breaker", "failures", Count, "breaker_failures");
     ("breaker", "error-rate", Rate, "breaker_error_rate");
     ("breaker", "window", Duration_pos, "breaker_window");
@@ -67,7 +72,7 @@ let vocabulary =
     ("quarantine", "decay", Duration_nonneg, "quarantine_decay");
   ]
 
-let sections = [ "capacity"; "diffusion"; "breaker"; "quarantine" ]
+let sections = [ "capacity"; "diffusion"; "hotspots"; "breaker"; "quarantine" ]
 
 let knob_of ~section ~key =
   List.find_map
@@ -104,9 +109,11 @@ let normalize kind (v : Ast.value) =
   | Rate, Ast.Number f ->
     if f <= 0.0 || f > 1.0 then Error "a bare rate must be in (0, 1]" else Ok f
   | Rate, _ -> wrong "a rate (0.5 or 50%)"
-  | Bytes, Ast.Size b -> if b <= 0.0 then Error "size must be positive" else Ok b
+  (* Byte caps lower through [int_of_float], so anything under a whole
+     byte would truncate to 0 — a cap the node refuses. Require >= 1. *)
+  | Bytes, Ast.Size b -> if b < 1.0 then Error "size must be at least one byte" else Ok b
   | Bytes, Ast.Number b ->
-    if b <= 0.0 then Error "byte count must be positive" else Ok b
+    if b < 1.0 then Error "byte count must be at least one byte" else Ok b
   | Bytes, _ -> wrong "a size (64mb) or byte count"
   | Toggle, Ast.Flag b -> Ok (if b then 1.0 else 0.0)
   | Toggle, _ -> wrong "on or off"

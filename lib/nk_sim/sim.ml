@@ -5,10 +5,12 @@ type t = {
   queue : event Nk_util.Heap.t;
   rng : Nk_util.Prng.t;
   mutable live : int; (* non-daemon events pending *)
+  mutable executed : int; (* events run so far; scale soaks assert on it *)
 }
 
 let create ?(seed = 1) ?(start_time = 1_136_073_600.0) () =
-  { clock = start_time; queue = Nk_util.Heap.create (); rng = Nk_util.Prng.create seed; live = 0 }
+  { clock = start_time; queue = Nk_util.Heap.create (); rng = Nk_util.Prng.create seed;
+    live = 0; executed = 0 }
 
 let now t = t.clock
 
@@ -27,6 +29,7 @@ let step t =
   | Some (time, event) ->
     t.clock <- time;
     if not event.daemon then t.live <- t.live - 1;
+    t.executed <- t.executed + 1;
     event.thunk ();
     true
 
@@ -43,3 +46,5 @@ let run ?until t =
     if t.clock < deadline then t.clock <- deadline
 
 let pending t = Nk_util.Heap.size t.queue
+
+let executed t = t.executed

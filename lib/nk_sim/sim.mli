@@ -33,3 +33,8 @@ val step : t -> bool
 (** Execute one event; false when the queue is empty. *)
 
 val pending : t -> int
+
+val executed : t -> int
+(** Total events executed since creation (daemons included). Scale
+    soaks assert on it to prove a run really exercised the claimed
+    event volume. *)

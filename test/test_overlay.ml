@@ -397,6 +397,235 @@ let test_redirector_staleness_bound () =
     true
     (float_of_int !silent_after > 0.3 *. float_of_int draws)
 
+(* {1 Ring scaling properties}
+
+   The membership structure went from a re-sorted array to an ordered
+   set; these pin the new implementation against a naive reference
+   model at memberships up to 2048 nodes. *)
+
+(* Reference model: a plain sorted list. Successor = first element >=
+   key, wrapping to the minimum. *)
+let ref_successor sorted key =
+  match List.find_opt (fun x -> Node_id.compare x key >= 0) sorted with
+  | Some _ as s -> s
+  | None -> ( match sorted with [] -> None | x :: _ -> Some x)
+
+let ring_of_names n =
+  let r = Ring.create () in
+  let ids = List.init n (fun i -> Node_id.of_string (Printf.sprintf "scale-node-%d" i)) in
+  List.iter (Ring.join r) ids;
+  (r, ids)
+
+let ring_successor_matches_reference_prop =
+  QCheck.Test.make ~name:"ring: successor agrees with the naive model up to 2048 nodes"
+    ~count:30
+    QCheck.(pair (int_range 1 2048) (small_list small_int))
+    (fun (n, probe_seeds) ->
+      let r, ids = ring_of_names n in
+      let sorted = List.sort_uniq Node_id.compare ids in
+      Alcotest.(check int) "size" (List.length sorted) (Ring.size r);
+      let probes =
+        Node_id.of_int 0
+        :: List.concat_map
+             (fun s ->
+               [ Node_id.of_string (Printf.sprintf "probe-%d" s);
+                 (* On-member probes: successor(member) = member. *)
+                 List.nth sorted (abs s mod List.length sorted) ])
+             probe_seeds
+      in
+      List.for_all
+        (fun key ->
+          match (Ring.successor r key, ref_successor sorted key) with
+          | Some a, Some b -> Node_id.equal a b
+          | None, None -> true
+          | _ -> false)
+        probes)
+
+let ring_lookup_path_scales_prop =
+  QCheck.Test.make ~name:"ring: greedy paths stay O(log n) up to 2048 nodes" ~count:8
+    QCheck.(int_range 16 2048)
+    (fun n ->
+      let r, ids = ring_of_names n in
+      let arr = Array.of_list ids in
+      let rng = Core.Util.Prng.create (n * 7 + 1) in
+      let total = ref 0 and probes = 50 in
+      for i = 0 to probes - 1 do
+        let from = Core.Util.Prng.pick rng arr in
+        let key = Node_id.of_string (Printf.sprintf "path-key-%d-%d" n i) in
+        let path = Ring.lookup_path r ~from ~key in
+        total := !total + List.length path;
+        (* Every path ends at the key's owner. *)
+        (match (Ring.successor r key, List.rev path) with
+         | Some owner, last :: _ -> assert (Node_id.equal owner last)
+         | Some owner, [] -> assert (Node_id.equal owner from)
+         | None, _ -> assert false)
+      done;
+      let avg = float_of_int !total /. float_of_int probes in
+      let log2n = log (float_of_int n) /. log 2.0 in
+      (* Greedy finger routing: 2x log2 n plus slack for tiny rings. *)
+      avg <= (2.0 *. log2n) +. 4.0)
+
+let ring_churn_prop =
+  QCheck.Test.make ~name:"ring: join/leave churn preserves sortedness and membership"
+    ~count:50
+    QCheck.(list (pair bool (int_range 0 255)))
+    (fun ops ->
+      let r = Ring.create () in
+      let reference = Hashtbl.create 64 in
+      let id_of i = Node_id.of_string (Printf.sprintf "churn-%d" i) in
+      (* Seed membership, then replay the random join/leave script. *)
+      List.iter
+        (fun i ->
+          Ring.join r (id_of i);
+          Hashtbl.replace reference i ())
+        [ 0; 1; 2; 3 ];
+      List.iter
+        (fun (join, i) ->
+          if join then begin
+            Ring.join r (id_of i);
+            Hashtbl.replace reference i ()
+          end
+          else begin
+            Ring.leave r (id_of i);
+            Hashtbl.remove reference i
+          end)
+        ops;
+      let expected =
+        Hashtbl.fold (fun i () acc -> id_of i :: acc) reference []
+        |> List.sort Node_id.compare
+      in
+      let got = Ring.nodes r in
+      let rec sorted_distinct = function
+        | a :: (b :: _ as rest) -> Node_id.compare a b < 0 && sorted_distinct rest
+        | _ -> true
+      in
+      Ring.size r = List.length expected
+      && sorted_distinct got
+      && List.equal Node_id.equal got expected
+      && List.for_all (fun id -> Ring.mem r id) expected)
+
+let test_ring_successors () =
+  let r = Ring.create () in
+  List.iter (fun i -> Ring.join r (Node_id.of_int i)) [ 10; 20; 30 ];
+  let ints key k = List.map Node_id.to_int (Ring.successors r (Node_id.of_int key) ~k) in
+  Alcotest.(check (list int)) "owner plus successors" [ 20; 30 ] (ints 15 2);
+  Alcotest.(check (list int)) "wraps" [ 30; 10 ] (ints 25 2);
+  Alcotest.(check (list int)) "clamps to ring size" [ 10; 20; 30 ] (ints 5 7);
+  Alcotest.(check (list int)) "k=1 is the owner" [ 20 ] (ints 20 1);
+  Alcotest.(check (list int)) "empty ring" []
+    (List.map Node_id.to_int (Ring.successors (Ring.create ()) (Node_id.of_int 1) ~k:2))
+
+(* {1 Hotspot detection and sloppy replication} *)
+
+(* A DHT with [n] nodes, hotspots enabled, one announced key, and the
+   name->id mapping the assertions need. *)
+let hot_dht ?(n = 24) ?(threshold = 5.0) ?(replicas = 3) ?(ttl = 30.0) () =
+  let dht = Dht.create ~seed:99 () in
+  let names = List.init n (fun i -> Printf.sprintf "edge-%02d" i) in
+  let ids = List.map (fun name -> (name, Dht.join dht name)) names in
+  Dht.set_hotspots dht ~threshold ~replicas ~ttl ();
+  (dht, names, ids)
+
+let name_of ids id = fst (List.find (fun (_, i) -> Node_id.equal i id) ids)
+
+(* Hammer [key] with reads from every node, advancing the clock by
+   [dt] per read; returns the final clock. *)
+let crowd dht names ~key ~from_t ~dt ~rounds ~check =
+  let now = ref from_t in
+  for _ = 1 to rounds do
+    List.iter
+      (fun from ->
+        now := !now +. dt;
+        check (Dht.get dht ~now:!now ~from ~key))
+      names
+  done;
+  !now
+
+let test_hotspot_replicated_reads_identical () =
+  (* Crowd a key: replication must trigger, sloppy hits must occur, and
+     every read — served by owner, replica set, or sloppy holder — must
+     return bit-identical values. *)
+  let dht, names, _ = hot_dht () in
+  let key = "GET http://popular.example/front" in
+  ignore (Dht.put dht ~now:0.0 ~from:(List.hd names) ~key ~value:"holder-A" ~ttl:3600.0);
+  let m = Dht.metrics dht in
+  let _ =
+    crowd dht names ~key ~from_t:0.0 ~dt:0.01 ~rounds:8 ~check:(fun l ->
+        Alcotest.(check (list string)) "bit-identical values" [ "holder-A" ] l.Dht.values)
+  in
+  Alcotest.(check bool) "replication triggered" true
+    (Core.Telemetry.Metrics.counter m "dht.hotspot_replications" > 0);
+  Alcotest.(check bool) "sloppy holders served lookups" true
+    (Core.Telemetry.Metrics.counter m "dht.sloppy_hits" > 0);
+  Alcotest.(check bool) "key listed hot" true
+    (List.exists (fun (k, _) -> k = key) (Dht.hotspots dht ~now:2.0));
+  (* Write-through: a new announcement under the hot key is visible in
+     every subsequent read, sloppy or not. *)
+  ignore (Dht.put dht ~now:2.0 ~from:(List.nth names 3) ~key ~value:"holder-B" ~ttl:3600.0);
+  let _ =
+    crowd dht names ~key ~from_t:2.0 ~dt:0.01 ~rounds:2 ~check:(fun l ->
+        Alcotest.(check (list string)) "write-through" [ "holder-B"; "holder-A" ] l.Dht.values)
+  in
+  ()
+
+let test_hotspot_replicas_expire () =
+  (* Replicas are soft state: after the TTL with no sweep-triggering
+     traffic, the ring reconverges to the no-replica equilibrium. *)
+  let dht, names, _ = hot_dht ~ttl:10.0 () in
+  let key = "GET http://flash.example/crowd" in
+  ignore (Dht.put dht ~now:0.0 ~from:(List.hd names) ~key ~value:"v" ~ttl:3600.0);
+  let t = crowd dht names ~key ~from_t:0.0 ~dt:0.01 ~rounds:8 ~check:ignore in
+  Alcotest.(check bool) "placement active" true (Dht.sloppy_replicas dht > 0);
+  (* The crowd moves on; past the TTL a sweep expires the placement. *)
+  Dht.sweep dht ~now:(t +. 11.0);
+  Alcotest.(check int) "placements expired" 0 (Dht.sloppy_replicas dht);
+  Alcotest.(check (float 0.1)) "hotspots gauge reconverged" 0.0
+    (Core.Telemetry.Metrics.gauge (Dht.metrics dht) "dht.hotspots");
+  (* Decay also empties the hot list: the rate estimator halves every
+     10 s (default halflife), so minutes later nothing is hot. *)
+  Alcotest.(check (list (pair string (float 1e9)))) "no hot keys" []
+    (Dht.hotspots dht ~now:(t +. 600.0));
+  (* And reads still work — served by the owner again. *)
+  let l = Dht.get dht ~now:(t +. 11.5) ~from:(List.nth names 5) ~key in
+  Alcotest.(check (list string)) "owner still serves" [ "v" ] l.Dht.values
+
+let test_hotspot_crashed_holder_falls_back () =
+  (* One arm under an nk_faults chaos plan: crash every node except
+     the key's owner and the reader mid-run. Sloppy holders die with
+     the rest; reads must fall back to the owner, bit-identically. *)
+  let dht, names, ids = hot_dht ~n:16 ~threshold:2.0 () in
+  let key = "GET http://fragile.example/hot" in
+  ignore (Dht.put dht ~now:0.0 ~from:(List.hd names) ~key ~value:"gold" ~ttl:3600.0);
+  let owner =
+    match (Dht.get dht ~now:0.0 ~from:(List.hd names) ~key).Dht.owner with
+    | Some id -> name_of ids id
+    | None -> Alcotest.fail "key has an owner"
+  in
+  let reader = List.find (fun n -> n <> owner) names in
+  let crash_at = 1.0 in
+  let plan = Core.Faults.Plan.create () in
+  List.iter
+    (fun n -> if n <> owner && n <> reader then Core.Faults.Plan.crash plan ~host:n ~at:crash_at ())
+    names;
+  (* Mirror the cluster wiring: DHT liveness follows the fault plan. *)
+  let now = ref 0.0 in
+  Dht.set_liveness dht (fun n -> not (Core.Faults.Plan.is_down plan ~now:!now n));
+  (* Crowd the key before the crash so sloppy holders exist. *)
+  let t = crowd dht names ~key ~from_t:0.0 ~dt:0.002 ~rounds:8 ~check:ignore in
+  Alcotest.(check bool) "holders placed pre-crash" true (Dht.sloppy_replicas dht > 0);
+  let hits_before = Core.Telemetry.Metrics.counter (Dht.metrics dht) "dht.sloppy_hits" in
+  Alcotest.(check bool) "crash hits after the warm-up crowd" true (t < crash_at);
+  (* After the crash, only owner and reader live: every read from the
+     reader must skip dead holders and reach the owner. *)
+  now := crash_at +. 0.5;
+  for i = 1 to 50 do
+    now := !now +. 0.01;
+    let l = Dht.get dht ~now:!now ~from:reader ~key in
+    Alcotest.(check (list string)) (Printf.sprintf "read %d falls back to owner" i)
+      [ "gold" ] l.Dht.values
+  done;
+  ignore hits_before
+
 let suite =
   [
     Alcotest.test_case "node ids are deterministic" `Quick test_node_id_deterministic;
@@ -434,4 +663,14 @@ let suite =
       test_redirector_incarnation_guard;
     Alcotest.test_case "redirector: silent nodes age out of rotation" `Quick
       test_redirector_staleness_bound;
+    QCheck_alcotest.to_alcotest ring_successor_matches_reference_prop;
+    QCheck_alcotest.to_alcotest ring_lookup_path_scales_prop;
+    QCheck_alcotest.to_alcotest ring_churn_prop;
+    Alcotest.test_case "ring: successor sets" `Quick test_ring_successors;
+    Alcotest.test_case "hotspot: replicated reads are bit-identical" `Quick
+      test_hotspot_replicated_reads_identical;
+    Alcotest.test_case "hotspot: replicas expire and the ring reconverges" `Quick
+      test_hotspot_replicas_expire;
+    Alcotest.test_case "hotspot: crashed holders fall back to the owner (chaos plan)" `Quick
+      test_hotspot_crashed_holder_falls_back;
   ]

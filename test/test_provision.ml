@@ -59,13 +59,33 @@ let test_units_sugar () =
     Alcotest.(check (float 1e-9)) "5m" 300.0 c.Config.quarantine_max
   | _ -> Alcotest.fail "expected exactly one lowered config"
 
+let test_hotspots_section () =
+  (* The hotspots section lowers to the DHT hot-key knobs; detection
+     stays off unless the plan turns it on. *)
+  let r =
+    P.compile
+      "node \"*\" {\n\
+      \  hotspots { enabled = on; threshold = 12; replicas = 2; ttl = 90s; halflife = 5s }\n\
+       }\n"
+  in
+  Alcotest.(check int) "clean" 0 (P.errors r);
+  match r.P.lowered with
+  | [ l ] ->
+    let c = l.Lower.config in
+    Alcotest.(check bool) "enabled" true c.Config.enable_hotspots;
+    Alcotest.(check (float 1e-9)) "threshold" 12.0 c.Config.hotspot_threshold;
+    Alcotest.(check int) "replicas" 2 c.Config.hotspot_replicas;
+    Alcotest.(check (float 1e-9)) "ttl" 90.0 c.Config.hotspot_ttl;
+    Alcotest.(check (float 1e-9)) "halflife" 5.0 c.Config.hotspot_halflife
+  | _ -> Alcotest.fail "expected exactly one lowered config"
+
 (* --- golden diagnostics: units pass ----------------------------------- *)
 
 let test_units_unknown_section () =
   check_diags "unknown section"
     "node \"*\" {\n  capcity { admission = 64 }\n}\n"
     [ "2:3: error[unknown-section]: unknown section \"capcity\" (expected capacity, \
-       diffusion, breaker, quarantine)" ]
+       diffusion, hotspots, breaker, quarantine)" ]
 
 let test_units_unknown_key () =
   check_diags "unknown key"
@@ -393,6 +413,7 @@ let suite =
     Alcotest.test_case "parse: error carries position" `Quick test_parse_error_position;
     Alcotest.test_case "lex: unknown unit" `Quick test_lex_error;
     Alcotest.test_case "units: suffix sugar normalizes" `Quick test_units_sugar;
+    Alcotest.test_case "units: hotspots section lowers" `Quick test_hotspots_section;
     Alcotest.test_case "units: unknown section" `Quick test_units_unknown_section;
     Alcotest.test_case "units: unknown key" `Quick test_units_unknown_key;
     Alcotest.test_case "units: kind mismatch" `Quick test_units_kind_mismatch;

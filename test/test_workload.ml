@@ -271,6 +271,96 @@ let test_logreplay_drives_cluster () =
   Core.Node.Cluster.run cluster;
   Alcotest.(check int) "all served" (List.length events) !ok
 
+(* {1 Zipf sampler properties}
+
+   The alias table is the planet-scale workload's engine; these pin
+   (a) the construction invariant, (b) seed determinism, and (c) that
+   the empirical rank frequencies actually track r^-s. *)
+
+let zipf_alias_invariant_prop =
+  (* The alias table redistributes mass but must conserve it: the
+     implied probability of each rank — its own slot's acceptance mass
+     plus every slot that aliases to it — equals the exact pmf. *)
+  QCheck.Test.make ~name:"zipf: alias table conserves per-rank probability" ~count:100
+    QCheck.(pair (float_range 0.0 2.0) (int_range 1 300))
+    (fun (s, universe) ->
+      let z = Zipf.create ~s ~universe in
+      let prob, alias = Zipf.table z in
+      let n = float_of_int universe in
+      let implied = Array.make universe 0.0 in
+      Array.iteri
+        (fun i p ->
+          implied.(i) <- implied.(i) +. (p /. n);
+          if p < 1.0 then implied.(alias.(i)) <- implied.(alias.(i)) +. ((1.0 -. p) /. n))
+        prob;
+      let ok = ref true in
+      for r = 0 to universe - 1 do
+        if abs_float (implied.(r) -. Zipf.prob z r) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let zipf_deterministic_prop =
+  QCheck.Test.make ~name:"zipf: same seed, bit-identical sample stream" ~count:50
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, universe) ->
+      let z = Zipf.create ~s:0.9 ~universe in
+      let draw () =
+        let rng = Core.Util.Prng.create seed in
+        List.init 500 (fun _ -> Zipf.sample z rng)
+      in
+      draw () = draw ())
+
+let zipf_frequency_tracks_power_law () =
+  (* Empirical frequency of rank r tracks r^-s within tolerance for
+     several (s, universe) pairs. Only ranks with enough expected mass
+     are held to the relative bound (tail ranks get a handful of
+     draws; their relative error is meaningless). *)
+  List.iter
+    (fun (s, universe, seed) ->
+      let z = Zipf.create ~s ~universe in
+      let rng = Core.Util.Prng.create seed in
+      let draws = 100_000 in
+      let counts = Array.make universe 0 in
+      for _ = 1 to draws do
+        let r = Zipf.sample z rng in
+        counts.(r) <- counts.(r) + 1
+      done;
+      for r = 0 to universe - 1 do
+        let expected = Zipf.prob z r *. float_of_int draws in
+        if expected >= 500.0 then begin
+          let got = float_of_int counts.(r) in
+          let rel = abs_float (got -. expected) /. expected in
+          Alcotest.(check bool)
+            (Printf.sprintf "s=%.1f u=%d rank %d: empirical %.0f vs expected %.0f (rel %.3f)"
+               s universe r got expected rel)
+            true (rel < 0.15)
+        end
+      done;
+      (* Skew sanity: rank 0 strictly dominates rank 1 for s > 0. *)
+      if s > 0.0 && universe > 1 then
+        Alcotest.(check bool) "head dominates" true (counts.(0) > counts.(1)))
+    [ (0.7, 50, 42); (0.9, 100, 7); (1.2, 20, 11) ]
+
+let test_zipf_edges () =
+  (* Uniform when s = 0; single-rank universes always sample 0;
+     invalid parameters rejected. *)
+  let z = Zipf.create ~s:0.0 ~universe:4 in
+  List.iter (fun r -> Alcotest.(check (float 1e-9)) "uniform" 0.25 (Zipf.prob z r)) [ 0; 1; 2; 3 ];
+  let one = Zipf.create ~s:0.9 ~universe:1 in
+  let rng = Core.Util.Prng.create 3 in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "only rank" 0 (Zipf.sample one rng)
+  done;
+  Alcotest.check_raises "universe 0" (Invalid_argument "Zipf.create: universe must be positive")
+    (fun () -> ignore (Zipf.create ~s:0.9 ~universe:0));
+  Alcotest.check_raises "negative skew" (Invalid_argument "Zipf.create: skew must be non-negative")
+    (fun () -> ignore (Zipf.create ~s:(-0.1) ~universe:4));
+  (* URL helper emits the rank it sampled. *)
+  let u = Zipf.url z (Core.Util.Prng.create 5) ~site:"example.org" in
+  Alcotest.(check bool) ("url shape: " ^ u) true
+    (String.length u > String.length "http://example.org/zipf/"
+     && String.sub u 0 24 = "http://example.org/zipf/")
+
 let suite =
   [
     Alcotest.test_case "static page is exactly 2096 bytes" `Quick test_static_page_size;
@@ -295,4 +385,9 @@ let suite =
     Alcotest.test_case "logreplay: synthesized logs parse back" `Quick
       test_logreplay_synthesize_parses;
     Alcotest.test_case "logreplay: drives a cluster" `Quick test_logreplay_drives_cluster;
+    QCheck_alcotest.to_alcotest zipf_alias_invariant_prop;
+    QCheck_alcotest.to_alcotest zipf_deterministic_prop;
+    Alcotest.test_case "zipf: empirical frequencies track r^-s" `Quick
+      zipf_frequency_tracks_power_law;
+    Alcotest.test_case "zipf: edge cases" `Quick test_zipf_edges;
   ]
