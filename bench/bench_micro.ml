@@ -140,6 +140,43 @@ let test_ring_successor =
            (Core.Overlay.Ring.successor ring_1000
               (Core.Overlay.Node_id.of_int (!ring_counter land 0x3fffff)))))
 
+(* D1: the tail-tolerance fast path — what every request pays once
+   deadlines are on (admission + per-hop clamp + expiry check), and
+   what every peer fetch pays once hedging is on (token accounting +
+   p95 delay from a warm histogram + the hedge grant). Both guarded:
+   these sit on the per-request path of every tail-enabled node. *)
+let deadline_req =
+  let r = Core.Http.Message.request "http://x.org/" in
+  Core.Http.Message.set_req_header r Core.Resource.Deadline.header "1.5";
+  r
+
+let test_deadline_check =
+  Test.make ~name:"D1: deadline check (admit+clamp+expired)"
+    (Staged.stage (fun () ->
+         match Core.Resource.Deadline.admit ~now:100.0 ~budget:2.5 deadline_req with
+         | Some d ->
+           ignore (Core.Resource.Deadline.clamp d ~now:100.2 3.0);
+           ignore (Core.Resource.Deadline.expired d ~now:100.2)
+         | None -> assert false))
+
+let hedge_histogram =
+  let m = Core.Telemetry.Metrics.create () in
+  for _ = 1 to 40 do
+    Core.Telemetry.Metrics.observe m "fetch.latency" 0.02
+  done;
+  Core.Telemetry.Metrics.histogram m "fetch.latency"
+
+(* rate 1.0: each primary earns a full token, so the per-op cost stays
+   the grant path (never the dry-bucket early-out). *)
+let hedge_governor = Core.Resource.Hedge.create ~rate:1.0 ()
+
+let test_hedge_decision =
+  Test.make ~name:"D1: hedge decision (note+delay+grant)"
+    (Staged.stage (fun () ->
+         Core.Resource.Hedge.note_primary hedge_governor;
+         ignore (Core.Resource.Hedge.delay ?histogram:hedge_histogram ~fallback:0.75 ());
+         ignore (Core.Resource.Hedge.try_hedge hedge_governor)))
+
 let tests =
   Test.make_grouped ~name:"nakika"
     [
@@ -185,6 +222,8 @@ let tests =
       test_transcode;
       test_ring_churn;
       test_ring_successor;
+      test_deadline_check;
+      test_hedge_decision;
       Test.make ~name:"E2: render register.nkp page"
         (Staged.stage (fun () ->
              let ctx = Core.Script.Interp.create () in
@@ -347,6 +386,8 @@ let guard_rows =
     "nakika/Fig2: transcode 352x416 -> 176x208";
     "nakika/O9: ring join+leave (n=1000)";
     "nakika/O9: ring successor (n=1000)";
+    "nakika/D1: deadline check (admit+clamp+expired)";
+    "nakika/D1: hedge decision (note+delay+grant)";
   ]
 
 let guard_tolerance = 1.25
@@ -390,7 +431,14 @@ let guard () =
       let baseline = baseline_ns path in
       let guard_tests =
         Test.make_grouped ~name:"nakika"
-          [ test_cached_execute; test_transcode; test_ring_churn; test_ring_successor ]
+          [
+            test_cached_execute;
+            test_transcode;
+            test_ring_churn;
+            test_ring_successor;
+            test_deadline_check;
+            test_hedge_decision;
+          ]
       in
       (* min over three measurement rounds, per row *)
       let fresh_rows =

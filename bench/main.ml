@@ -6,7 +6,7 @@
 
    Experiments: table1 table2 micro-costs capacity resource-controls
    figure7 simm-local specweb extensions integrity ablations faults
-   overload provision diffusion micro scale
+   overload provision diffusion micro scale tail
 
    "micro-guard" is special: it re-measures the fast-path micro rows
    against the committed BENCH_micro.json and exits non-zero on a >25%
@@ -30,6 +30,7 @@ let experiments =
     ("overload", Bench_overload.overload);
     ("provision", Bench_provision.provision);
     ("diffusion", Bench_diffusion.diffusion);
+    ("tail", Bench_tail.tail);
     ("micro", Bench_micro.micro);
     ("scale", Bench_scale.scale);
   ]

@@ -229,6 +229,9 @@ let health_plan_text =
   \             replicas = 2\n\
   \             ttl = 60s\n\
   \             halflife = 5s }\n\
+  \  deadline { request = 2s\n\
+  \             hedge = on\n\
+  \             retry_budget = 10% }\n\
    }\n"
 
 let health_config () =
@@ -297,9 +300,9 @@ let health_scenario () =
   (cluster, [ p1; p2 ])
 
 let print_health (cluster, proxies) =
-  Printf.printf "%-18s %12s %10s %7s %9s %14s %12s %9s %9s %8s\n" "node" "queue-delay"
-    "shed-rate" "sheds" "shedding" "open-breakers" "quarantined" "pressure" "offloads"
-    "rejects";
+  Printf.printf "%-18s %12s %10s %7s %9s %14s %12s %9s %9s %8s %8s %10s\n" "node"
+    "queue-delay" "shed-rate" "sheds" "shedding" "open-breakers" "quarantined" "pressure"
+    "offloads" "rejects" "ddl-exp" "hedge-wins";
   List.iter
     (fun p ->
       (* The table reads the [health.*] gauges the node publishes each
@@ -308,7 +311,7 @@ let print_health (cluster, proxies) =
          this node moved elsewhere / refused from elsewhere. *)
       let m = Core.Node.Node.metrics p in
       let h = Core.Node.Node.health p in
-      Printf.printf "%-18s %12.4f %10.3f %7d %9s %14.0f %12.0f %9.3f %9d %8d\n"
+      Printf.printf "%-18s %12.4f %10.3f %7d %9s %14.0f %12.0f %9.3f %9d %8d %8d %10d\n"
         (Core.Node.Node.name p)
         (Core.Telemetry.Metrics.gauge m "health.queue_delay")
         (Core.Telemetry.Metrics.gauge m "health.shed_rate")
@@ -318,7 +321,9 @@ let print_health (cluster, proxies) =
         (Core.Telemetry.Metrics.gauge m "health.quarantined_sites")
         (Core.Node.Node.pressure p)
         (Core.Telemetry.Metrics.counter_total m "diffusion.offloads")
-        (Core.Telemetry.Metrics.counter_total m "diffusion.rejects"))
+        (Core.Telemetry.Metrics.counter_total m "diffusion.rejects")
+        (Core.Telemetry.Metrics.counter_total m "deadline.expired")
+        (Core.Telemetry.Metrics.counter_total m "hedge.wins"))
     proxies;
   List.iter
     (fun p ->

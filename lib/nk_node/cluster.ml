@@ -161,7 +161,13 @@ let fetch t ~client ?proxy ?timeout req k =
       Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:timeout (fun () ->
           if not !resolved then begin
             resolved := true;
-            k (Nk_http.Message.error_response 504)
+            (* Machine-readable like the admission/quarantine 503s:
+               the reason header distinguishes "the client gave up"
+               from an origin 504, and Retry-After says when trying
+               again might actually fit in the same patience. *)
+            k
+              (Nk_resource.Deadline.expired_response ~retry_after:timeout
+                 ~reason:"client-timeout" ())
           end);
       fun resp ->
         if not !resolved then begin

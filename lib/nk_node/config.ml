@@ -41,6 +41,21 @@ type t = {
   trace_capacity : int;
   origin_timeout : float;
   peer_timeout : float;
+  (* Tail tolerance. [request_deadline] mints a per-request budget at
+     admission, propagated on every internal hop via the
+     X-NaKika-Deadline header; 0 — the default — mints nothing, and a
+     node still honors budgets stamped by upstream nodes.
+     [enable_hedging] races a backup replica fetch against a peer
+     fetch that has outlived the upstream's p95, governed by a token
+     bucket refilled at [hedge_rate] per primary fetch (so hedges are
+     bounded to that fraction of fetch load). [retry_budget_ratio] is
+     the per-success refill of the per-upstream retry budgets; 0 — the
+     default — disables budgeted retries and keeps the pre-existing
+     retry behavior bit-identical. *)
+  request_deadline : float;
+  enable_hedging : bool;
+  hedge_rate : float;
+  retry_budget_ratio : float;
   stale_if_error : float;
   anti_entropy_interval : float;
   enable_admission : bool;
@@ -153,6 +168,10 @@ let default =
     trace_capacity = 256;
     origin_timeout = 10.0;
     peer_timeout = 3.0;
+    request_deadline = 0.0;
+    enable_hedging = false;
+    hedge_rate = 0.05;
+    retry_budget_ratio = 0.0;
     stale_if_error = 900.0;
     anti_entropy_interval = 30.0;
     enable_admission = true;
@@ -230,6 +249,11 @@ let validate t =
   if t.cache_bytes < 0 then reject "cache_bytes must not be negative (got %d)" t.cache_bytes;
   positive "origin_timeout" t.origin_timeout;
   positive "peer_timeout" t.peer_timeout;
+  non_negative "request_deadline" t.request_deadline;
+  if t.hedge_rate <= 0.0 || t.hedge_rate > 1.0 then
+    reject "hedge_rate must be in (0, 1] (got %g)" t.hedge_rate;
+  if t.retry_budget_ratio < 0.0 || t.retry_budget_ratio > 1.0 then
+    reject "retry_budget_ratio must be in [0, 1] (got %g)" t.retry_budget_ratio;
   positive "control_interval" t.control_interval;
   non_negative "control_timeout" t.control_timeout;
   positive "script_ttl" t.script_ttl;

@@ -64,6 +64,23 @@ type t = {
                               seconds and enter stale-if-error degradation *)
   peer_timeout : float; (** give up on one cooperative-cache peer fetch
                             after this long and try the next candidate *)
+  request_deadline : float;
+      (** per-request deadline budget minted at admission and
+          propagated on every internal hop via the X-NaKika-Deadline
+          header; hops run under [min (per-hop timeout) remaining] and
+          receivers shed work whose budget is below their queue-delay
+          estimate. 0 — the default — mints nothing (budgets stamped
+          by upstream nodes are still honored) *)
+  enable_hedging : bool;
+      (** race a backup replica fetch against a cooperative-cache peer
+          fetch that has outlived the upstream's p95 latency; first
+          response wins (default false) *)
+  hedge_rate : float;
+      (** hedge token-bucket refill per primary fetch — the bound on
+          hedge overhead as a fraction of fetch load (default 0.05) *)
+  retry_budget_ratio : float;
+      (** per-success refill of the per-upstream retry budgets gating
+          retry paths; 0 — the default — disables budgeted retries *)
   stale_if_error : float; (** serve a stale cached copy on origin
                               failure if it expired at most this many
                               seconds ago (RFC 2616 stale-if-error);

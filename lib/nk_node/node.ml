@@ -38,6 +38,10 @@ type t = {
   breakers : (string, Nk_resource.Breaker.t) Hashtbl.t;
   (* per upstream ("origin:<site>" / "peer:<node>" / "offload:<node>")
      circuit breaker *)
+  hedge : Nk_resource.Hedge.t option;
+  (* hedged-replica-fetch governor; None = hedging disabled *)
+  retry_budget : Nk_resource.Retry_budget.t option;
+  (* per-upstream budgeted retries; None = pre-existing retry behavior *)
   store : Nk_replication.Store.t;
   replicas : (string, Nk_replication.Replication.node) Hashtbl.t; (* per site *)
   log_urls : (string, string) Hashtbl.t; (* site -> posting URL *)
@@ -51,6 +55,9 @@ type t = {
      scripts' own fetches (hostcall closures are per-stage, not
      per-request) parent their spans here. Best effort: a pipeline
      suspended on a sub-fetch can interleave with another request. *)
+  mutable active_deadline : Nk_resource.Deadline.t option;
+  (* Same discipline for the deadline budget of the request on the
+     CPU, so hosted scripts' own fetches run under it too. *)
   local_cidrs : Nk_http.Ip.cidr list;
   mutable terminated : string list;
   mutable in_flight : int;
@@ -226,6 +233,24 @@ let retry_after_response ?(status = 503) seconds =
     (string_of_int (max 1 (int_of_float (Float.ceil seconds))));
   resp
 
+(* --- tail tolerance: deadline budgets ------------------------------- *)
+
+(* Every internal hop runs under the smaller of its per-hop timeout and
+   the request's remaining budget: waiting longer than the client will
+   is capacity spent on an answer nobody reads. *)
+let hop_timeout t deadline timeout =
+  match deadline with
+  | None -> timeout
+  | Some d -> Nk_resource.Deadline.clamp d ~now:(now t) timeout
+
+(* An expired (or unservable-in-time) budget: count where it died and
+   answer an immediate machine-readable 504 — the only useful thing
+   left to do with the request is to say so quickly. *)
+let deadline_expired_response t ~at =
+  Nk_telemetry.Metrics.incr t.metrics ~labels:[ ("at", at) ] "deadline.expired";
+  Nk_sim.Trace.incr t.trace "deadline-expired";
+  Nk_resource.Deadline.expired_response ~reason:("deadline-" ^ at) ()
+
 (* --- the content handler: cache + DHT + origin --------------------- *)
 
 let cache_key (req : Nk_http.Message.request) =
@@ -260,10 +285,96 @@ let insert_if_cacheable t req resp =
     | _ -> ()
   end
 
+(* --- tail tolerance: hedged replica fetches -------------------------- *)
+
+(* The hedge delay for peer fetches: the upstream's observed p95 (the
+   [fetch.latency] histogram this node records while hedging is
+   enabled), bounded by the hop timeout; a quarter of the timeout
+   stands in until the histogram has seen enough samples. *)
+let hedge_delay t ~timeout =
+  Float.min timeout
+    (Nk_resource.Hedge.delay
+       ?histogram:
+         (Nk_telemetry.Metrics.histogram t.metrics
+            ~labels:[ ("upstream", "peer") ]
+            "fetch.latency")
+       ~fallback:(timeout /. 4.0) ())
+
+(* Race a cooperative-cache peer fetch against one hedged backup
+   replica. The primary is fetched immediately; if it has not answered
+   after [delay] and the governor grants a token, the same request goes
+   to [backup] and whichever response arrives first wins — the loser's
+   callback is discarded by the [resolved] latch here, and across
+   crashes by the net layer's incarnation guard (a response from a
+   pre-crash epoch never reaches us at all). Returns the winning
+   response ([None] when nothing answered inside [timeout]) plus the
+   name of the peer that served it.
+
+   Breaker accounting: the caller accounts the *winning* arm from the
+   verified outcome, exactly as on the unhedged path. A losing primary
+   is accounted here — success/failure by status when its response
+   straggles in, failure at [timeout] when it never answers — so a
+   hedge win can neither mask a dead peer nor strand a half-open probe
+   slot. A losing backup was never acquired through its breaker and is
+   left alone; its late response only counts [hedge.cancelled]. *)
+let hedged_peer_fetch t ~hedge ~primary:(peer, peer_host) ~backup ~delay ~timeout
+    ~deadline req =
+  Nk_util.Cothread.await (fun resume ->
+      let resolved = ref false in
+      let primary_done = ref false in
+      let winner = ref "" in
+      let finish server resp =
+        if not !resolved then begin
+          resolved := true;
+          winner := server;
+          resume (resp, server)
+        end
+      in
+      let settle_primary outcome =
+        if not !primary_done then begin
+          primary_done := true;
+          if !resolved && !winner <> peer then begin
+            let b = breaker_for t ("peer:" ^ peer) in
+            match outcome with
+            | `Ok -> Nk_resource.Breaker.success b
+            | `Failed -> Nk_resource.Breaker.failure b
+          end
+        end
+      in
+      Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:timeout (fun () ->
+          settle_primary `Failed;
+          finish peer None);
+      let started = now t in
+      Nk_sim.Httpd.fetch_via t.web ~from:t.host ~via:peer_host req (fun r ->
+          Nk_telemetry.Metrics.observe t.metrics
+            ~labels:[ ("upstream", "peer") ]
+            "fetch.latency"
+            (now t -. started);
+          settle_primary (if r.Nk_http.Message.status >= 500 then `Failed else `Ok);
+          finish peer (Some r));
+      match backup with
+      | None -> ()
+      | Some (backup_name, backup_host) ->
+        if delay < timeout then
+          Nk_sim.Sim.schedule t.sim ~daemon:true ~delay (fun () ->
+              if (not !resolved) && Nk_resource.Hedge.try_hedge hedge then begin
+                let breq = Nk_http.Message.copy_request req in
+                (match deadline with
+                 | Some d -> Nk_resource.Deadline.stamp d ~now:(now t) breq
+                 | None -> ());
+                Nk_sim.Httpd.fetch_via t.web ~from:t.host ~via:backup_host breq
+                  (fun r ->
+                    if !resolved then Nk_resource.Hedge.cancelled hedge
+                    else Nk_resource.Hedge.won hedge;
+                    finish backup_name (Some r))
+              end))
+
 (* Fetch content for [req]: proxy cache, then cooperative cache, then
    origin. Runs inside a cothread. [span] is the request span child
-   spans attach to. *)
-let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) =
+   spans attach to. [deadline] is the request's remaining budget: every
+   hop below runs under [min per-hop-timeout remaining]. *)
+let content_fetch t ?(allow_peers = true) ?span ?deadline
+    (req : Nk_http.Message.request) =
   let key = cache_key req in
   let cached =
     in_span t ?parent:span "cache-lookup" [] (fun sp ->
@@ -278,6 +389,10 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
   | Some resp -> resp
   | None -> (
     let from_origin () =
+      match deadline with
+      | Some d when Nk_resource.Deadline.expired d ~now:(now t) ->
+        deadline_expired_response t ~at:"origin"
+      | _ ->
       in_span t ?parent:span "origin-fetch" [] (fun osp ->
           (* A stale copy with a validator turns the refetch into a
              conditional GET; a 304 refreshes the entry without moving the
@@ -305,7 +420,9 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
           in
           let do_fetch sp =
             let resp =
-              await_fetch_opt t ~via:None ~timeout:t.cfg.Config.origin_timeout req
+              await_fetch_opt t ~via:None
+                ~timeout:(hop_timeout t deadline t.cfg.Config.origin_timeout)
+                req
             in
             Nk_sim.Trace.incr t.trace "origin-fetches";
             set_attr sp "status"
@@ -318,9 +435,8 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
              dead origin costs one probe per cooldown, not one
              [origin_timeout] per request. The short-circuited request
              still degrades to a stale copy when one exists. *)
-          let breaker =
-            breaker_for t ("origin:" ^ Nk_http.Url.site req.Nk_http.Message.url)
-          in
+          let origin_key = "origin:" ^ Nk_http.Url.site req.Nk_http.Message.url in
+          let breaker = breaker_for t origin_key in
           let resp, short_circuit =
             match Nk_resource.Breaker.acquire breaker with
             | `Reject retry ->
@@ -328,7 +444,7 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
               set_attr osp "breaker" "open";
               (None, Some retry)
             | `Proceed ->
-              let resp =
+              let attempt () =
                 match validator with
                 | None -> do_fetch osp
                 | Some _ ->
@@ -341,11 +457,40 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
                             | None -> false));
                       resp)
               in
+              let resp = attempt () in
+              (* One budgeted retry: a transient origin failure (timeout,
+                 5xx) gets a second attempt only while the upstream's
+                 retry budget — refilled by its own successes — grants a
+                 token and the request's deadline still has time left. *)
+              let failed =
+                match resp with
+                | None -> true
+                | Some r -> r.Nk_http.Message.status >= 500
+              in
+              let resp =
+                match t.retry_budget with
+                | Some rb
+                  when failed
+                       && (match deadline with
+                           | Some d -> not (Nk_resource.Deadline.expired d ~now:(now t))
+                           | None -> true)
+                       && Nk_resource.Retry_budget.try_retry rb ~upstream:origin_key ->
+                  Nk_telemetry.Metrics.incr t.metrics
+                    ~labels:[ ("upstream", origin_key) ]
+                    "retry.attempts";
+                  set_attr osp "retried" "true";
+                  attempt ()
+                | _ -> resp
+              in
               (match resp with
                | None -> Nk_resource.Breaker.failure breaker
                | Some r when r.Nk_http.Message.status >= 500 ->
                  Nk_resource.Breaker.failure breaker
-               | Some _ -> Nk_resource.Breaker.success breaker);
+               | Some _ ->
+                 Nk_resource.Breaker.success breaker;
+                 (match t.retry_budget with
+                  | Some rb -> Nk_resource.Retry_budget.success rb ~upstream:origin_key
+                  | None -> ()));
               (resp, None)
           in
           (* Stale-if-error (RFC 2616 §13.1.5 spirit): when the origin
@@ -411,10 +556,19 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
       let peers =
         List.filter (fun peer -> peer <> name t) result.Nk_overlay.Dht.values
       in
-      (* Try up to two announced peers, each under [peer_timeout]; a
-         peer that times out, fails, or serves tampered content falls
-         through to the next candidate and finally to the origin. *)
-      let rec try_peers budget = function
+      (* Try up to two announced peers, each under [peer_timeout] (and
+         the request's remaining budget); a peer that times out, fails,
+         or serves tampered content falls through to the next candidate
+         and finally to the origin. *)
+      let rec try_peers budget candidates =
+        match candidates with
+        | _
+          when (match deadline with
+                | Some d -> Nk_resource.Deadline.expired d ~now:(now t)
+                | None -> false) ->
+          (* No budget left for a peer hop; [from_origin] answers the
+             machine-readable 504. *)
+          from_origin ()
         | [] -> from_origin ()
         | _ when budget = 0 -> from_origin ()
         | peer :: rest -> (
@@ -434,17 +588,45 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
             from_origin ()
           | Some peer_host ->
             Nk_sim.Trace.incr t.trace "dht-hits";
-            let peer_resp =
+            let peer_resp, served_by =
               in_span t ?parent:span "peer-fetch" [ ("peer", peer) ] (fun psp ->
                   let peer_req = Nk_http.Message.copy_request req in
                   Nk_http.Message.set_req_header peer_req peer_header "1";
-                  match
-                    await_fetch_opt t ~via:(Some peer_host)
-                      ~timeout:t.cfg.Config.peer_timeout peer_req
-                  with
+                  (match deadline with
+                   | Some d -> Nk_resource.Deadline.stamp d ~now:(now t) peer_req
+                   | None -> ());
+                  let timeout = hop_timeout t deadline t.cfg.Config.peer_timeout in
+                  let raw, served_by =
+                    match t.hedge with
+                    | None ->
+                      (await_fetch_opt t ~via:(Some peer_host) ~timeout peer_req, peer)
+                    | Some hedge ->
+                      (* The backup is the next live replica: the
+                         remaining announced holders first, then the
+                         key's ring replica set ([Ring.successors]). *)
+                      Nk_resource.Hedge.note_primary hedge;
+                      let backup =
+                        rest @ Nk_overlay.Dht.replica_names dht ~key
+                        |> List.find_opt (fun c -> c <> peer && c <> name t)
+                        |> fun c ->
+                        Option.bind c (fun c ->
+                            Option.map
+                              (fun h -> (c, h))
+                              (Nk_sim.Httpd.resolve t.web c))
+                      in
+                      let delay = hedge_delay t ~timeout in
+                      set_attr psp "hedge_delay" (Printf.sprintf "%.4f" delay);
+                      let resp, server =
+                        hedged_peer_fetch t ~hedge ~primary:(peer, peer_host)
+                          ~backup ~delay ~timeout ~deadline peer_req
+                      in
+                      if server <> peer then set_attr psp "hedge_winner" server;
+                      (resp, server)
+                  in
+                  match raw with
                   | None ->
                     set_attr psp "timeout" "true";
-                    None
+                    (None, served_by)
                   | Some resp ->
                     let verified =
                       match t.cfg.Config.integrity_key with
@@ -475,18 +657,33 @@ let content_fetch t ?(allow_peers = true) ?span (req : Nk_http.Message.request) 
                     in
                     set_attr psp "verified" (string_of_bool verified);
                     if verified && Nk_http.Status.is_success resp.Nk_http.Message.status
-                    then Some resp
-                    else None)
+                    then (Some resp, served_by)
+                    else (None, served_by))
             in
+            (* Accounting goes to the arm that actually served (the
+               hedged backup may have won); on the unhedged path
+               [served_by = peer] and this is the pre-existing
+               behavior, breaker object included. *)
             (match peer_resp with
              | Some resp ->
-               Nk_resource.Breaker.success peer_breaker;
+               Nk_resource.Breaker.success (breaker_for t ("peer:" ^ served_by));
+               (match t.retry_budget with
+                | Some rb -> Nk_resource.Retry_budget.success rb ~upstream:"peer"
+                | None -> ());
                Nk_sim.Trace.incr t.trace "peer-fetches";
                insert_if_cacheable t req resp;
                resp
              | None ->
-               Nk_resource.Breaker.failure peer_breaker;
-               try_peers (budget - 1) rest)))
+               Nk_resource.Breaker.failure (breaker_for t ("peer:" ^ served_by));
+               (* Trying the next candidate is a retry of the upstream
+                  class: under a retry budget it must find a token, or
+                  the chain collapses straight to the origin. *)
+               (match (t.retry_budget, rest) with
+                | Some rb, _ :: _ when budget > 1 ->
+                  if Nk_resource.Retry_budget.try_retry rb ~upstream:"peer" then
+                    try_peers (budget - 1) rest
+                  else from_origin ()
+                | _ -> try_peers (budget - 1) rest))))
       in
       try_peers 2 peers
     | _ -> from_origin ())
@@ -549,7 +746,7 @@ let hostcall t ~site ~load_wall : Nk_vocab.Hostcall.t =
               | Some denial ->
                 set_attr sp "denied" "true";
                 denial
-              | None -> content_fetch t ?span:sp req)
+              | None -> content_fetch t ?span:sp ?deadline:t.active_deadline req)
         in
         let bytes = float_of_int (Nk_http.Message.content_length resp) in
         Nk_resource.Accounting.charge t.accounting ~site Nk_resource.Resource.Bandwidth bytes;
@@ -729,6 +926,9 @@ and load_stage t ?span url =
       | Ok _ ->
         in_span t ?parent:span "load-stage" [ ("stage", url) ] (fun sp ->
         let req = Nk_http.Message.request url in
+        (* Deliberately not under the request's deadline budget: a tight
+           budget expiring a script fetch would negative-cache the site
+           for [negative_ttl], degrading every later request. *)
         let resp = content_fetch t ?span:sp req in
         if not (Nk_http.Status.is_success resp.Nk_http.Message.status) then begin
           (* Remember that this site publishes no script (§4). *)
@@ -850,22 +1050,33 @@ let account t ~site ~cpu ~heap ~bytes ~elapsed =
 (* Process one client request inside a cothread; returns the response
    plus the interpreter fuel and heap the pipeline consumed (offload
    replies ship those, so a remote execution stays accountable). *)
-let process t ?span (req : Nk_http.Message.request) =
+let process t ?span ?deadline (req : Nk_http.Message.request) =
   let started = now t in
   let site = Nk_http.Url.site req.Nk_http.Message.url in
   let costs = t.cfg.Config.costs in
   t.in_flight <- t.in_flight + 1;
   let concurrency = float_of_int t.in_flight *. costs.Config.concurrency_cpu in
+  (match deadline with
+   | Some d ->
+     set_attr span "deadline_remaining"
+       (Printf.sprintf "%.4f" (Nk_resource.Deadline.remaining d ~now:(now t)))
+   | None -> ());
   (* Expose this request's span to the hostcall closures while the
      pipeline runs (best effort: restored even on exceptions, but a
-     suspended pipeline's sub-fetches may interleave). *)
+     suspended pipeline's sub-fetches may interleave). The deadline
+     budget rides the same way so scripts' own fetches run under it. *)
   let saved = t.active_span in
+  let saved_deadline = t.active_deadline in
   t.active_span <- span;
+  t.active_deadline <- deadline;
   let response, fuel, heap, handlers =
     Fun.protect
-      ~finally:(fun () -> t.active_span <- saved)
+      ~finally:(fun () ->
+        t.active_span <- saved;
+        t.active_deadline <- saved_deadline)
       (fun () ->
-        if not t.cfg.Config.enable_pipeline then (content_fetch t ?span req, 0, 0, 0)
+        if not t.cfg.Config.enable_pipeline then
+          (content_fetch t ?span ?deadline req, 0, 0, 0)
         else begin
           let telemetry =
             match span with Some s -> Some (t.tracer, s) | None -> None
@@ -878,7 +1089,7 @@ let process t ?span (req : Nk_http.Message.request) =
                  | Some _ -> charge_cpu t costs.Config.predicate_eval
                  | None -> ());
                 stage)
-              ~fetch:(fun req -> content_fetch t ?span req)
+              ~fetch:(fun req -> content_fetch t ?span ?deadline req)
               ?telemetry req
           in
           (match outcome.Nk_pipeline.Pipeline.source with
@@ -971,7 +1182,7 @@ let offload_plan t ~site =
 (* Ship the request to [target]; any failure — open breaker, rejection,
    timeout — falls back to [fallback] (the normal local admission path),
    so diffusion can never lose a request, only decline to help. *)
-let attempt_offload t ~site ~plan:(d, p, script_hash, target) req k ~fallback =
+let attempt_offload t ~site ~plan:(d, p, script_hash, target) ?deadline req k ~fallback =
   let target_name = target.Nk_diffusion.Neighbors.name in
   let fall_back reason =
     Nk_telemetry.Metrics.incr t.metrics ~labels:[ ("reason", reason) ]
@@ -998,9 +1209,17 @@ let attempt_offload t ~site ~plan:(d, p, script_hash, target) req k ~fallback =
     let range =
       Option.bind (Nk_http.Message.req_header req "Range") Nk_http.Range.parse
     in
+    (* The envelope ships the request's headers, so stamping the
+       remaining budget here propagates it to the offload target; the
+       reply timeout shrinks to the budget for the same reason the
+       per-hop fetch timeouts do. *)
+    (match deadline with
+     | Some d -> Nk_resource.Deadline.stamp d ~now:(now t) req
+     | None -> ());
     Nk_diffusion.Offload.send d.offload ~target:target_name
       ~target_incarnation:target.Nk_diffusion.Neighbors.incarnation ~site ~script_hash
-      ~timeout:t.cfg.Config.diffusion_offload_timeout ~request:req
+      ~timeout:(hop_timeout t deadline t.cfg.Config.diffusion_offload_timeout)
+      ~request:req
       ~on_done:(fun outcome ->
         match outcome with
         | Some (Nk_diffusion.Offload.Executed { response; fuel = _; heap = _ }) ->
@@ -1100,6 +1319,29 @@ let handle_offload_request t d ~payload =
       reject "banned-site"
     else if pressure t >= t.cfg.Config.diffusion_high_water then reject "pressure"
     else begin
+      let req = env.Nk_diffusion.Offload.request in
+      (* Receiver-side deadline shed: a budget smaller than our current
+         queue-delay estimate cannot be served in time — rejecting now
+         lets the sender fall back (its local queue may be shorter)
+         instead of computing an answer nobody will wait for. *)
+      let deadline = Nk_resource.Deadline.of_request ~now:(now t) req in
+      let doomed =
+        match deadline with
+        | Some d ->
+          Nk_resource.Deadline.remaining d ~now:(now t)
+          <= Nk_sim.Net.cpu_backlog t.net t.host
+        | None -> false
+      in
+      if doomed then begin
+        Nk_telemetry.Metrics.incr t.metrics ~labels:[ ("at", "offload") ]
+          "deadline.expired";
+        reject
+          (match deadline with
+           | Some d when Nk_resource.Deadline.expired d ~now:(now t) ->
+             "deadline-expired"
+           | _ -> "deadline-queue")
+      end
+      else begin
       let verdict =
         match t.admission with
         | None -> Nk_resource.Admission.Admitted
@@ -1115,13 +1357,12 @@ let handle_offload_request t d ~payload =
           | Some adm -> Nk_resource.Admission.release adm ~site
           | None -> ()
         in
-        let req = env.Nk_diffusion.Offload.request in
         let span = start_request_span t "offload-request" req in
         set_attr span "origin" env.Nk_diffusion.Offload.origin_node;
         Nk_util.Cothread.spawn
           (fun () ->
             resolve_offload_stage t env;
-            process t ?span req)
+            process t ?span ?deadline req)
           ~on_done:(fun (resp, fuel, heap) ->
             release ();
             Nk_sim.Trace.incr t.trace "responses";
@@ -1137,6 +1378,7 @@ let handle_offload_request t d ~payload =
             set_attr span "error" (Printexc.to_string exn);
             finish_span t span;
             reject "error")
+      end
     end
 
 let handle t (req : Nk_http.Message.request) k =
@@ -1144,9 +1386,31 @@ let handle t (req : Nk_http.Message.request) k =
   (* Peer requests serve straight from cache/origin: no pipeline, no
      further DHT consultation (avoids routing loops). *)
   if Nk_http.Message.req_header req peer_header <> None then begin
+    (* Receiver-side deadline shed, mirroring the offload target's: a
+       peer request whose carried budget is below our queue-delay
+       estimate (or already spent) gets its 504 now, freeing the
+       requester to try its next candidate within the budget. *)
+    let deadline = Nk_resource.Deadline.of_request ~now:(now t) req in
+    let doomed =
+      match deadline with
+      | Some d ->
+        Nk_resource.Deadline.remaining d ~now:(now t)
+        <= Nk_sim.Net.cpu_backlog t.net t.host
+      | None -> false
+    in
+    if doomed then begin
+      Nk_sim.Trace.incr t.trace "responses";
+      k
+        (deadline_expired_response t
+           ~at:
+             (match deadline with
+              | Some d when Nk_resource.Deadline.expired d ~now:(now t) -> "peer"
+              | _ -> "peer-queue"))
+    end
+    else begin
     let span = start_request_span t "peer-request" req in
     Nk_util.Cothread.spawn
-      (fun () -> content_fetch t ~allow_peers:false ?span req)
+      (fun () -> content_fetch t ~allow_peers:false ?span ?deadline req)
       ~on_done:(fun resp ->
         Nk_sim.Trace.incr t.trace "responses";
         if t.cfg.Config.misbehaving then
@@ -1163,6 +1427,7 @@ let handle t (req : Nk_http.Message.request) k =
         set_attr span "error" "true";
         finish_span t span;
         k (Nk_http.Message.error_response 500))
+    end
   end
   else begin
     (* Strip the .nakika.net suffix clients use to reach us (§3). *)
@@ -1197,6 +1462,14 @@ let handle t (req : Nk_http.Message.request) k =
       reject "rejected-throttle"
     end
     else begin
+      (* Tail tolerance: the request's deadline budget — minted here
+         from [request_deadline], or carried in from an upstream
+         Na Kika node, whichever is tighter. [None] (the default
+         config, no header) leaves every downstream path exactly as it
+         was before deadlines existed. *)
+      let deadline =
+        Nk_resource.Deadline.admit ~now:(now t) ~budget:t.cfg.Config.request_deadline req
+      in
       let local () =
         (* Front-door admission control: the host's CPU backlog is the
            queueing delay a newly admitted request would see. *)
@@ -1225,7 +1498,7 @@ let handle t (req : Nk_http.Message.request) k =
           in
           let span = start_request_span t "request" req in
           Nk_util.Cothread.spawn
-            (fun () -> process t ?span req)
+            (fun () -> process t ?span ?deadline req)
             ~on_done:(fun (resp, _fuel, _heap) ->
               release ();
               Nk_sim.Trace.incr t.trace "responses";
@@ -1243,12 +1516,23 @@ let handle t (req : Nk_http.Message.request) k =
               finish_span t span;
               k (Nk_http.Message.error_response 500))
       in
-      (* Proactive diffusion sits after quarantine/throttle but before
-         admission: an offloaded request never takes a local queue slot,
-         which is exactly the relief a pressured node needs. *)
-      match offload_plan t ~site with
-      | None -> local ()
-      | Some plan -> attempt_offload t ~site ~plan req k ~fallback:local
+      match deadline with
+      | Some d when Nk_resource.Deadline.expired d ~now:(now t) ->
+        (* Zero-remaining admission: the budget was spent before we
+           could do anything — answer the 504 without taking a queue
+           slot or consulting the diffusion plan. *)
+        let span = start_request_span t "request" req in
+        set_attr span "outcome" "deadline-admission";
+        set_attr span "status" "504";
+        finish_span t span;
+        k (deadline_expired_response t ~at:"admission")
+      | _ -> (
+        (* Proactive diffusion sits after quarantine/throttle but before
+           admission: an offloaded request never takes a local queue slot,
+           which is exactly the relief a pressured node needs. *)
+        match offload_plan t ~site with
+        | None -> local ()
+        | Some plan -> attempt_offload t ~site ~plan ?deadline req k ~fallback:local)
     end
   end
 
@@ -1353,6 +1637,20 @@ let start_reannouncer t dht =
         let ttl = Float.min t.cfg.Config.dht_ttl (expiry -. now t) in
         if ttl > 0.0 then
           ignore (Nk_overlay.Dht.put dht ~now:(now t) ~from:(name t) ~key ~value:(name t) ~ttl));
+    Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+  in
+  Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
+
+(* Expired sloppy placements otherwise die only lazily, on the next
+   lookup of their own key: a crowd that moves on leaves its copies
+   pinned on the holders until someone asks again. Sweeping on half
+   the placement TTL makes reconvergence a property of the clock, not
+   of lookup luck. Idempotent, so every hotspot-enabled node may run
+   one against the shared index. *)
+let start_dht_sweeper t dht =
+  let period = Float.max 1.0 (t.cfg.Config.hotspot_ttl /. 2.0) in
+  let rec cycle () =
+    Nk_overlay.Dht.sweep dht ~now:(now t);
     Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
   in
   Nk_sim.Sim.schedule t.sim ~daemon:true ~delay:period cycle
@@ -1486,6 +1784,16 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
          else None);
       diffusion;
       breakers = Hashtbl.create 8;
+      hedge =
+        (if config.Config.enable_hedging then
+           Some (Nk_resource.Hedge.create ~rate:config.Config.hedge_rate ~metrics ())
+         else None);
+      retry_budget =
+        (if config.Config.retry_budget_ratio > 0.0 then
+           Some
+             (Nk_resource.Retry_budget.create ~ratio:config.Config.retry_budget_ratio
+                ~metrics ())
+         else None);
       store = Nk_replication.Store.create ();
       replicas = Hashtbl.create 4;
       log_urls = Hashtbl.create 4;
@@ -1495,6 +1803,7 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
       tracer = Nk_telemetry.Tracer.create ~capacity:config.Config.trace_capacity ~clock ();
       events = Nk_telemetry.Events.create ~clock ();
       active_span = None;
+      active_deadline = None;
       local_cidrs =
         List.filter_map
           (fun s -> Result.to_option (Nk_http.Ip.cidr_of_string s))
@@ -1512,7 +1821,8 @@ let create ~web ~host ?dht ?bus ?(config = Config.default) () =
   (match dht with
    | Some dht when config.Config.enable_dht ->
      ignore (Nk_overlay.Dht.join dht (name t));
-     start_reannouncer t dht
+     start_reannouncer t dht;
+     if config.Config.enable_hotspots then start_dht_sweeper t dht
    | _ -> ());
   if config.Config.enable_resource_controls then start_monitor t;
   (* The offload protocol rides the bus: each node owns a request topic

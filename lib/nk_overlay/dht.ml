@@ -349,6 +349,17 @@ let get t ~now ~from ~key =
   Nk_telemetry.Metrics.observe t.metrics "dht.hops" (float_of_int hops);
   { values; hops; fallbacks; owner }
 
+(* The live members of [key]'s replica set by node name — the owner
+   and its next distinct ring successors, via {!Ring.successors}. The
+   hedging layer asks for these when it needs "the next live replica"
+   beyond a lookup's announced holders. *)
+let replica_names t ~key =
+  Ring.successors t.ring (Node_id.of_string key) ~k:t.replicas
+  |> List.filter_map (fun id ->
+       match Hashtbl.find_opt t.names (Node_id.to_int id) with
+       | Some name when t.live name -> Some name
+       | _ -> None)
+
 let stored_keys t name =
   match Hashtbl.find_opt t.ids name with
   | None -> 0

@@ -79,5 +79,11 @@ val get : t -> now:float -> from:string -> key:string -> lookup
     fewer hops, bit-identical values (puts write through to active
     holders). *)
 
+val replica_names : t -> key:string -> string list
+(** The live members of [key]'s replica set by node name — the owner
+    plus its next distinct ring successors ({!Ring.successors}), in
+    ring order. The hedging layer uses this to find the next live
+    replica when a lookup's announced holders are exhausted. *)
+
 val stored_keys : t -> string -> int
 (** Number of keys currently stored at the named node. *)

@@ -43,6 +43,10 @@ let apply ~knob ~value (c : Config.t) =
   | "termination_penalty" -> { c with Config.termination_penalty = value }
   | "quarantine_max" -> { c with Config.quarantine_max = value }
   | "quarantine_decay" -> { c with Config.quarantine_decay = value }
+  | "request_deadline" -> { c with Config.request_deadline = value }
+  | "enable_hedging" -> { c with Config.enable_hedging = value <> 0.0 }
+  | "hedge_rate" -> { c with Config.hedge_rate = value }
+  | "retry_budget_ratio" -> { c with Config.retry_budget_ratio = value }
   | other -> invalid_arg (Printf.sprintf "Lower.apply: unknown knob %S" other)
 
 let apply_block (block : Ast.node_block) config =
@@ -197,6 +201,10 @@ let explain (plan : Ast.t) lowered =
             | "termination_penalty" -> Printf.sprintf "%gs" c.Config.termination_penalty
             | "quarantine_max" -> Printf.sprintf "%gs" c.Config.quarantine_max
             | "quarantine_decay" -> Printf.sprintf "%gs" c.Config.quarantine_decay
+            | "request_deadline" -> Printf.sprintf "%gs" c.Config.request_deadline
+            | "enable_hedging" -> if c.Config.enable_hedging then "on" else "off"
+            | "hedge_rate" -> Printf.sprintf "%g" c.Config.hedge_rate
+            | "retry_budget_ratio" -> Printf.sprintf "%g" c.Config.retry_budget_ratio
             | _ -> "?"
           in
           Printf.bprintf buf "  %s.%s -> %s = %s\n" section key knob shown)

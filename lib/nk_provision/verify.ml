@@ -70,9 +70,13 @@ let vocabulary =
     ("quarantine", "base", Duration_pos, "termination_penalty");
     ("quarantine", "max", Duration_pos, "quarantine_max");
     ("quarantine", "decay", Duration_nonneg, "quarantine_decay");
+    ("deadline", "request", Duration_pos, "request_deadline");
+    ("deadline", "hedge", Toggle, "enable_hedging");
+    ("deadline", "hedge-rate", Rate, "hedge_rate");
+    ("deadline", "retry_budget", Rate, "retry_budget_ratio");
   ]
 
-let sections = [ "capacity"; "diffusion"; "hotspots"; "breaker"; "quarantine" ]
+let sections = [ "capacity"; "diffusion"; "hotspots"; "breaker"; "quarantine"; "deadline" ]
 
 let knob_of ~section ~key =
   List.find_map

@@ -1,0 +1,58 @@
+(* Retry budgets: per-upstream token buckets that refill in proportion
+   to successes, so retries are bounded by the upstream's demonstrated
+   ability to answer. Under a healthy upstream almost every request
+   succeeds and the occasional retry always finds a token; when the
+   upstream starts failing, the refill dries up with it and the retry
+   rate decays to the bucket instead of amplifying the failure — the
+   circuit breakers then trip on the genuine error rate, not on a storm
+   of our own making. *)
+
+type bucket = { mutable tokens : float }
+
+type t = {
+  ratio : float; (* tokens added per observed success *)
+  cap : float; (* bucket ceiling (also the initial balance) *)
+  buckets : (string, bucket) Hashtbl.t; (* keyed by upstream *)
+  metrics : Nk_telemetry.Metrics.t option;
+}
+
+let default_cap = 8.0
+
+let create ~ratio ?(cap = default_cap) ?metrics () =
+  if ratio <= 0.0 then invalid_arg "Retry_budget.create: ratio must be positive";
+  if cap < 1.0 then invalid_arg "Retry_budget.create: cap must be at least 1";
+  { ratio; cap; buckets = Hashtbl.create 8; metrics }
+
+(* Buckets start full: a cold upstream gets the benefit of the doubt
+   for its first few retries, then has to earn the rest. *)
+let bucket_for t upstream =
+  match Hashtbl.find_opt t.buckets upstream with
+  | Some b -> b
+  | None ->
+    let b = { tokens = t.cap } in
+    Hashtbl.add t.buckets upstream b;
+    b
+
+let success t ~upstream =
+  let b = bucket_for t upstream in
+  b.tokens <- Float.min t.cap (b.tokens +. t.ratio)
+
+let tokens t ~upstream = (bucket_for t upstream).tokens
+
+(* One retry costs one token. A refused retry is the feature working,
+   not an error — but it is counted, because a high exhaustion rate is
+   how an operator tells "bounded retries" from "no retries". *)
+let try_retry t ~upstream =
+  let b = bucket_for t upstream in
+  if b.tokens >= 1.0 then begin
+    b.tokens <- b.tokens -. 1.0;
+    true
+  end
+  else begin
+    (match t.metrics with
+     | Some m ->
+       Nk_telemetry.Metrics.incr m ~labels:[ ("upstream", upstream) ]
+         "retry.budget_exhausted"
+     | None -> ());
+    false
+  end

@@ -327,6 +327,59 @@ let test_chaos_crash_during_offload () =
        "diffusion.offloads"
     = 1)
 
+(* --- receiver-side deadline shed on the offload path ------------------- *)
+
+let test_offload_sheds_expired_deadline () =
+  (* A request whose carried budget cannot even survive the bus hop to
+     the offload target: the receiver must shed it on arrival (its
+     answer would land after the client stopped waiting), the sender
+     falls back, and the client is still served. *)
+  let cluster = Cluster.create () in
+  ignore (transforming_site cluster);
+  let p1 = Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config:diffusion_config () in
+  let p2 = Cluster.add_proxy cluster ~name:"nk2.nakika.net" ~config:diffusion_config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  (* Warm-up: local execution learns the script hash, making the next
+     request offloadable. *)
+  ignore (fetch_sync cluster ~client ~proxy:p1 (req ()));
+  (* The deadline header is relative (remaining seconds), so transit
+     time alone cannot expire it: the receiver rebuilds the budget on
+     arrival. What kills a doomed offload is the receiver's own queue
+     delay, so load nk2 with 2s of CPU backlog, then plant it as an
+     attractive neighbor and fire a 10ms-budget request — all inside
+     one scheduled event so nk2's next health report cannot overwrite
+     the planted pressure before p1 decides to offload. *)
+  let sim = Cluster.sim cluster in
+  let t0 = Core.Sim.Sim.now sim in
+  let result = ref None in
+  Core.Sim.Sim.schedule_at sim (t0 +. 0.5) (fun () ->
+    Core.Sim.Net.cpu_run (Cluster.net cluster) (Node.host p2) ~seconds:2.0 (fun () -> ());
+    Node.observe_neighbor p1 ~name:"nk2.nakika.net" ~pressure:(-1.0) ~incarnation:0
+      ~distance:0.01;
+    let r = req () in
+    Message.set_req_header r Core.Resource.Deadline.header "0.01";
+    Cluster.fetch cluster ~client ~proxy:p1 r (fun resp -> result := Some resp));
+  Cluster.run ~until:(t0 +. 30.0) cluster;
+  (match !result with
+   | None -> Alcotest.fail "request lost"
+   | Some resp ->
+     Alcotest.(check bool) "client still answered" true (resp.Message.status > 0));
+  Alcotest.(check bool) "receiver shed the doomed offload" true
+    (Core.Telemetry.Metrics.counter (Node.metrics p2)
+       ~labels:[ ("at", "offload") ]
+       "deadline.expired"
+    >= 1);
+  Alcotest.(check bool) "shed is a machine-readable reject" true
+    (Core.Telemetry.Metrics.counter (Node.metrics p2)
+       ~labels:[ ("reason", "deadline-queue") ]
+       "diffusion.rejects"
+    >= 1);
+  Alcotest.(check bool) "sender fell back and served locally" true
+    (Core.Telemetry.Metrics.counter (Node.metrics p1) ~labels:[ ("reason", "rejected") ]
+       "diffusion.fallbacks"
+    >= 1)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest pressure_monotone_prop;
@@ -340,4 +393,6 @@ let suite =
       test_hash_miss_fetches_script;
     Alcotest.test_case "chaos: crash mid-offload, incarnation guard holds" `Quick
       test_chaos_crash_during_offload;
+    Alcotest.test_case "deadline: receiver sheds a doomed offload, sender recovers" `Quick
+      test_offload_sheds_expired_deadline;
   ]

@@ -726,6 +726,187 @@ let test_valid_config_still_accepted () =
   in
   ignore (Cluster.add_proxy cluster ~name:"nk-ok.nakika.net" ~config ())
 
+(* --- tail tolerance: deadlines, hedging, the client timeout ---------- *)
+
+let epoch = 1_136_073_600.0
+
+let test_client_timeout_reason_headers () =
+  (* A crashed proxy swallows the request; the cluster's client-side
+     timeout must synthesize a 504 that says so machine-readably, like
+     every other synthesized failure in the stack. *)
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.crash plan ~host:"nk1.nakika.net" ~at:epoch ();
+  let cluster = Cluster.create ~faults:plan () in
+  ignore (basic_site cluster);
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let result = ref None in
+  Cluster.fetch cluster ~client ~proxy ~timeout:2.0
+    (Message.request "http://www.example.edu/index.html")
+    (fun r -> result := Some r);
+  (* The timeout timer is a daemon event: drive the clock past it. *)
+  Cluster.run ~until:(epoch +. 10.0) cluster;
+  match !result with
+  | None -> Alcotest.fail "client timeout never fired"
+  | Some r ->
+    Alcotest.(check int) "synthesized 504" 504 r.Message.status;
+    Alcotest.(check (option string)) "machine-readable reason" (Some "client-timeout")
+      (Message.resp_header r Core.Resource.Deadline.reason_header);
+    Alcotest.(check (option string)) "retry-after hint" (Some "2")
+      (Message.resp_header r "Retry-After")
+
+let test_deadline_zero_budget_admission () =
+  (* A request arriving with its budget already spent is refused at the
+     front door — before any origin, peer, or pipeline work. *)
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req = Message.request "http://www.example.edu/index.html" in
+  Message.set_req_header req Core.Resource.Deadline.header "0";
+  let resp = fetch_sync cluster ~client ~proxy req in
+  Alcotest.(check int) "504 at admission" 504 resp.Message.status;
+  Alcotest.(check (option string)) "shedding point" (Some "deadline-admission")
+    (Message.resp_header resp Core.Resource.Deadline.reason_header);
+  Alcotest.(check int) "counted at admission" 1
+    (Core.Telemetry.Metrics.counter (Node.metrics proxy)
+       ~labels:[ ("at", "admission") ]
+       "deadline.expired");
+  Alcotest.(check int) "no origin work was done" 0 (Origin.request_count origin)
+
+let test_deadline_clamps_origin_timeout () =
+  (* The origin sits behind a 2 s link; the request's 0.5 s budget must
+     clamp the origin hop to the remaining budget instead of waiting
+     out the full [origin_timeout] (10 s) or the 4 s round trip. *)
+  let cluster = Cluster.create () in
+  let origin = basic_site cluster in
+  let config =
+    { Config.default with Config.request_deadline = 0.5; enable_pipeline = false }
+  in
+  let proxy = Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  Cluster.connect cluster (Node.host proxy) (Origin.host origin) ~latency:2.0
+    ~bandwidth:12_500_000.0;
+  let sim = Cluster.sim cluster in
+  let t0 = Core.Sim.Sim.now sim in
+  let answered_at = ref Float.nan in
+  let result = ref None in
+  Cluster.fetch cluster ~client ~proxy
+    (Message.request "http://www.example.edu/index.html")
+    (fun r ->
+      answered_at := Core.Sim.Sim.now sim;
+      result := Some r);
+  Cluster.run cluster;
+  (match !result with
+   | None -> Alcotest.fail "no response"
+   | Some r -> Alcotest.(check int) "degraded, not hung" 504 r.Message.status);
+  Alcotest.(check bool) "failed at the budget, not the hop timeout" true
+    (!answered_at -. t0 < 1.0)
+
+let test_hedged_fetch_beats_crashed_holder () =
+  (* Chaos arm for the hedged path: the newest announced holder (the
+     primary candidate) has crashed. The primary peer fetch hangs; the
+     hedge fires after the cold-start delay (peer_timeout / 4) into the
+     next live replica, whose copy wins the race — the crashed arm's
+     silence is absorbed by the incarnation-guarded net layer, and the
+     client is served well before the primary's timeout. *)
+  let plan = Core.Faults.Plan.create () in
+  Core.Faults.Plan.crash plan ~host:"nk-b.nakika.net" ~at:(epoch +. 5.0) ();
+  let cluster = Cluster.create ~faults:plan () in
+  ignore (basic_site cluster);
+  let config = { Config.default with Config.enable_hedging = true } in
+  let a = Cluster.add_proxy cluster ~name:"nk-a.nakika.net" ~config () in
+  let b = Cluster.add_proxy cluster ~name:"nk-b.nakika.net" ~config () in
+  let c = Cluster.add_proxy cluster ~name:"nk-c.nakika.net" ~config () in
+  let client = Cluster.add_client cluster ~name:"c1" in
+  let req () = Message.request "http://www.example.edu/index.html" in
+  (* Warm both holders while everyone is up; nk-b announces last, so a
+     later cooperative lookup tries it first. *)
+  ignore (fetch_sync cluster ~client ~proxy:a (req ()));
+  ignore (fetch_sync cluster ~client ~proxy:b (req ()));
+  let sim = Cluster.sim cluster in
+  Core.Sim.Sim.run ~until:(epoch +. 6.0) sim;
+  let t0 = Core.Sim.Sim.now sim in
+  let answered_at = ref Float.nan in
+  let result = ref None in
+  Cluster.fetch cluster ~client ~proxy:c (req ()) (fun r ->
+      answered_at := Core.Sim.Sim.now sim;
+      result := Some r);
+  (* The hedge-delay timer is a daemon event: drive the clock. *)
+  Cluster.run ~until:(epoch +. 20.0) cluster;
+  (match !result with
+   | None -> Alcotest.fail "hedged fetch lost"
+   | Some r ->
+     Alcotest.(check int) "served" 200 r.Message.status;
+     Alcotest.(check string) "peer copy" "<html>hello</html>" (body r));
+  let m = Node.metrics c in
+  Alcotest.(check bool) "hedge issued" true
+    (Core.Telemetry.Metrics.counter m "hedge.issued" >= 1);
+  Alcotest.(check bool) "backup won the race" true
+    (Core.Telemetry.Metrics.counter m "hedge.wins" >= 1);
+  Alcotest.(check bool) "answered before the primary's timeout" true
+    (!answered_at -. t0 < (Node.config c).Config.peer_timeout)
+
+let test_dht_sweeper_expires_idle_placements () =
+  (* Regression for the sweeper daemon: sloppy placements on a key the
+     crowd has abandoned must vanish without any further lookup
+     touching it — [Dht.get] expires only what it reads; idle keys are
+     the periodic sweep's job. *)
+  let config =
+    {
+      Config.default with
+      Config.enable_hotspots = true;
+      hotspot_threshold = 2.0;
+      hotspot_replicas = 2;
+      hotspot_ttl = 5.0;
+      hotspot_halflife = 5.0;
+    }
+  in
+  let cluster = Cluster.create () in
+  ignore (basic_site cluster);
+  ignore (Cluster.add_proxy cluster ~name:"nk1.nakika.net" ~config ());
+  let dht = Cluster.dht cluster in
+  let names = List.init 12 (fun i -> Printf.sprintf "edge-%02d" i) in
+  List.iter (fun n -> ignore (Core.Overlay.Dht.join dht n)) names;
+  let sim = Cluster.sim cluster in
+  let t0 = Core.Sim.Sim.now sim in
+  let key = "GET http://flash.example/crowd" in
+  ignore
+    (Core.Overlay.Dht.put dht ~now:t0 ~from:(List.hd names) ~key ~value:"v" ~ttl:3600.0);
+  (* A one-second flash crowd (~100 req/s, well past the 2 req/s
+     threshold) creates the placements, then moves on for good. *)
+  for i = 0 to 119 do
+    Core.Sim.Sim.schedule_at sim
+      (t0 +. (0.01 *. float_of_int i))
+      (fun () ->
+        ignore
+          (Core.Overlay.Dht.get dht ~now:(Core.Sim.Sim.now sim)
+             ~from:(List.nth names (i mod 12))
+             ~key))
+  done;
+  let placed = ref 0 in
+  Core.Sim.Sim.schedule_at sim (t0 +. 1.5) (fun () ->
+      placed := Core.Overlay.Dht.sloppy_replicas dht);
+  (* TTL 5 s, sweep period max(1, ttl/2) = 2.5 s: by +20 s the idle
+     placement has long been swept — with no lookup ever touching the
+     key again. *)
+  Cluster.run ~until:(t0 +. 20.0) cluster;
+  Alcotest.(check bool) "crowd created placements" true (!placed > 0);
+  Alcotest.(check int) "idle placements swept without a lookup" 0
+    (Core.Overlay.Dht.sloppy_replicas dht)
+
+let test_config_rejects_bad_tail_knobs () =
+  expect_rejected "negative request deadline"
+    { Config.default with Config.request_deadline = -1.0 }
+    "request_deadline";
+  expect_rejected "zero hedge rate" { Config.default with Config.hedge_rate = 0.0 }
+    "hedge_rate";
+  expect_rejected "hedge rate above one" { Config.default with Config.hedge_rate = 1.5 }
+    "hedge_rate";
+  expect_rejected "retry budget ratio above one"
+    { Config.default with Config.retry_budget_ratio = 1.5 }
+    "retry_budget_ratio"
+
 let suite =
   [
     Alcotest.test_case "proxying a static page" `Quick test_plain_proxying;
@@ -790,4 +971,16 @@ let suite =
       test_config_rejects_bad_site_tables;
     Alcotest.test_case "config validation: sentinel values stay legal" `Quick
       test_valid_config_still_accepted;
+    Alcotest.test_case "client timeout 504 carries reason headers" `Quick
+      test_client_timeout_reason_headers;
+    Alcotest.test_case "deadline: zero-budget request refused at admission" `Quick
+      test_deadline_zero_budget_admission;
+    Alcotest.test_case "deadline: budget clamps the origin hop timeout" `Quick
+      test_deadline_clamps_origin_timeout;
+    Alcotest.test_case "hedging: backup replica beats a crashed holder" `Quick
+      test_hedged_fetch_beats_crashed_holder;
+    Alcotest.test_case "hotspots: sweeper expires idle placements" `Quick
+      test_dht_sweeper_expires_idle_placements;
+    Alcotest.test_case "config validation: tail-tolerance knobs" `Quick
+      test_config_rejects_bad_tail_knobs;
   ]

@@ -79,13 +79,46 @@ let test_hotspots_section () =
     Alcotest.(check (float 1e-9)) "halflife" 5.0 c.Config.hotspot_halflife
   | _ -> Alcotest.fail "expected exactly one lowered config"
 
+let test_deadline_section () =
+  (* The deadline section lowers to the tail-tolerance knobs; all of
+     them ship off so a plan that says nothing changes nothing. *)
+  let r =
+    P.compile
+      "node \"*\" {\n\
+      \  deadline { request = 2s; hedge = on; hedge-rate = 4%; retry_budget = 10% }\n\
+       }\n"
+  in
+  Alcotest.(check int) "clean" 0 (P.errors r);
+  (match r.P.lowered with
+   | [ l ] ->
+     let c = l.Lower.config in
+     Alcotest.(check (float 1e-9)) "request" 2.0 c.Config.request_deadline;
+     Alcotest.(check bool) "hedge" true c.Config.enable_hedging;
+     Alcotest.(check (float 1e-9)) "hedge-rate" 0.04 c.Config.hedge_rate;
+     Alcotest.(check (float 1e-9)) "retry_budget" 0.1 c.Config.retry_budget_ratio
+   | _ -> Alcotest.fail "expected exactly one lowered config");
+  (* Defaults: a plan with an empty deadline section keeps the tail
+     machinery off. *)
+  match (P.compile "node \"*\" {\n  deadline { }\n}\n").P.lowered with
+  | [ l ] ->
+    let c = l.Lower.config in
+    Alcotest.(check (float 1e-9)) "off by default" 0.0 c.Config.request_deadline;
+    Alcotest.(check bool) "hedging off" false c.Config.enable_hedging;
+    Alcotest.(check (float 1e-9)) "no retry budget" 0.0 c.Config.retry_budget_ratio
+  | _ -> Alcotest.fail "expected exactly one lowered config"
+
+let test_deadline_rate_range () =
+  check_diags "hedge-rate above 100%"
+    "node \"*\" {\n  deadline { hedge-rate = 130% }\n}\n"
+    [ "2:27: error[unit-mismatch]: deadline.hedge-rate: percent must be in (0%, 100%]" ]
+
 (* --- golden diagnostics: units pass ----------------------------------- *)
 
 let test_units_unknown_section () =
   check_diags "unknown section"
     "node \"*\" {\n  capcity { admission = 64 }\n}\n"
     [ "2:3: error[unknown-section]: unknown section \"capcity\" (expected capacity, \
-       diffusion, hotspots, breaker, quarantine)" ]
+       diffusion, hotspots, breaker, quarantine, deadline)" ]
 
 let test_units_unknown_key () =
   check_diags "unknown key"
@@ -414,6 +447,8 @@ let suite =
     Alcotest.test_case "lex: unknown unit" `Quick test_lex_error;
     Alcotest.test_case "units: suffix sugar normalizes" `Quick test_units_sugar;
     Alcotest.test_case "units: hotspots section lowers" `Quick test_hotspots_section;
+    Alcotest.test_case "units: deadline section lowers" `Quick test_deadline_section;
+    Alcotest.test_case "units: deadline rate range" `Quick test_deadline_rate_range;
     Alcotest.test_case "units: unknown section" `Quick test_units_unknown_section;
     Alcotest.test_case "units: unknown key" `Quick test_units_unknown_key;
     Alcotest.test_case "units: kind mismatch" `Quick test_units_kind_mismatch;

@@ -561,6 +561,129 @@ let throttle_fractions_sum_to_one_prop =
         Float.abs (total -. 1.0) < 1e-6
       | `Clear -> false)
 
+(* --- tail tolerance: deadlines, hedging, retry budgets ------------- *)
+
+let test_deadline_mint_and_expiry () =
+  let d = Deadline.mint ~now:100.0 ~budget:2.0 in
+  Alcotest.(check (float 1e-9)) "full at mint" 2.0 (Deadline.remaining d ~now:100.0);
+  Alcotest.(check bool) "alive just before" false (Deadline.expired d ~now:101.9);
+  Alcotest.(check bool) "expired at the boundary" true (Deadline.expired d ~now:102.0);
+  Alcotest.(check (float 1e-9)) "clamp to remaining" 0.5 (Deadline.clamp d ~now:101.5 2.0);
+  Alcotest.(check (float 1e-9)) "clamp keeps short timeouts" 1.0 (Deadline.clamp d ~now:100.5 1.0);
+  Alcotest.(check (float 1e-9)) "clamp floors at zero" 0.0 (Deadline.clamp d ~now:103.0 1.0)
+
+let test_deadline_header_roundtrip () =
+  let req = Core.Http.Message.request "http://www.example.edu/index.html" in
+  let d = Deadline.mint ~now:10.0 ~budget:1.5 in
+  Deadline.stamp d ~now:10.5 req;
+  (* The header carries remaining seconds, not an absolute instant:
+     the receiver rebuilds the expiry against its own clock. *)
+  (match Deadline.of_request ~now:50.0 req with
+   | None -> Alcotest.fail "stamped budget should parse"
+   | Some carried ->
+     Alcotest.(check (float 1e-5)) "remaining survives the hop" 1.0
+       (Deadline.remaining carried ~now:50.0));
+  Core.Http.Message.set_req_header req Deadline.header "not-a-number";
+  Alcotest.(check bool) "malformed header ignored" true
+    (Deadline.of_request ~now:0.0 req = None);
+  Core.Http.Message.set_req_header req Deadline.header "-0.25";
+  (match Deadline.of_request ~now:0.0 req with
+   | None -> Alcotest.fail "non-positive budget must still parse"
+   | Some d -> Alcotest.(check bool) "and arrive expired" true (Deadline.expired d ~now:0.0))
+
+let test_deadline_admit_combines () =
+  let fresh () = Core.Http.Message.request "http://www.example.edu/index.html" in
+  (match Deadline.admit ~now:0.0 ~budget:0.0 (fresh ()) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "no budget, no header: deadline-free");
+  (match Deadline.admit ~now:0.0 ~budget:3.0 (fresh ()) with
+   | None -> Alcotest.fail "positive budget mints"
+   | Some d -> Alcotest.(check (float 1e-9)) "minted" 3.0 (Deadline.remaining d ~now:0.0));
+  let req = fresh () in
+  Deadline.stamp (Deadline.mint ~now:0.0 ~budget:0.5) ~now:0.0 req;
+  (match Deadline.admit ~now:0.0 ~budget:3.0 req with
+   | None -> Alcotest.fail "carried + minted admits"
+   | Some d ->
+     Alcotest.(check (float 1e-5)) "the tighter carried budget wins" 0.5
+       (Deadline.remaining d ~now:0.0));
+  let req = fresh () in
+  Deadline.stamp (Deadline.mint ~now:0.0 ~budget:9.0) ~now:0.0 req;
+  (match Deadline.admit ~now:0.0 ~budget:3.0 req with
+   | None -> Alcotest.fail "carried + minted admits"
+   | Some d ->
+     Alcotest.(check (float 1e-5)) "the tighter minted budget wins" 3.0
+       (Deadline.remaining d ~now:0.0))
+
+let test_deadline_expired_response_shape () =
+  let resp = Deadline.expired_response ~retry_after:2.4 ~reason:"deadline-origin" () in
+  Alcotest.(check int) "status" 504 resp.Core.Http.Message.status;
+  Alcotest.(check (option string)) "machine-readable reason" (Some "deadline-origin")
+    (Core.Http.Message.resp_header resp Deadline.reason_header);
+  Alcotest.(check (option string)) "retry-after ceiling" (Some "3")
+    (Core.Http.Message.resp_header resp "Retry-After")
+
+let test_retry_budget_spend_and_refill () =
+  let m = Core.Telemetry.Metrics.create () in
+  (* ratio 0.25 is exact in binary, so the refill arithmetic below is
+     deterministic rather than accumulating rounding error. *)
+  let rb = Retry_budget.create ~ratio:0.25 ~cap:2.0 ~metrics:m () in
+  Alcotest.(check bool) "starts full: first retry" true (Retry_budget.try_retry rb ~upstream:"peer");
+  Alcotest.(check bool) "second retry" true (Retry_budget.try_retry rb ~upstream:"peer");
+  Alcotest.(check bool) "dry bucket refuses" false (Retry_budget.try_retry rb ~upstream:"peer");
+  Alcotest.(check int) "refusal counted, labeled by upstream" 1
+    (Core.Telemetry.Metrics.counter m ~labels:[ ("upstream", "peer") ] "retry.budget_exhausted");
+  (* Four successes earn exactly one retry at ratio 0.25. *)
+  for _ = 1 to 4 do
+    Retry_budget.success rb ~upstream:"peer"
+  done;
+  Alcotest.(check bool) "earned retry" true (Retry_budget.try_retry rb ~upstream:"peer");
+  Alcotest.(check bool) "and only one" false (Retry_budget.try_retry rb ~upstream:"peer");
+  (* Buckets are per upstream: a dry "peer" bucket says nothing about
+     an origin's. And refills cap at the ceiling. *)
+  Alcotest.(check bool) "independent upstreams" true
+    (Retry_budget.try_retry rb ~upstream:"origin:www.example.edu");
+  for _ = 1 to 100 do
+    Retry_budget.success rb ~upstream:"peer"
+  done;
+  Alcotest.(check (float 1e-9)) "refill capped" 2.0 (Retry_budget.tokens rb ~upstream:"peer")
+
+let test_hedge_bucket_bounds_overhead () =
+  let m = Core.Telemetry.Metrics.create () in
+  (* rate 0.25 and burst 2 keep the token arithmetic exact in binary:
+     greedy hedging against 16 primaries drains the burst (2) and then
+     earns one hedge per 4 primaries once the refill lands (3 more) —
+     never the naive burst + rate * primaries = 6, because tokens are
+     spent before later refills accumulate. *)
+  let hedge = Hedge.create ~rate:0.25 ~burst:2.0 ~metrics:m () in
+  let issued = ref 0 in
+  for _ = 1 to 16 do
+    Hedge.note_primary hedge;
+    if Hedge.try_hedge hedge then incr issued
+  done;
+  Alcotest.(check int) "burst, then one per 1/rate primaries" 5 !issued;
+  Alcotest.(check int) "issued counter" 5 (Core.Telemetry.Metrics.counter m "hedge.issued");
+  Hedge.won hedge;
+  Hedge.cancelled hedge;
+  Hedge.cancelled hedge;
+  Alcotest.(check int) "wins" 1 (Core.Telemetry.Metrics.counter m "hedge.wins");
+  Alcotest.(check int) "cancellations" 2 (Core.Telemetry.Metrics.counter m "hedge.cancelled")
+
+let test_hedge_delay_from_histogram () =
+  Alcotest.(check (float 1e-9)) "no histogram: fallback" 0.25
+    (Hedge.delay ~fallback:0.25 ());
+  let m = Core.Telemetry.Metrics.create () in
+  for _ = 1 to 10 do
+    Core.Telemetry.Metrics.observe m "fetch.latency" 0.02
+  done;
+  let h () = Core.Telemetry.Metrics.histogram m "fetch.latency" in
+  Alcotest.(check (float 1e-9)) "under min_samples: fallback" 0.25
+    (Hedge.delay ?histogram:(h ()) ~fallback:0.25 ());
+  for _ = 1 to 30 do
+    Core.Telemetry.Metrics.observe m "fetch.latency" 0.02
+  done;
+  let d = Hedge.delay ?histogram:(h ()) ~fallback:0.25 () in
+  Alcotest.(check bool) "warm histogram: p95, not fallback" true (d < 0.05 && d > 0.0)
+
 let suite =
   [
     Alcotest.test_case "renewable vs nonrenewable" `Quick test_renewable_classification;
@@ -620,6 +743,19 @@ let suite =
       test_quarantine_strikes_decay;
     Alcotest.test_case "QUARANTINE: active list and forgive" `Quick
       test_quarantine_active_and_forgive;
+    Alcotest.test_case "DEADLINE: mint, expiry, clamp" `Quick test_deadline_mint_and_expiry;
+    Alcotest.test_case "DEADLINE: header round trip and malformed values" `Quick
+      test_deadline_header_roundtrip;
+    Alcotest.test_case "DEADLINE: admission combines minted and carried" `Quick
+      test_deadline_admit_combines;
+    Alcotest.test_case "DEADLINE: expired response is a machine-readable 504" `Quick
+      test_deadline_expired_response_shape;
+    Alcotest.test_case "RETRY BUDGET: spend, refill, per-upstream isolation" `Quick
+      test_retry_budget_spend_and_refill;
+    Alcotest.test_case "HEDGE: token bucket bounds hedge overhead" `Quick
+      test_hedge_bucket_bounds_overhead;
+    Alcotest.test_case "HEDGE: delay from p95 with cold-start fallback" `Quick
+      test_hedge_delay_from_histogram;
     QCheck_alcotest.to_alcotest admission_slots_balance_prop;
     QCheck_alcotest.to_alcotest throttle_fractions_sum_to_one_prop;
   ]
